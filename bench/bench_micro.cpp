@@ -1,0 +1,125 @@
+// Google-benchmark microbenchmarks of the simulation primitives: the cost
+// drivers behind every table harness.
+#include <benchmark/benchmark.h>
+
+#include "dqma/attacks.hpp"
+#include "dqma/eq_path.hpp"
+#include "dqma/exact_runner.hpp"
+#include "dqma/runner.hpp"
+#include "fingerprint/fingerprint.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/permanent.hpp"
+#include "qtest/permutation_test.hpp"
+#include "qtest/swap_test.hpp"
+#include "quantum/random.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+using namespace dqma;
+using util::Bitstring;
+using util::Rng;
+
+static void BM_FingerprintState(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const fingerprint::FingerprintScheme scheme(n, 0.3);
+  Rng rng(1);
+  const Bitstring x = Bitstring::random(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.state(x));
+  }
+  state.SetLabel("dim=" + std::to_string(scheme.dim()));
+}
+BENCHMARK(BM_FingerprintState)->Arg(32)->Arg(256)->Arg(2048);
+
+static void BM_FingerprintOverlapClosedForm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const fingerprint::FingerprintScheme scheme(n, 0.3);
+  Rng rng(2);
+  const Bitstring x = Bitstring::random(n, rng);
+  const Bitstring y = Bitstring::random(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.overlap(x, y));
+  }
+}
+BENCHMARK(BM_FingerprintOverlapClosedForm)->Arg(32)->Arg(256)->Arg(2048);
+
+static void BM_SwapTestClosedForm(benchmark::State& state) {
+  Rng rng(3);
+  const auto a = quantum::haar_state(static_cast<int>(state.range(0)), rng);
+  const auto b = quantum::haar_state(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qtest::swap_test_accept(a, b));
+  }
+}
+BENCHMARK(BM_SwapTestClosedForm)->Arg(64)->Arg(1024);
+
+static void BM_PermutationTestGram(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<linalg::CVec> factors;
+  for (int i = 0; i < k; ++i) {
+    factors.push_back(quantum::haar_state(64, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qtest::permutation_test_accept(factors));
+  }
+}
+BENCHMARK(BM_PermutationTestGram)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+static void BM_ChainAcceptDp(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  const int n = 64;
+  Rng rng(5);
+  const protocol::EqPathProtocol protocol(n, r, 0.3, 1);
+  const Bitstring x = Bitstring::random(n, rng);
+  Bitstring y = Bitstring::random(n, rng);
+  if (x == y) y.flip(0);
+  const auto hx = protocol.scheme().state(x);
+  const auto hy = protocol.scheme().state(y);
+  const auto attack = protocol::rotation_attack(hx, hy, r - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.single_rep_accept(x, y, attack));
+  }
+}
+BENCHMARK(BM_ChainAcceptDp)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_HermitianEigh(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Rng rng(6);
+  const auto rho = quantum::random_density(d, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eigh(rho));
+  }
+}
+BENCHMARK(BM_HermitianEigh)->Arg(8)->Arg(32)->Arg(64);
+
+static void BM_ExactAcceptanceOperator(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  const linalg::CVec a = linalg::CVec::basis(2, 0);
+  const linalg::CVec b = linalg::CVec::basis(2, 1);
+  for (auto _ : state) {
+    const protocol::ExactEqPathAnalyzer exact(a, b, r);
+    benchmark::DoNotOptimize(exact.worst_case_accept());
+  }
+}
+BENCHMARK(BM_ExactAcceptanceOperator)->Arg(2)->Arg(3)->Arg(4);
+
+static void BM_Permanent(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(7);
+  linalg::CMat gram(k, k);
+  std::vector<linalg::CVec> factors;
+  for (int i = 0; i < k; ++i) {
+    factors.push_back(quantum::haar_state(16, rng));
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      gram(i, j) = factors[static_cast<std::size_t>(i)].dot(
+          factors[static_cast<std::size_t>(j)]);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::permanent(gram));
+  }
+}
+BENCHMARK(BM_Permanent)->Arg(4)->Arg(8)->Arg(12)->Arg(16);

@@ -1,0 +1,120 @@
+// Table 1 of the paper — the FGNP21 baseline results that this paper
+// improves on:
+//   * quantum dQMA for EQ with t terminals: local proof O(t r^2 log n)
+//     (random-pair SWAP tests) — compared against this paper's
+//     O(r^2 log n) (permutation test);
+//   * quantum dQMA for any f with a one-way protocol (2 terminals, paths);
+//   * classical dMA for EQ: Omega(n / nu) local proof (verified by the
+//     collision attack when the budget is below n).
+//
+// Shape to check: the FGNP local proof grows with t, ours does not; the
+// per-repetition soundness of FGNP probabilistic forwarding is weaker than
+// the symmetrized protocol's; classical protocols below the bit budget are
+// broken outright.
+#include <iostream>
+
+#include "dma/attacks.hpp"
+#include "dma/dma_protocols.hpp"
+#include "dqma/attacks.hpp"
+#include "dqma/eq_graph.hpp"
+#include "dqma/eq_path.hpp"
+#include "network/graph.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace dqma;
+using protocol::EqGraphProtocol;
+using protocol::EqPathMode;
+using protocol::EqPathProtocol;
+using protocol::GraphTestMode;
+using util::Bitstring;
+using util::Rng;
+using util::Table;
+
+int main() {
+  Rng rng(20240321);
+  std::cout << "Reproduction of Table 1 [FGNP21 baselines] "
+            << "(arXiv:2403.14108)\n";
+
+  {
+    util::print_banner(
+        std::cout, "Table 1, row 1 (quantum, EQ, t terminals)",
+        "FGNP21 random-pair SWAP testing needs local proofs growing with t;\n"
+        "the permutation test (this paper, Sec. 3) does not. Star networks,\n"
+        "n = 32, single repetition; soundness = acceptance of the best\n"
+        "product attack (lower is better).");
+    Table table({"t", "FGNP per-rep soundness err", "ours per-rep soundness err",
+                 "FGNP local proof/rep (qubits)", "ours local proof/rep"});
+    const int n = 32;
+    for (int t : {2, 3, 4, 5, 6, 7}) {
+      const network::Graph g = network::Graph::star(t);
+      std::vector<int> terminals;
+      for (int i = 1; i <= t; ++i) terminals.push_back(i);
+      const EqGraphProtocol fgnp(g, terminals, n, 0.3, 1,
+                                 GraphTestMode::kRandomPairSwap);
+      const EqGraphProtocol ours(g, terminals, n, 0.3, 1,
+                                 GraphTestMode::kPermutationTest);
+      const Bitstring x = Bitstring::random(n, rng);
+      std::vector<Bitstring> inputs(static_cast<std::size_t>(t), x);
+      inputs.back() = Bitstring::random(n, rng);
+      if (inputs.back() == x) inputs.back().flip(0);
+      const double fgnp_err = 1.0 - fgnp.best_attack_accept(inputs);
+      const double ours_err = 1.0 - ours.best_attack_accept(inputs);
+      // FGNP-style analysis needs O(t r^2) repetitions; report the per-rep
+      // proof sizes scaled by the repetition counts the respective analyses
+      // prescribe: t * 81r^2/2-ish vs 81r^2/2-ish. Here r = 2 on a star.
+      const long long q = fgnp.costs().local_proof_qubits;
+      table.add_row({Table::fmt(t), Table::fmt(fgnp_err), Table::fmt(ours_err),
+                     Table::fmt(static_cast<long long>(q * t)),
+                     Table::fmt(ours.costs().local_proof_qubits)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: detection probability of the permutation\n"
+                 "test exceeds the random-pair baseline as t grows, so the\n"
+                 "baseline needs ~t x more repetitions (factor t in Table 1).\n";
+  }
+
+  {
+    util::print_banner(
+        std::cout, "Table 1, row 1' (paths: probabilistic forwarding)",
+        "FGNP21 forwarding on a path vs this paper's symmetrization, single\n"
+        "repetition, rotation attack; n = 24.");
+    Table table({"r", "FGNP per-rep soundness err", "ours per-rep soundness err"});
+    const int n = 24;
+    for (int r : {2, 4, 6, 8, 10}) {
+      const EqPathProtocol fgnp(n, r, 0.3, 1, EqPathMode::kFgnpForwarding);
+      const EqPathProtocol ours(n, r, 0.3, 1, EqPathMode::kSymmetrized);
+      const Bitstring x = Bitstring::random(n, rng);
+      Bitstring y = Bitstring::random(n, rng);
+      if (x == y) y.flip(0);
+      const auto hx = ours.scheme().state(x);
+      const auto hy = ours.scheme().state(y);
+      const auto attack = protocol::rotation_attack(hx, hy, r - 1);
+      table.add_row({Table::fmt(r),
+                     Table::fmt(1.0 - fgnp.single_rep_accept(x, y, attack)),
+                     Table::fmt(1.0 - ours.single_rep_accept(x, y, attack))});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "Table 1, row 3 (classical dMA, EQ: Omega(n/nu) local proof)",
+        "Budgeted classical protocols on a path (r = 5, n = 14): below n\n"
+        "bits per node the collision attack achieves soundness error 1;\n"
+        "at the trivial n-bit proof the protocol is sound.");
+    Table table({"proof bits/node", "soundness error (attacked)", "sound?"});
+    const int n = 14;
+    for (int bits : {4, 7, 10, 14, 28, 48}) {
+      const dma::HashDmaEq protocol(n, 5, bits);
+      const double err = dma::collision_attack_soundness_error(protocol, 0, rng);
+      table.add_row({Table::fmt(bits), Table::fmt(err),
+                     err == 0.0 ? "yes" : "BROKEN"});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: broken strictly below ~n bits, sound at\n"
+                 "and above (the Omega(n) per-window bound of [FGNP21]).\n";
+  }
+  return 0;
+}

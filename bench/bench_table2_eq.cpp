@@ -1,0 +1,134 @@
+// Table 2, row 1 — Theorem 19: dQMA_sep for EQ with t terminals, local
+// proof O(r^2 log n), perfect completeness, soundness 1/3.
+//
+// Regenerated series:
+//   (a) local proof size vs n at fixed (r, t): slope ~ log n;
+//   (b) local proof size vs r at fixed (n, t): slope ~ r^2;
+//   (c) local proof size vs t at fixed (n, r): flat (the paper's
+//       improvement over the t-dependent FGNP21 bound);
+//   (d) measured completeness (= 1) and attacked soundness (<= 1/3) at the
+//       paper's repetition count.
+#include <iostream>
+
+#include "dqma/eq_graph.hpp"
+#include "dqma/eq_path.hpp"
+#include "dqma/locc.hpp"
+#include "network/graph.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace dqma;
+using protocol::EqGraphProtocol;
+using protocol::EqPathProtocol;
+using util::Bitstring;
+using util::Rng;
+using util::Table;
+
+int main() {
+  Rng rng(19);
+  std::cout << "Reproduction of Table 2, row 1 (Theorem 19: EQ, t terminals, "
+               "O(r^2 log n))\n";
+
+  {
+    util::print_banner(std::cout, "(a) local proof vs n  [r = 4, t = 2, k = paper]",
+                       "Expected: growth ~ log n.");
+    Table table({"n", "fingerprint qubits", "local proof (qubits)"});
+    for (int n : {16, 64, 256, 1024, 4096, 16384}) {
+      const auto c = EqPathProtocol::costs_for(n, 4, 0.3,
+                                               EqPathProtocol::paper_reps(4));
+      table.add_row({Table::fmt(n),
+                     Table::fmt(EqPathProtocol::fingerprint_qubits(n, 0.3)),
+                     Table::fmt(c.local_proof_qubits)});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(std::cout, "(b) local proof vs r  [n = 256, t = 2]",
+                       "Expected: growth ~ r^2 (repetition count k = ceil(81 r^2 / 2)).");
+    Table table({"r", "k (reps)", "local proof (qubits)", "ratio to r=2"});
+    long long base = 0;
+    for (int r : {2, 4, 8, 16, 32}) {
+      const int k = EqPathProtocol::paper_reps(r);
+      const auto c = EqPathProtocol::costs_for(256, r, 0.3, k);
+      if (base == 0) base = c.local_proof_qubits;
+      table.add_row({Table::fmt(r), Table::fmt(k),
+                     Table::fmt(c.local_proof_qubits),
+                     Table::fmt(static_cast<double>(c.local_proof_qubits) /
+                                static_cast<double>(base))});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(std::cout, "(c) local proof vs t  [n = 256, stars]",
+                       "Expected: FLAT in t (Theorem 19's improvement).");
+    Table table({"t", "local proof (qubits)"});
+    for (int t : {2, 3, 4, 5, 6, 7, 8}) {
+      const network::Graph g = network::Graph::star(t);
+      std::vector<int> terminals;
+      for (int i = 1; i <= t; ++i) terminals.push_back(i);
+      const EqGraphProtocol protocol(g, terminals, 256, 0.3, 42);
+      table.add_row({Table::fmt(t),
+                     Table::fmt(protocol.costs().local_proof_qubits)});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "(d) completeness / soundness at the paper parameters",
+        "Expected: completeness exactly 1; attacked soundness <= 1/3.\n"
+        "(product attacks: rotation + all step cuts; n = 24)");
+    Table table({"topology", "r", "t", "completeness", "attack accept",
+                 "<= 1/3?"});
+    const int n = 24;
+    for (int r : {2, 4, 6}) {
+      const network::Graph g = network::Graph::path(r);
+      const EqGraphProtocol protocol(g, {0, r}, n, 0.3,
+                                     EqPathProtocol::paper_reps(r));
+      const Bitstring x = Bitstring::random(n, rng);
+      Bitstring y = Bitstring::random(n, rng);
+      if (x == y) y.flip(0);
+      const double comp = protocol.completeness(x);
+      const double attack = protocol.best_attack_accept({x, y});
+      table.add_row({"path", Table::fmt(r), "2", Table::fmt(comp),
+                     Table::fmt(attack), attack <= 1.0 / 3.0 ? "yes" : "NO"});
+    }
+    for (int t : {3, 5}) {
+      const network::Graph g = network::Graph::star(t);
+      std::vector<int> terminals;
+      for (int i = 1; i <= t; ++i) terminals.push_back(i);
+      const EqGraphProtocol protocol(g, terminals, n, 0.3,
+                                     EqPathProtocol::paper_reps(3));
+      const Bitstring x = Bitstring::random(n, rng);
+      std::vector<Bitstring> inputs(static_cast<std::size_t>(t), x);
+      inputs[1] = Bitstring::random(n, rng);
+      if (inputs[1] == x) inputs[1].flip(0);
+      const double comp = protocol.completeness(x);
+      const double attack = protocol.best_attack_accept(inputs);
+      table.add_row({"star", "2", Table::fmt(t), Table::fmt(comp),
+                     Table::fmt(attack), attack <= 1.0 / 3.0 ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "(e) Corollary 21: LOCC conversion costs",
+        "Replacing the quantum verifier-to-verifier messages with classical\n"
+        "communication (Lemma 20 / [GMN23a]): local proof\n"
+        "O(dmax |V| r^4 log^2 n), classical message O(|V| r^4 log^2 n).");
+    Table table({"|V|", "r", "local proof (qubits)", "local message (bits)"});
+    for (const auto& [v, r] : {std::pair{10, 2}, std::pair{10, 4},
+                              std::pair{40, 2}, std::pair{40, 4}}) {
+      const auto c = dqma::protocol::corollary21_eq_costs(256, r, v, 3);
+      table.add_row({Table::fmt(v), Table::fmt(r),
+                     Table::fmt(c.local_proof_qubits),
+                     Table::fmt(c.local_message_bits)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

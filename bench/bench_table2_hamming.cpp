@@ -1,0 +1,183 @@
+// Table 2, row 6 — Theorem 30 / Theorem 32: the Hamming-distance predicate
+// (and generally forall_t f) on general graphs from a one-way protocol.
+//
+// Shape to check: completeness 1 (exactly, with our one-sided block
+// protocol), attacked soundness below 1/3 with enough repetitions, cost
+// growth ~ t^2 (t trees x degree factor) and ~ log n, and the d-dependence
+// of our block-isolation substitution (d^2 log d, vs the paper's d via
+// [LZ13] — documented in EXPERIMENTS.md).
+#include <iostream>
+
+#include "comm/fq_rank.hpp"
+#include "comm/hamming_protocol.hpp"
+#include "comm/l1_graph.hpp"
+#include "comm/ltf_protocol.hpp"
+#include "dqma/hamming.hpp"
+#include "util/gf2.hpp"
+#include "network/graph.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace dqma;
+using comm::HammingOneWayProtocol;
+using protocol::HammingGraphProtocol;
+using util::Bitstring;
+using util::Rng;
+using util::Table;
+
+int main() {
+  Rng rng(30);
+  std::cout << "Reproduction of Table 2, row 6 (Theorems 30/32: Hamming "
+               "distance and forall_t f)\n";
+
+  {
+    util::print_banner(
+        std::cout, "(a) one-way substrate cost vs (n, d)",
+        "Message qubits of the block-isolation protocol. Paper ([LZ13])\n"
+        "scales as d log n; ours as d^2 log d log n (substitution, see\n"
+        "DESIGN.md): the n-scaling shape is preserved, the d-exponent is 2.");
+    Table table({"n", "d", "message qubits"});
+    for (int n : {32, 128, 512}) {
+      for (int d : {1, 2, 4}) {
+        const HammingOneWayProtocol p(
+            n, d, 0.3, HammingOneWayProtocol::recommended_copies(d, 0.3));
+        table.add_row({Table::fmt(n), Table::fmt(d),
+                       Table::fmt(p.message_qubits())});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "(b) completeness on stars (exactly 1 with block isolation)",
+        "t terminals within pairwise distance d; n = 16, d = 1.");
+    Table table({"t", "predicate", "completeness"});
+    for (int t : {2, 3, 4}) {
+      const network::Graph g = network::Graph::star(t);
+      std::vector<int> terminals;
+      for (int i = 1; i <= t; ++i) terminals.push_back(i);
+      const HammingGraphProtocol protocol(g, terminals, 16, 1, 0.35, 10);
+      const Bitstring base = Bitstring::random(16, rng);
+      std::vector<Bitstring> inputs{base};
+      for (int i = 1; i < t; ++i) {
+        // All inputs EQUAL to keep every pairwise distance 0 <= d.
+        inputs.push_back(base);
+      }
+      table.add_row({Table::fmt(t),
+                     protocol.predicate(inputs) ? "1" : "0",
+                     Table::fmt(protocol.completeness(inputs))});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "(c) soundness under the interpolation attack (Monte-Carlo)",
+        "One violated pair on a path of length 2; n = 16, d = 1, 40 reps,\n"
+        "150 permutation samples (95% CI reported).");
+    Table table({"violation distance", "attack accept (mean)", "CI half-width",
+                 "<= 1/3?"});
+    const network::Graph g = network::Graph::path(2);
+    const HammingGraphProtocol protocol(g, {0, 2}, 16, 1, 0.35, 40);
+    for (int dist : {4, 7}) {
+      const Bitstring x = Bitstring::random(16, rng);
+      const std::vector<Bitstring> inputs{
+          x, Bitstring::random_at_distance(x, dist, rng)};
+      const auto est = protocol.best_attack_accept(inputs, rng, 150);
+      table.add_row({Table::fmt(dist), Table::fmt(est.mean),
+                     Table::fmt(est.half_width_95),
+                     est.mean - est.half_width_95 <= 1.0 / 3.0 ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "(d) total proof vs t (the t^2 factor of Theorem 32)",
+        "Stars, n = 16, d = 1, fixed reps. Expected: ~quadratic in t\n"
+        "(t trees, each with ~t bundle copies at the center).");
+    Table table({"t", "total proof (qubits)", "ratio to t=2"});
+    long long base = 0;
+    for (int t : {2, 3, 4, 6, 8}) {
+      const network::Graph g = network::Graph::star(t);
+      std::vector<int> terminals;
+      for (int i = 1; i <= t; ++i) terminals.push_back(i);
+      const HammingGraphProtocol protocol(g, terminals, 16, 1, 0.35, 10);
+      const long long total = protocol.costs().total_proof_qubits;
+      if (base == 0) base = total;
+      table.add_row({Table::fmt(t), Table::fmt(total),
+                     Table::fmt(static_cast<double>(total) /
+                                static_cast<double>(base))});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "(e) Sec. 6.2 extensions: l1-graphs (Cor. 35) and LTF (Cor. 39)",
+        "One-way substrates consumed by the same forall_t construction:\n"
+        "Johnson graph J(16,5) distances via the 2-scale hypercube\n"
+        "embedding; a weighted linear-threshold XOR function.");
+    Table table({"predicate", "yes accept (honest)", "no accept (honest)",
+                 "message qubits"});
+    {
+      const comm::JohnsonMetric metric(16, 5);
+      const comm::L1DistanceOneWayProtocol p(metric, 1, 0.35);
+      Bitstring u = metric.random_vertex(rng);
+      Bitstring close = u;
+      int in_pos = -1, out_pos = -1;
+      for (int i = 0; i < 16; ++i) {
+        if (close.get(i) && in_pos < 0) in_pos = i;
+        if (!close.get(i) && out_pos < 0) out_pos = i;
+      }
+      close.flip(in_pos);
+      close.flip(out_pos);
+      Bitstring far = metric.random_vertex(rng);
+      while (metric.distance(u, far) <= 3) {
+        far = metric.random_vertex(rng);
+      }
+      table.add_row({"dist_J(16,5) <= 1", Table::fmt(p.honest_accept(u, close)),
+                     Table::fmt(p.honest_accept(u, far)),
+                     Table::fmt(p.message_qubits())});
+    }
+    {
+      const comm::LtfOneWayProtocol p({3, 2, 2, 1, 1, 1}, 3, 0.35);
+      const Bitstring x = Bitstring::from_string("101010");
+      const Bitstring close = Bitstring::from_string("101011");  // weight 1
+      const Bitstring far = Bitstring::from_string("010010");    // weight 7
+      table.add_row({"LTF(w, theta=3)", Table::fmt(p.honest_accept(x, close)),
+                     Table::fmt(p.honest_accept(x, far)),
+                     Table::fmt(p.message_qubits())});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "(f) Sec. 6.2 extensions: F_2-rank (Cor. 41)",
+        "rank(X + Y) < r via shared-randomness sketching (substitution for\n"
+        "[LZ13], DESIGN.md): one-sided completeness, cost k r^2 bits.");
+    Table table({"n", "r", "yes accept", "no accept (mean of 10)",
+                 "message bits"});
+    for (const auto& [n, r] : {std::pair{6, 3}, std::pair{10, 4}}) {
+      const int k = comm::FqRankOneWayProtocol::recommended_sketches(0.02);
+      const comm::FqRankOneWayProtocol p(n, r, k);
+      const util::Gf2Matrix y = util::Gf2Matrix::random(n, n, rng);
+      const util::Gf2Matrix low =
+          y ^ util::Gf2Matrix::random_of_rank(n, r - 1, rng);
+      double no_mean = 0.0;
+      for (int trial = 0; trial < 10; ++trial) {
+        const util::Gf2Matrix high =
+            y ^ util::Gf2Matrix::random_of_rank(n, std::min(n, r + 2), rng);
+        no_mean += p.honest_accept(high.to_bits(), y.to_bits()) / 10.0;
+      }
+      table.add_row({Table::fmt(n), Table::fmt(r),
+                     Table::fmt(p.honest_accept(low.to_bits(), y.to_bits())),
+                     Table::fmt(no_mean), Table::fmt(p.message_qubits())});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

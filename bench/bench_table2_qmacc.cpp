@@ -1,0 +1,122 @@
+// Table 2, rows 7-8 — Proposition 47 and Theorem 46: dQMA protocols for
+// functions with efficient QMA communication protocols, via the LSD
+// complete problem of Raz-Shpilka.
+//
+// Regenerated series:
+//   (a) the LSD one-way QMA protocol itself (Lemma 45): completeness vs
+//       soundness separation, cost O(log m);
+//   (b) Algorithm 10 end to end on LSD instances: path protocols with
+//       measured completeness/soundness;
+//   (c) the Theorem 46 pipeline (dQMA -> QMA* -> LSD -> dQMA_sep) run
+//       executable on small EQ instances, plus the ~O(r^2 C^2) cost report.
+#include <iostream>
+
+#include "comm/eq_protocol.hpp"
+#include "comm/history_state.hpp"
+#include "comm/lsd.hpp"
+#include "dqma/from_qma_cc.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace dqma;
+using comm::eq_as_qma_instance;
+using comm::EqOneWayProtocol;
+using comm::lsd_from_qma_instance;
+using comm::lsd_qma_instance;
+using comm::LsdInstance;
+using protocol::QmaCcPathProtocol;
+using protocol::theorem46_costs;
+using util::Bitstring;
+using util::Rng;
+using util::Table;
+
+int main() {
+  Rng rng(34);
+  std::cout << "Reproduction of Table 2, rows 7-8 (Prop. 47 / Thm. 46: dQMA "
+               "from QMA communication)\n";
+
+  {
+    util::print_banner(
+        std::cout, "(a) the LSD QMA one-way protocol (Lemma 45)",
+        "Yes: Delta <= 0.1 sqrt(2); No: Delta >= 0.9 sqrt(2). Expected:\n"
+        "honest acceptance >= 0.98 vs worst-case acceptance <= 0.04; cost\n"
+        "2 ceil(log2 m) qubits.");
+    Table table({"ambient dim m", "yes accept (honest)", "no accept (worst)",
+                 "cost (qubits)"});
+    for (int m : {16, 32, 64, 128}) {
+      const auto yes = lsd_qma_instance(LsdInstance::close_pair(m, 3, 0.1, rng));
+      const auto no = lsd_qma_instance(LsdInstance::far_pair(m, 3, rng));
+      table.add_row({Table::fmt(m), Table::fmt(yes.accept(yes.honest_proof)),
+                     Table::fmt(no.max_accept()),
+                     Table::fmt(yes.cost_qubits())});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "(b) Algorithm 10 on LSD instances over a path",
+        "m = 32, k = 3 subspaces. Expected: completeness ~0.98^reps on yes,\n"
+        "attack accept <= 1/3 on no.");
+    Table table({"r", "reps", "completeness (yes)", "attack accept (no)",
+                 "local proof (qubits)"});
+    for (int r : {2, 4, 6}) {
+      const auto yes = lsd_qma_instance(LsdInstance::close_pair(32, 3, 0.05, rng));
+      const auto no = lsd_qma_instance(LsdInstance::far_pair(32, 3, rng));
+      const QmaCcPathProtocol pyes(yes, r, 1);
+      const QmaCcPathProtocol pno(no, r, 8 * r);
+      table.add_row({Table::fmt(r), Table::fmt(8 * r),
+                     Table::fmt(pyes.completeness()),
+                     Table::fmt(pno.best_attack_accept()),
+                     Table::fmt(pno.costs().local_proof_qubits)});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "(c) Theorem 46 pipeline on EQ instances (executable)",
+        "dQMA-for-EQ viewed as a QMA* protocol -> reduced to LSD -> back to\n"
+        "a dQMA_sep path protocol. n = 10, fingerprint dim 32.");
+    Table table({"instance", "LSD distance / sqrt2", "final completeness",
+                 "final attack accept"});
+    const EqOneWayProtocol eq(10, 32, 0.3, 0x0ddba11);
+    const Bitstring x = Bitstring::random(10, rng);
+    Bitstring y = Bitstring::random(10, rng);
+    if (x == y) y.flip(0);
+    {
+      const auto lsd = lsd_from_qma_instance(eq_as_qma_instance(eq, x, x), 0.5);
+      const QmaCcPathProtocol p(lsd_qma_instance(lsd), 3, 1);
+      table.add_row({"yes (x = y)",
+                     Table::fmt(lsd.distance() / LsdInstance::kSqrt2),
+                     Table::fmt(p.completeness()), "-"});
+    }
+    {
+      const auto lsd = lsd_from_qma_instance(eq_as_qma_instance(eq, x, y), 0.5);
+      const QmaCcPathProtocol p(lsd_qma_instance(lsd), 3, 30);
+      table.add_row({"no (x != y)",
+                     Table::fmt(lsd.distance() / LsdInstance::kSqrt2), "-",
+                     Table::fmt(p.best_attack_accept())});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "(d) Theorem 46 cost accounting ~O(r^2 C^2)",
+        "Per-node proof qubits of the simulated dQMA_sep protocol as a\n"
+        "function of the source protocol's QMA* cost C and path length r.");
+    Table table({"C", "r", "LSD dim m", "per-node proof (qubits)"});
+    for (long long c : {4, 8, 16, 32}) {
+      for (int r : {4, 16}) {
+        const auto rep = theorem46_costs(c, r);
+        table.add_row({Table::fmt(c), Table::fmt(r),
+                       Table::fmt(rep.lsd_ambient_dim),
+                       Table::fmt(rep.per_node_proof_qubits)});
+      }
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

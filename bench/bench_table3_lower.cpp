@@ -1,0 +1,186 @@
+// Table 3 — the paper's lower bounds, verified constructively where the
+// proofs are constructive and reported as bound values otherwise.
+//
+//   row 1 (Thm 51, dQMA_sep,sep Omega(r log n)): the counting argument —
+//     packing too many fingerprints into too few qubits forces a
+//     high-overlap pair, and the substitution attack then fools the
+//     product-proof verifier;
+//   rows 2-4 (Thm 52 / Cor 55 / Thm 56, entangled proofs): the proof-gap
+//     attack (Lemma 53) and the exact engine's entangled-vs-product gap;
+//   rows 5-7 (Thm 63: DISJ / IP / PAND): bound values via the one-sided
+//     smooth discrepancy reductions.
+#include <iostream>
+
+#include "dma/dma_protocols.hpp"
+#include "dqma/eq_path.hpp"
+#include "dqma/exact_runner.hpp"
+#include "dqma/qma_star.hpp"
+#include "linalg/vector.hpp"
+#include "lowerbound/accounting.hpp"
+#include "lowerbound/counting.hpp"
+#include "lowerbound/fooling.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace dqma;
+using linalg::CVec;
+using protocol::ExactEqPathAnalyzer;
+using util::Bitstring;
+using util::Rng;
+using util::Table;
+namespace lb = dqma::lowerbound;
+
+int main() {
+  Rng rng(38);
+  std::cout << "Reproduction of Table 3 (Sec. 8: lower bounds for dQMA "
+               "protocols)\n";
+
+  {
+    util::print_banner(
+        std::cout, "Row 1 (Thm 51): the counting argument behind Omega(r log n)",
+        "Claim 49: a family of `count` states on q qubits has a pair with\n"
+        "overlap > delta once q is too small. Below: max pairwise overlap of\n"
+        "Haar families vs the packing bound. delta = 0.3.");
+    Table table({"qubits", "states", "max overlap", "fooling pair (>0.3)?"});
+    for (int qubits : {1, 2, 4, 6, 9}) {
+      const int count = 64;
+      const double overlap = lb::random_family_max_overlap(qubits, count, rng);
+      table.add_row({Table::fmt(qubits), Table::fmt(count),
+                     Table::fmt(overlap), overlap > 0.3 ? "YES" : "no"});
+    }
+    table.print(std::cout);
+    std::cout << "\nLemma 48 qubit bound log2(n/delta^2): ";
+    for (int n : {16, 256, 4096}) {
+      std::cout << "n=" << n << ": " << lb::lemma48_qubit_bound(n, 0.3) << "  ";
+    }
+    std::cout << "\nPigeonhole over r windows gives the Omega(r log n) total "
+                 "(Thm 51).\n";
+  }
+
+  {
+    util::print_banner(
+        std::cout, "Row 1': fooling sets of size 2^n exist for EQ and GT",
+        "Sampled verification of the 1-fooling property (Sec. 2.2.1).");
+    Table table({"function", "sampled members", "is 1-fooling set"});
+    const auto eq_set = lb::eq_fooling_set(24, 64, rng);
+    const auto eq = [](const Bitstring& a, const Bitstring& b) { return a == b; };
+    table.add_row({"EQ  {(z, z)}", "64",
+                   lb::is_one_fooling_set(eq, eq_set, rng) ? "yes" : "NO"});
+    const auto gt_set = lb::gt_fooling_set(24, 64, rng);
+    const auto gt = [](const Bitstring& a, const Bitstring& b) { return a > b; };
+    table.add_row({"GT  {(z, z-1)}", "64",
+                   lb::is_one_fooling_set(gt, gt_set, rng) ? "yes" : "NO"});
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "Rows 2-3 (Cor 55): Omega(r) — the proof-gap attack (Lemma 53)",
+        "Any protocol leaving two consecutive nodes proofless is fooled\n"
+        "with certainty by the product splice, however large the other\n"
+        "proofs are (classical demonstration; the quantum argument uses the\n"
+        "Schmidt decomposition identically). n = 16.");
+    Table table({"r", "gap at", "honest accept", "splice attack accept"});
+    for (int r : {4, 6, 10}) {
+      const dma::ZeroWindowDmaEq protocol(16, r, r / 2);
+      const Bitstring x = Bitstring::random(16, rng);
+      Bitstring y = Bitstring::random(16, rng);
+      if (x == y) y.flip(0);
+      table.add_row(
+          {Table::fmt(r), Table::fmt(r / 2),
+           protocol.accepts(x, x, protocol.honest_proof(x)) ? "1" : "0",
+           protocol.accepts(x, y, protocol.splice_attack(x, y)) ? "1" : "0"});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "Row 4 (Thm 56) context: entangled vs product provers, exactly",
+        "Exact worst-case acceptance of Algorithm 3 over ALL proofs (top\n"
+        "eigenvalue of the acceptance operator) vs the best PRODUCT proof\n"
+        "(dQMA_sep,sep adversary), with endpoint overlap delta = 0.2.");
+    Table table({"r", "worst entangled accept", "best product accept",
+                 "entangled gain"});
+    CVec a = CVec::basis(2, 0);
+    CVec b(2);
+    b[0] = linalg::Complex{0.2, 0.0};
+    b[1] = linalg::Complex{std::sqrt(1.0 - 0.04), 0.0};
+    for (int r : {2, 3, 4, 5}) {
+      const ExactEqPathAnalyzer exact(a, b, r);
+      const double worst = exact.worst_case_accept();
+      const double product = exact.best_product_accept(rng, 6, 50);
+      table.add_row({Table::fmt(r), Table::fmt(worst), Table::fmt(product),
+                     Table::fmt(worst - product)});
+    }
+    table.print(std::cout);
+    std::cout << "\nBound values: Thm 52 (logn)^{1/2-e}/r^{1+e'} and Thm 56 "
+                 "(logn)^{1/4-e} at e = e' = 0.05:\n";
+    Table bounds({"n", "Thm 52 bound (r=4)", "Thm 56 bound"});
+    for (int n : {256, 65536, 1 << 24}) {
+      bounds.add_row({Table::fmt(n), Table::fmt(lb::thm52_bound(4, n, 0.05, 0.05)),
+                      Table::fmt(lb::thm56_bound(n, 0.05))});
+    }
+    bounds.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "Rows 5-7 (Thm 63): QMA-communication-hard functions",
+        "Total proof+communication lower bounds via one-sided smooth\n"
+        "discrepancy [Kla11] (values of the bounds; the reduction dQMA ->\n"
+        "QMA* is Algorithm 11, cost-accounted in Sec. 8.2).");
+    Table table({"n", "DISJ Omega(n^{1/3})", "IP Omega(n^{1/2})",
+                 "PAND Omega(n^{1/3})"});
+    for (int n : {64, 512, 4096, 32768}) {
+      table.add_row({Table::fmt(n),
+                     Table::fmt(lb::thm63_disjointness_bound(n)),
+                     Table::fmt(lb::thm63_inner_product_bound(n)),
+                     Table::fmt(lb::thm63_pattern_and_bound(n))});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "Algorithm 11 executable: dQMA -> QMA* at every cut",
+        "The i-th reduction preserves the worst-case acceptance verbatim\n"
+        "(Alice simulates v_0..v_i, Bob the rest); the QMA* cost\n"
+        "gamma1 + gamma2 + mu feeds Klauck's bounds. Exact engine, r = 4,\n"
+        "orthogonal endpoints; 'sep' restricts Merlin to proofs separable\n"
+        "across the cut.");
+    Table table({"cut i", "gamma1+gamma2+mu (qubits)", "entangled worst",
+                 "cut-separable worst"});
+    CVec a0 = CVec::basis(2, 0);
+    CVec b0 = CVec::basis(2, 1);
+    const ExactEqPathAnalyzer analyzer(a0, b0, 4);
+    for (int cut = 0; cut <= 3; ++cut) {
+      const dqma::protocol::QmaStarInstance star(analyzer, cut, 5);
+      table.add_row({Table::fmt(cut), Table::fmt(star.total_cost_qubits()),
+                     Table::fmt(star.max_accept()),
+                     Table::fmt(star.max_cut_separable_accept(rng))});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::print_banner(
+        std::cout, "Upper-vs-lower sanity: EQ totals straddle the bounds",
+        "Measured total proof of the Theorem 19 protocol vs the Thm 51\n"
+        "Omega(r log n) bound (same order in n; the r^3 gap in r is the\n"
+        "open problem the paper lists in Sec. 1.5).");
+    Table table({"n", "r", "upper (Thm 19 total)", "lower (Thm 51 r log n)"});
+    for (int n : {64, 1024}) {
+      for (int r : {4, 8}) {
+        const auto c = protocol::EqPathProtocol::costs_for(
+            n, r, 0.3, protocol::EqPathProtocol::paper_reps(r));
+        table.add_row({Table::fmt(n), Table::fmt(r),
+                       Table::fmt(c.total_proof_qubits),
+                       Table::fmt(lb::thm51_total_proof_bound(r, n))});
+      }
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

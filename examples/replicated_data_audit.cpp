@@ -1,0 +1,53 @@
+// Replicated-data audit — the paper's motivating scenario (and the title
+// of [FGNP21]: "Distributed Quantum Proofs for Replicated Data").
+//
+// A datacenter network holds replicas of a configuration blob at several
+// sites. An untrusted coordinator (the prover) wants to convince every
+// switch and site that all replicas are identical, with proofs
+// exponentially smaller than the blob. We run the general-graph EQ
+// protocol (Theorem 19 / Algorithm 5) on a random tree topology, then
+// tamper with one replica and watch the audit fail.
+#include <iostream>
+
+#include "dqma/eq_graph.hpp"
+#include "network/graph.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using dqma::network::Graph;
+  using dqma::protocol::EqGraphProtocol;
+  using dqma::util::Bitstring;
+
+  dqma::util::Rng rng(2024);
+  const int n = 256;  // replica size in bits
+  const int sites = 4;
+
+  // A 12-node network; replicas live at nodes 0, 3, 7, 11.
+  const Graph network = Graph::random_tree(12, rng);
+  const std::vector<int> replicas{0, 3, 7, 11};
+
+  const int reps = 2 * 81 * 9;  // soundness 1/3 for radius ~3 trees
+  const EqGraphProtocol audit(network, replicas, n, 0.3, reps);
+
+  std::cout << "Network: random tree on 12 nodes, replicas at 4 sites\n";
+  std::cout << "Verification tree depth: " << audit.tree().depth() << "\n";
+  std::cout << "Replica size: " << n << " bits; local proof per node: "
+            << audit.costs().local_proof_qubits << " qubits\n\n";
+
+  const Bitstring blob = Bitstring::random(n, rng);
+
+  std::cout << "all " << sites << " replicas identical:  Pr[audit passes] = "
+            << audit.completeness(blob) << "\n";
+
+  // Tamper with one replica (a single flipped bit!) and let the
+  // coordinator cheat as well as it can.
+  std::vector<Bitstring> tampered(replicas.size(), blob);
+  tampered[2].flip(200);
+  std::cout << "one replica tampered (1 bit):  Pr[audit passes] <= "
+            << audit.best_attack_accept(tampered) << "\n";
+  std::cout << "\nA single flipped bit in a " << n
+            << "-bit replica is caught with probability >= 2/3, using\n"
+            << "proofs logarithmic in the replica size.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Binary linear codes for quantum fingerprinting [BCWdW01].
+//
+// The fingerprint theorems only use one property of the code E: {0,1}^n ->
+// {0,1}^m: every nonzero message has Hamming weight close to m/2, so that
+// fingerprint overlaps |<h_x|h_y>| = |1 - 2 w(E(x xor y))/m| are at most a
+// constant delta < 1. A random linear code achieves this with m = O(n /
+// delta^2) (Chernoff + union bound over 2^n messages); we generate the
+// matrix deterministically from a seed so protocols on different nodes agree
+// on the same code without communication, exactly as the paper assumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::code {
+
+using util::Bitstring;
+
+/// A binary linear code with an m x n generator matrix over GF(2).
+class LinearCode {
+ public:
+  /// Random code with the given parameters, reproducible from `seed`.
+  /// Requires m >= 1, n >= 1.
+  LinearCode(int n, int m, std::uint64_t seed);
+
+  int message_length() const { return n_; }
+  int block_length() const { return m_; }
+
+  /// Codeword E(x): bit i is <row_i, x> over GF(2).
+  Bitstring encode(const Bitstring& x) const;
+
+  /// Weight of the codeword of `x` (without materializing it).
+  int codeword_weight(const Bitstring& x) const;
+
+  /// Exact minimum distance by exhausting all 2^n - 1 nonzero messages
+  /// (linear codes: distance = min nonzero codeword weight). Requires
+  /// n <= 20.
+  int min_distance_exhaustive() const;
+
+  /// Exact max of |1 - 2 w / m| over all nonzero messages (the fingerprint
+  /// overlap bound delta). Requires n <= 20.
+  double max_overlap_exhaustive() const;
+
+  /// Estimated max overlap from `samples` random nonzero messages.
+  double max_overlap_sampled(int samples, util::Rng& rng) const;
+
+ private:
+  int n_;
+  int m_;
+  int words_per_row_;
+  // Row-major packed generator matrix: row i occupies words_per_row_ words.
+  std::vector<std::uint64_t> rows_;
+};
+
+/// Block length that guarantees (whp) overlap at most `delta` for message
+/// length n: m = ceil(c * (n + slack) / delta^2) with the constant from the
+/// Chernoff + union bound argument. Rounded up to the next power of two so
+/// the fingerprint register is a whole number of qubits.
+int recommended_block_length(int n, double delta);
+
+}  // namespace dqma::code

@@ -1,0 +1,36 @@
+#include "comm/eq_protocol.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dqma::comm {
+
+using util::require;
+
+EqOneWayProtocol::EqOneWayProtocol(int n, double delta, std::uint64_t seed)
+    : scheme_(n, delta, seed) {}
+
+EqOneWayProtocol::EqOneWayProtocol(int n, int block_length, double delta,
+                                   std::uint64_t seed)
+    : scheme_(n, block_length, delta, seed) {}
+
+std::vector<CVec> EqOneWayProtocol::honest_message(const Bitstring& x) const {
+  return {scheme_.state(x)};
+}
+
+double EqOneWayProtocol::accept_product(
+    const Bitstring& y, const std::vector<CVec>& message) const {
+  require(message.size() == 1, "EqOneWayProtocol: expected one register");
+  require(message.front().dim() == scheme_.dim(),
+          "EqOneWayProtocol: message dimension mismatch");
+  if (!has_cache_ || cached_y_ != y) {
+    cached_y_ = y;
+    cached_state_ = scheme_.state(y);
+    has_cache_ = true;
+  }
+  const double amp = std::abs(cached_state_.dot(message.front()));
+  return amp * amp;
+}
+
+}  // namespace dqma::comm

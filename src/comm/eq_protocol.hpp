@@ -1,0 +1,43 @@
+// The one-way quantum protocol "pi" for EQ (paper Sec. 2.2.1): Alice sends
+// the fingerprint |h_x>; Bob accepts with the rank-one projector onto
+// |h_y>. Perfect completeness; soundness error at most delta^2.
+#pragma once
+
+#include <memory>
+
+#include "comm/one_way.hpp"
+#include "fingerprint/fingerprint.hpp"
+
+namespace dqma::comm {
+
+class EqOneWayProtocol final : public OneWayProtocol {
+ public:
+  EqOneWayProtocol(int n, double delta, std::uint64_t seed = 0x0ddba11);
+
+  /// Explicit block length (testing / exact-engine instances that need a
+  /// small fingerprint dimension).
+  EqOneWayProtocol(int n, int block_length, double delta, std::uint64_t seed);
+
+  std::string name() const override { return "EQ-fingerprint"; }
+  int input_length() const override { return scheme_.input_length(); }
+  std::vector<int> message_dims() const override { return {scheme_.dim()}; }
+  std::vector<CVec> honest_message(const Bitstring& x) const override;
+  double accept_product(const Bitstring& y,
+                        const std::vector<CVec>& message) const override;
+  bool predicate(const Bitstring& x, const Bitstring& y) const override {
+    return x == y;
+  }
+
+  const fingerprint::FingerprintScheme& scheme() const { return scheme_; }
+
+ private:
+  fingerprint::FingerprintScheme scheme_;
+  // Memo of Bob's reference fingerprint: Monte-Carlo protocol runs call
+  // accept_product with the same y millions of times. Not thread-safe by
+  // design (the simulators are single-threaded per protocol object).
+  mutable Bitstring cached_y_;
+  mutable CVec cached_state_;
+  mutable bool has_cache_ = false;
+};
+
+}  // namespace dqma::comm

@@ -1,0 +1,150 @@
+#include "comm/fq_rank.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dqma::comm {
+
+using linalg::Complex;
+using util::Bitstring;
+using util::require;
+using util::Rng;
+
+FqRankOneWayProtocol::FqRankOneWayProtocol(int n, int r, int sketches,
+                                           std::uint64_t seed)
+    : n_(n), r_(r), k_(sketches) {
+  require(n >= 1, "FqRankOneWayProtocol: n must be positive");
+  require(r >= 1 && r <= n, "FqRankOneWayProtocol: rank threshold range");
+  require(sketches >= 1, "FqRankOneWayProtocol: need at least one sketch");
+  Rng rng(seed);
+  for (int i = 0; i < k_; ++i) {
+    s_.push_back(Gf2Matrix::random(r_, n_, rng));
+    t_.push_back(Gf2Matrix::random(n_, r_, rng));
+  }
+}
+
+int FqRankOneWayProtocol::recommended_sketches(double target) {
+  require(target > 0.0 && target < 1.0, "recommended_sketches: bad target");
+  // Per-sketch detection probability of a rank >= r matrix is at least
+  // c = prod_{j=1..inf} (1 - 2^{-j}) ~ 0.2887880951.
+  const double miss = 1.0 - 0.2887880951;
+  int k = 1;
+  double err = miss;
+  while (err > target && k < 64) {
+    ++k;
+    err *= miss;
+  }
+  return k;
+}
+
+Gf2Matrix FqRankOneWayProtocol::sketch(const Gf2Matrix& m, int i) const {
+  return s_[static_cast<std::size_t>(i)] * m * t_[static_cast<std::size_t>(i)];
+}
+
+std::vector<int> FqRankOneWayProtocol::message_dims() const {
+  // One qubit register per sketch bit.
+  return std::vector<int>(static_cast<std::size_t>(k_ * r_ * r_), 2);
+}
+
+std::vector<CVec> FqRankOneWayProtocol::honest_message(
+    const Bitstring& x) const {
+  require(x.size() == input_length(),
+          "FqRankOneWayProtocol: input length mismatch");
+  const Gf2Matrix mx = Gf2Matrix::from_bits(x, n_, n_);
+  std::vector<CVec> message;
+  message.reserve(static_cast<std::size_t>(k_ * r_ * r_));
+  for (int i = 0; i < k_; ++i) {
+    const Bitstring bits = sketch(mx, i).to_bits();
+    for (int b = 0; b < bits.size(); ++b) {
+      message.push_back(CVec::basis(2, bits.get(b) ? 1 : 0));
+    }
+  }
+  return message;
+}
+
+bool FqRankOneWayProtocol::verdict_on_bits(
+    const Bitstring& y, const std::vector<Bitstring>& sketch_bits) const {
+  require(static_cast<int>(sketch_bits.size()) == k_,
+          "FqRankOneWayProtocol: sketch count mismatch");
+  const Gf2Matrix my = Gf2Matrix::from_bits(y, n_, n_);
+  for (int i = 0; i < k_; ++i) {
+    const Gf2Matrix claimed_x_sketch =
+        Gf2Matrix::from_bits(sketch_bits[static_cast<std::size_t>(i)], r_, r_);
+    const Gf2Matrix sum = claimed_x_sketch ^ sketch(my, i);
+    if (sum.rank() >= r_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double FqRankOneWayProtocol::accept_product(
+    const Bitstring& y, const std::vector<CVec>& message) const {
+  require(y.size() == input_length(),
+          "FqRankOneWayProtocol: input length mismatch");
+  const int bits_total = k_ * r_ * r_;
+  require(static_cast<int>(message.size()) == bits_total,
+          "FqRankOneWayProtocol: register count mismatch");
+
+  // Per-register probability of measuring |1>.
+  std::vector<double> p_one(static_cast<std::size_t>(bits_total));
+  bool classical = true;
+  for (int b = 0; b < bits_total; ++b) {
+    const CVec& reg = message[static_cast<std::size_t>(b)];
+    require(reg.dim() == 2, "FqRankOneWayProtocol: register must be a qubit");
+    const double p = std::norm(reg[1]) / (std::norm(reg[0]) + std::norm(reg[1]));
+    p_one[static_cast<std::size_t>(b)] = p;
+    if (p > 1e-12 && p < 1.0 - 1e-12) {
+      classical = false;
+    }
+  }
+
+  const auto verdict_for = [&](const std::vector<bool>& outcome) {
+    std::vector<Bitstring> sketch_bits;
+    sketch_bits.reserve(static_cast<std::size_t>(k_));
+    int idx = 0;
+    for (int i = 0; i < k_; ++i) {
+      Bitstring bits(r_ * r_);
+      for (int b = 0; b < r_ * r_; ++b) {
+        bits.set(b, outcome[static_cast<std::size_t>(idx++)]);
+      }
+      sketch_bits.push_back(std::move(bits));
+    }
+    return verdict_on_bits(y, sketch_bits) ? 1.0 : 0.0;
+  };
+
+  if (classical) {
+    std::vector<bool> outcome(static_cast<std::size_t>(bits_total));
+    for (int b = 0; b < bits_total; ++b) {
+      outcome[static_cast<std::size_t>(b)] =
+          p_one[static_cast<std::size_t>(b)] > 0.5;
+    }
+    return verdict_for(outcome);
+  }
+
+  // Superposed message: estimate the acceptance probability over Bob's
+  // measurement outcomes with a fixed-seed internal sampler so the result
+  // is deterministic for a given message.
+  Rng rng(0x5a5a ^ static_cast<std::uint64_t>(bits_total));
+  const int samples = 512;
+  double accept = 0.0;
+  std::vector<bool> outcome(static_cast<std::size_t>(bits_total));
+  for (int s = 0; s < samples; ++s) {
+    for (int b = 0; b < bits_total; ++b) {
+      outcome[static_cast<std::size_t>(b)] =
+          rng.next_bool(p_one[static_cast<std::size_t>(b)]);
+    }
+    accept += verdict_for(outcome);
+  }
+  return accept / samples;
+}
+
+bool FqRankOneWayProtocol::predicate(const Bitstring& x,
+                                     const Bitstring& y) const {
+  const Gf2Matrix mx = Gf2Matrix::from_bits(x, n_, n_);
+  const Gf2Matrix my = Gf2Matrix::from_bits(y, n_, n_);
+  return (mx ^ my).rank() < r_;
+}
+
+}  // namespace dqma::comm

@@ -1,0 +1,71 @@
+// One-way protocol for the F_2-rank predicate (paper Definition 15 /
+// Corollary 41): F2-rank^r_n(X, Y) = 1 iff rank(X + Y) < r over GF(2).
+//
+// The paper cites [LZ13] (cost min{q^{O(r^2)}, O(nr log q + n log n)} in
+// the SMP model with private randomness). We substitute a *shared-
+// randomness sketching* protocol (DESIGN.md): with public random
+// S in F_2^{r x n} and T in F_2^{n x r}, Alice sends the r x r sketch
+// S X T in the clear; Bob forms S(X+Y)T = (S X T) + (S Y T) and checks
+// rank < r. Since rank(S M T) <= rank(M), yes instances are accepted with
+// certainty (one-sided!), and if rank(M) >= r then rank(S M T) = r with
+// probability >= prod_{j>=1}(1 - 2^{-j}) ~ 0.2887, amplified by k
+// independent sketches. Cost: k r^2 classical bits ~ O(r^2 log(1/eps)) —
+// matching the q^{O(r^2)}-regime's r-dependence at exponentially smaller
+// cost, thanks to shared randomness.
+//
+// Classical bits are modeled as computational-basis qubit registers, so
+// the OneWayProtocol interface (and hence the forall_t construction of
+// Theorem 32) applies unchanged; a dishonest prover may send arbitrary
+// qubit states, which Bob measures — acceptance is then estimated by
+// internal (seeded, deterministic) sampling unless the message is within
+// numerical tolerance of a basis state, where the exact path is used.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/one_way.hpp"
+#include "util/gf2.hpp"
+
+namespace dqma::comm {
+
+using util::Gf2Matrix;
+
+class FqRankOneWayProtocol final : public OneWayProtocol {
+ public:
+  /// n: matrix dimension (inputs are n x n over GF(2), encoded row-major
+  /// as n^2-bit strings); r: rank threshold (predicate: rank(X+Y) < r);
+  /// sketches: amplification count k.
+  FqRankOneWayProtocol(int n, int r, int sketches,
+                       std::uint64_t seed = 0xf2f2);
+
+  /// Sketch count for soundness error (1 - 0.288)^k <= target.
+  static int recommended_sketches(double target = 1.0 / 3);
+
+  std::string name() const override { return "F2-rank-sketch"; }
+  int input_length() const override { return n_ * n_; }
+  int matrix_dim() const { return n_; }
+  int rank_threshold() const { return r_; }
+  int sketch_count() const { return k_; }
+
+  std::vector<int> message_dims() const override;
+  std::vector<CVec> honest_message(const Bitstring& x) const override;
+  double accept_product(const Bitstring& y,
+                        const std::vector<CVec>& message) const override;
+  bool predicate(const Bitstring& x, const Bitstring& y) const override;
+
+  /// Bob's classical verdict on explicit sketch bits (exposed for tests).
+  bool verdict_on_bits(const Bitstring& y,
+                       const std::vector<Bitstring>& sketch_bits) const;
+
+ private:
+  int n_;
+  int r_;
+  int k_;
+  std::vector<Gf2Matrix> s_;  ///< k left sketching matrices (r x n)
+  std::vector<Gf2Matrix> t_;  ///< k right sketching matrices (n x r)
+
+  Gf2Matrix sketch(const Gf2Matrix& m, int i) const;
+};
+
+}  // namespace dqma::comm

@@ -1,0 +1,140 @@
+#include "comm/hamming_protocol.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::comm {
+
+using util::Bitstring;
+using util::require;
+
+HammingOneWayProtocol::HammingOneWayProtocol(int n, int d, double delta,
+                                             int copies, std::uint64_t seed)
+    : n_(n),
+      d_(d),
+      blocks_(std::max(1, 4 * (d + 1) * (d + 1))),
+      copies_(copies),
+      scheme_(n, delta, seed ^ 0x5eed) {
+  require(n >= 1, "HammingOneWayProtocol: n must be positive");
+  require(d >= 0 && d <= n, "HammingOneWayProtocol: d out of range");
+  require(copies >= 1, "HammingOneWayProtocol: copies must be positive");
+  // Hash every index into a block with the shared seed.
+  util::Rng rng(seed);
+  masks_.assign(static_cast<std::size_t>(blocks_), Bitstring(n));
+  for (int i = 0; i < n; ++i) {
+    const int b =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(blocks_)));
+    masks_[static_cast<std::size_t>(b)].set(i, true);
+  }
+}
+
+int HammingOneWayProtocol::recommended_copies(int d, double delta,
+                                              double target) {
+  require(delta > 0.0 && delta < 1.0, "recommended_copies: bad delta");
+  require(target > 0.0 && target < 1.0, "recommended_copies: bad target");
+  // Want (d+1) * delta^{2k} <= target / 2 (the hash-collision half of the
+  // error budget is controlled by the block count).
+  int k = 1;
+  double err = (d + 1) * std::pow(delta * delta, k);
+  while (err > target / 2 && k < 64) {
+    ++k;
+    err = (d + 1) * std::pow(delta * delta, k);
+  }
+  return k;
+}
+
+std::vector<int> HammingOneWayProtocol::message_dims() const {
+  return std::vector<int>(
+      static_cast<std::size_t>(blocks_ * copies_), scheme_.dim());
+}
+
+Bitstring HammingOneWayProtocol::masked(const Bitstring& x, int b) const {
+  Bitstring out(n_);
+  const Bitstring& mask = masks_[static_cast<std::size_t>(b)];
+  for (int i = 0; i < n_; ++i) {
+    if (mask.get(i) && x.get(i)) {
+      out.set(i, true);
+    }
+  }
+  return out;
+}
+
+std::vector<CVec> HammingOneWayProtocol::honest_message(
+    const Bitstring& x) const {
+  require(x.size() == n_, "HammingOneWayProtocol: input length mismatch");
+  std::vector<CVec> message;
+  message.reserve(static_cast<std::size_t>(blocks_ * copies_));
+  for (int b = 0; b < blocks_; ++b) {
+    const CVec fp = scheme_.state(masked(x, b));
+    for (int c = 0; c < copies_; ++c) {
+      message.push_back(fp);
+    }
+  }
+  return message;
+}
+
+double HammingOneWayProtocol::accept_product(
+    const Bitstring& y, const std::vector<CVec>& message) const {
+  require(y.size() == n_, "HammingOneWayProtocol: input length mismatch");
+  require(static_cast<int>(message.size()) == blocks_ * copies_,
+          "HammingOneWayProtocol: register count mismatch");
+  if (!has_cache_ || cached_y_ != y) {
+    cached_y_ = y;
+    cached_refs_.clear();
+    cached_refs_.reserve(static_cast<std::size_t>(blocks_));
+    for (int b = 0; b < blocks_; ++b) {
+      cached_refs_.push_back(scheme_.state(masked(y, b)));
+    }
+    has_cache_ = true;
+  }
+  // Per block: probability that *all* copies pass Bob's projector.
+  std::vector<double> pass(static_cast<std::size_t>(blocks_), 1.0);
+  for (int b = 0; b < blocks_; ++b) {
+    const CVec& ref = cached_refs_[static_cast<std::size_t>(b)];
+    for (int c = 0; c < copies_; ++c) {
+      const double amp =
+          std::abs(ref.dot(message[static_cast<std::size_t>(b * copies_ + c)]));
+      pass[static_cast<std::size_t>(b)] *= amp * amp;
+    }
+  }
+  // Bob accepts iff at most d blocks are flagged (flag = any copy rejects).
+  // Poisson-binomial tail by dynamic programming over blocks.
+  std::vector<double> dp(static_cast<std::size_t>(d_) + 1, 0.0);
+  dp[0] = 1.0;
+  double overflow = 0.0;  // probability mass with > d flags
+  for (int b = 0; b < blocks_; ++b) {
+    const double q = 1.0 - pass[static_cast<std::size_t>(b)];  // flag prob
+    if (q == 0.0) {
+      continue;
+    }
+    double carry = 0.0;
+    for (int f = 0; f <= d_; ++f) {
+      const double stay = dp[static_cast<std::size_t>(f)] * (1.0 - q);
+      const double up = dp[static_cast<std::size_t>(f)] * q;
+      dp[static_cast<std::size_t>(f)] = stay + carry;
+      carry = up;
+    }
+    overflow += carry;  // mass promoted beyond d flags never comes back
+  }
+  double accept = 0.0;
+  for (const double v : dp) {
+    accept += v;
+  }
+  // Guard against rounding: accept + overflow should be ~1.
+  (void)overflow;
+  return std::min(1.0, std::max(0.0, accept));
+}
+
+bool HammingOneWayProtocol::predicate(const Bitstring& x,
+                                      const Bitstring& y) const {
+  return x.distance(y) <= d_;
+}
+
+const Bitstring& HammingOneWayProtocol::block_mask(int b) const {
+  require(b >= 0 && b < blocks_, "HammingOneWayProtocol: block out of range");
+  return masks_[static_cast<std::size_t>(b)];
+}
+
+}  // namespace dqma::comm

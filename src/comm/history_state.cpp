@@ -1,0 +1,85 @@
+#include "comm/history_state.hpp"
+
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "util/require.hpp"
+
+namespace dqma::comm {
+
+using linalg::Complex;
+using linalg::CVec;
+using util::require;
+
+namespace {
+
+/// Orthonormal basis of the column space of `v` (Gram-Schmidt, dropping
+/// columns whose residual norm is below `tol`). Returns at least one column
+/// when v is nonzero.
+CMat column_space_basis(const CMat& v, double tol) {
+  const int m = v.rows();
+  std::vector<CVec> basis;
+  for (int c = 0; c < v.cols(); ++c) {
+    CVec col(m);
+    for (int i = 0; i < m; ++i) {
+      col[i] = v(i, c);
+    }
+    for (const auto& b : basis) {
+      const Complex coeff = b.dot(col);
+      for (int i = 0; i < m; ++i) {
+        col[i] -= coeff * b[i];
+      }
+    }
+    if (col.norm() > tol) {
+      col.normalize();
+      basis.push_back(std::move(col));
+    }
+  }
+  require(!basis.empty(), "column_space_basis: zero map");
+  CMat out(m, static_cast<int>(basis.size()));
+  for (int c = 0; c < out.cols(); ++c) {
+    for (int i = 0; i < m; ++i) {
+      out(i, c) = basis[static_cast<std::size_t>(c)][i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LsdInstance lsd_from_qma_instance(const QmaOneWayInstance& inst, double tau) {
+  require(tau > 0.0 && tau < 1.0, "lsd_from_qma_instance: tau must be in (0,1)");
+  const CMat a_basis = column_space_basis(inst.alice, 1e-8);
+
+  // Bob's subspace: eigenvectors of M with eigenvalue >= tau.
+  const auto es = linalg::eigh(inst.bob_accept);
+  const int m = inst.message_dim();
+  std::vector<int> chosen;
+  for (int k = 0; k < m; ++k) {
+    if (es.values[static_cast<std::size_t>(k)] >= tau) {
+      chosen.push_back(k);
+    }
+  }
+  if (chosen.empty()) {
+    // Degenerate no-instance: take the top eigenvector so the instance stays
+    // well-formed; the distance is then automatically large.
+    chosen.push_back(m - 1);
+  }
+  CMat b_basis(m, static_cast<int>(chosen.size()));
+  for (int c = 0; c < b_basis.cols(); ++c) {
+    for (int i = 0; i < m; ++i) {
+      b_basis(i, c) = es.vectors(i, chosen[static_cast<std::size_t>(c)]);
+    }
+  }
+  return LsdInstance(std::move(a_basis), std::move(b_basis));
+}
+
+double no_instance_distance_bound(double soundness, double tau) {
+  require(soundness >= 0.0 && soundness <= 1.0,
+          "no_instance_distance_bound: soundness out of range");
+  require(tau > 0.0 && tau <= 1.0, "no_instance_distance_bound: bad tau");
+  const double sigma = std::sqrt(std::min(1.0, soundness / tau));
+  return std::sqrt(std::max(0.0, 2.0 - 2.0 * sigma));
+}
+
+}  // namespace dqma::comm

@@ -1,0 +1,32 @@
+// Reduction from QMA one-way protocols to the LSD problem: the Lemma 44
+// direction specialized to one-way protocols (see DESIGN.md's substitution
+// table for the relationship to the full Raz-Shpilka circuit-to-subspace
+// construction).
+//
+// For a protocol instance with Alice contraction V and Bob effect M:
+//   * Alice's subspace  A = range(V)  (every message she can emit);
+//   * Bob's subspace    B = span of eigenvectors of M with eigenvalue >= tau.
+// If some proof is accepted with probability close to 1, the corresponding
+// message has almost all its weight in B, so Delta(A, B) is small. If every
+// proof is accepted with probability at most s, then every unit a in A has
+// ||P_B a||^2 <= s / tau, so Delta(A, B) >= sqrt(2 - 2 sqrt(s/tau)).
+// AND-amplifying the protocol first (qma_one_way.hpp) drives the instance
+// into the LSD promise gap.
+#pragma once
+
+#include "comm/lsd.hpp"
+#include "comm/qma_one_way.hpp"
+
+namespace dqma::comm {
+
+/// Builds the LSD instance of the reduction. `tau` is the eigenvalue cutoff
+/// defining Bob's subspace (default 0.5).
+LsdInstance lsd_from_qma_instance(const QmaOneWayInstance& inst,
+                                  double tau = 0.5);
+
+/// Analytic no-instance bound: an upper bound on sigma_max(A^dagger B) when
+/// every proof accepts with probability at most `soundness`, giving the
+/// distance lower bound sqrt(2 - 2 sqrt(soundness / tau)).
+double no_instance_distance_bound(double soundness, double tau);
+
+}  // namespace dqma::comm

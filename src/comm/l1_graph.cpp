@@ -1,0 +1,90 @@
+#include "comm/l1_graph.hpp"
+
+#include "util/require.hpp"
+
+namespace dqma::comm {
+
+using util::Bitstring;
+using util::require;
+
+HypercubeMetric::HypercubeMetric(int m) : m_(m) {
+  require(m >= 1, "HypercubeMetric: dimension must be positive");
+}
+
+Bitstring HypercubeMetric::embed(const Bitstring& label) const {
+  require(label.size() == m_, "HypercubeMetric: label length mismatch");
+  return label;
+}
+
+int HypercubeMetric::distance(const Bitstring& u, const Bitstring& v) const {
+  return u.distance(v);
+}
+
+Bitstring HypercubeMetric::random_vertex(util::Rng& rng) const {
+  return Bitstring::random(m_, rng);
+}
+
+JohnsonMetric::JohnsonMetric(int m, int k) : m_(m), k_(k) {
+  require(m >= 1 && k >= 1 && k <= m, "JohnsonMetric: need 1 <= k <= m");
+}
+
+Bitstring JohnsonMetric::embed(const Bitstring& label) const {
+  require(label.size() == m_, "JohnsonMetric: label length mismatch");
+  require(label.weight() == k_, "JohnsonMetric: label is not a k-subset");
+  return label;
+}
+
+int JohnsonMetric::distance(const Bitstring& u, const Bitstring& v) const {
+  require(u.weight() == k_ && v.weight() == k_,
+          "JohnsonMetric: vertices must be k-subsets");
+  // dist = k - |A intersect B| = (Hamming distance of indicators) / 2.
+  return u.distance(v) / 2;
+}
+
+Bitstring JohnsonMetric::random_vertex(util::Rng& rng) const {
+  // Uniform k-subset via Floyd's sampling.
+  Bitstring out(m_);
+  for (int j = m_ - k_; j < m_; ++j) {
+    const int t =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(j) + 1));
+    if (out.get(t)) {
+      out.set(j, true);
+    } else {
+      out.set(t, true);
+    }
+  }
+  return out;
+}
+
+L1DistanceOneWayProtocol::L1DistanceOneWayProtocol(const L1Metric& metric,
+                                                   int d, double delta,
+                                                   std::uint64_t seed)
+    : metric_(metric), d_(d) {
+  require(d >= 0, "L1DistanceOneWayProtocol: threshold must be non-negative");
+  const int embedded_threshold = metric.scale() * d;
+  const int copies = HammingOneWayProtocol::recommended_copies(
+      embedded_threshold, delta);
+  inner_ = std::make_unique<HammingOneWayProtocol>(
+      metric.embedding_bits(), embedded_threshold, delta, copies, seed);
+}
+
+std::vector<int> L1DistanceOneWayProtocol::message_dims() const {
+  return inner_->message_dims();
+}
+
+std::vector<CVec> L1DistanceOneWayProtocol::honest_message(
+    const Bitstring& x) const {
+  return inner_->honest_message(metric_.embed(x));
+}
+
+double L1DistanceOneWayProtocol::accept_product(
+    const Bitstring& y, const std::vector<CVec>& message) const {
+  return inner_->accept_product(metric_.embed(y), message);
+}
+
+bool L1DistanceOneWayProtocol::predicate(const Bitstring& x,
+                                         const Bitstring& y) const {
+  return metric_.distance(x, y) <= d_;
+}
+
+}  // namespace dqma::comm

@@ -1,0 +1,104 @@
+// l1-graph distance predicates (paper Sec. 6.2, Definitions 10-12 and
+// Corollary 35): graphs whose path metric embeds into l1, equivalently
+// (Lemma 33) admit a constant-scale embedding into a hypercube. For such
+// graphs, deciding dist_H(u, v) <= d reduces to a Hamming-distance test on
+// the embedded bitstrings, which our one-way Hamming protocol handles.
+//
+// Implemented metrics:
+//  * HypercubeMetric — Q_m, scale 1 (distance = Hamming distance of labels);
+//  * JohnsonMetric  — J(m, k), vertices = k-subsets of [m], distance
+//    k - |A intersect B|; the indicator-vector embedding is 2-scale
+//    (Hamming distance of indicators = 2 * Johnson distance).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/hamming_protocol.hpp"
+#include "comm/one_way.hpp"
+
+namespace dqma::comm {
+
+/// A vertex-labelled l1-graph metric with a k-scale hypercube embedding.
+class L1Metric {
+ public:
+  virtual ~L1Metric() = default;
+  virtual std::string name() const = 0;
+  /// Bits of a vertex label (the metric's own encoding).
+  virtual int label_bits() const = 0;
+  /// Bits of the hypercube embedding.
+  virtual int embedding_bits() const = 0;
+  /// The embedding scale: dist_hypercube(embed(u), embed(v)) =
+  /// scale * dist_H(u, v).
+  virtual int scale() const = 0;
+  /// Embeds a vertex label into the hypercube.
+  virtual Bitstring embed(const Bitstring& label) const = 0;
+  /// Ground-truth graph distance.
+  virtual int distance(const Bitstring& u, const Bitstring& v) const = 0;
+  /// Uniformly random vertex label.
+  virtual Bitstring random_vertex(util::Rng& rng) const = 0;
+};
+
+/// The hypercube Q_m: labels are the vertices, embedding is the identity.
+class HypercubeMetric final : public L1Metric {
+ public:
+  explicit HypercubeMetric(int m);
+  std::string name() const override { return "hypercube"; }
+  int label_bits() const override { return m_; }
+  int embedding_bits() const override { return m_; }
+  int scale() const override { return 1; }
+  Bitstring embed(const Bitstring& label) const override;
+  int distance(const Bitstring& u, const Bitstring& v) const override;
+  Bitstring random_vertex(util::Rng& rng) const override;
+
+ private:
+  int m_;
+};
+
+/// The Johnson graph J(m, k): labels are m-bit indicators of weight k;
+/// dist = k - |A intersect B|; indicator embedding has scale 2.
+class JohnsonMetric final : public L1Metric {
+ public:
+  JohnsonMetric(int m, int k);
+  std::string name() const override { return "johnson"; }
+  int label_bits() const override { return m_; }
+  int embedding_bits() const override { return m_; }
+  int scale() const override { return 2; }
+  Bitstring embed(const Bitstring& label) const override;
+  int distance(const Bitstring& u, const Bitstring& v) const override;
+  Bitstring random_vertex(util::Rng& rng) const override;
+  int subset_size() const { return k_; }
+
+ private:
+  int m_;
+  int k_;
+};
+
+/// One-way protocol for dist_H(u, v) <= d on an l1-graph (Corollary 35's
+/// substrate): Hamming protocol at threshold scale * d on the embeddings.
+/// `metric` must outlive the protocol.
+class L1DistanceOneWayProtocol final : public OneWayProtocol {
+ public:
+  L1DistanceOneWayProtocol(const L1Metric& metric, int d, double delta,
+                           std::uint64_t seed = 0x11a1);
+
+  std::string name() const override {
+    return "l1-distance(" + metric_.name() + ")";
+  }
+  int input_length() const override { return metric_.label_bits(); }
+  int threshold() const { return d_; }
+
+  std::vector<int> message_dims() const override;
+  std::vector<CVec> honest_message(const Bitstring& x) const override;
+  double accept_product(const Bitstring& y,
+                        const std::vector<CVec>& message) const override;
+  bool predicate(const Bitstring& x, const Bitstring& y) const override;
+
+ private:
+  const L1Metric& metric_;
+  int d_;
+  std::unique_ptr<HammingOneWayProtocol> inner_;
+};
+
+}  // namespace dqma::comm

@@ -1,0 +1,136 @@
+#include "comm/lsd.hpp"
+
+#include <cmath>
+
+#include "comm/one_way.hpp"
+#include "linalg/eigen.hpp"
+#include "util/require.hpp"
+
+namespace dqma::comm {
+
+using linalg::Complex;
+using linalg::CVec;
+using util::require;
+
+namespace {
+
+/// Orthonormality check for columns.
+bool columns_orthonormal(const CMat& a, double tol) {
+  const CMat gram = a.adjoint() * a;
+  return gram.linf_distance(CMat::identity(a.cols())) <= tol;
+}
+
+/// Gram-Schmidt a set of random real Gaussian columns orthogonal to the
+/// columns of `avoid` (pass a 0-column matrix to skip).
+CMat random_orthonormal_columns(int m, int k, const CMat* avoid,
+                                util::Rng& rng) {
+  require(k >= 1 && m >= k, "random_orthonormal_columns: bad dimensions");
+  CMat out(m, k);
+  for (int c = 0; c < k; ++c) {
+    CVec v(m);
+    for (int i = 0; i < m; ++i) {
+      v[i] = Complex{rng.next_gaussian(), 0.0};
+    }
+    // Remove components along `avoid` and along previous columns.
+    auto deflate = [&](const CMat& basis, int upto) {
+      for (int b = 0; b < upto; ++b) {
+        Complex coeff{0.0, 0.0};
+        for (int i = 0; i < m; ++i) {
+          coeff += std::conj(basis(i, b)) * v[i];
+        }
+        for (int i = 0; i < m; ++i) {
+          v[i] -= coeff * basis(i, b);
+        }
+      }
+    };
+    if (avoid != nullptr) {
+      deflate(*avoid, avoid->cols());
+    }
+    deflate(out, c);
+    v.normalize();
+    for (int i = 0; i < m; ++i) {
+      out(i, c) = v[i];
+    }
+  }
+  return out;
+}
+
+CMat projector_from_basis(const CMat& basis) {
+  return basis * basis.adjoint();
+}
+
+}  // namespace
+
+LsdInstance::LsdInstance(CMat a_basis, CMat b_basis)
+    : a_(std::move(a_basis)), b_(std::move(b_basis)) {
+  require(a_.rows() == b_.rows(), "LsdInstance: ambient dimension mismatch");
+  require(a_.cols() >= 1 && b_.cols() >= 1, "LsdInstance: empty subspace");
+  require(columns_orthonormal(a_, 1e-8), "LsdInstance: A not orthonormal");
+  require(columns_orthonormal(b_, 1e-8), "LsdInstance: B not orthonormal");
+}
+
+double LsdInstance::distance() const {
+  const CMat cross = a_.adjoint() * b_;
+  const double sigma_sq = linalg::max_eigenvalue_psd(cross * cross.adjoint());
+  const double sigma = std::sqrt(std::max(0.0, sigma_sq));
+  return std::sqrt(std::max(0.0, 2.0 - 2.0 * std::min(1.0, sigma)));
+}
+
+LsdInstance LsdInstance::close_pair(int m, int k, double angle,
+                                    util::Rng& rng) {
+  require(m >= 2 * k, "LsdInstance::close_pair: need m >= 2k");
+  const CMat a = random_orthonormal_columns(m, k, nullptr, rng);
+  const CMat fresh = random_orthonormal_columns(m, k, &a, rng);
+  CMat b(m, k);
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  for (int col = 0; col < k; ++col) {
+    for (int i = 0; i < m; ++i) {
+      b(i, col) = c * a(i, col) + s * fresh(i, col);
+    }
+  }
+  return LsdInstance(a, b);
+}
+
+LsdInstance LsdInstance::far_pair(int m, int k, util::Rng& rng) {
+  require(m >= 2 * k, "LsdInstance::far_pair: need m >= 2k");
+  const CMat a = random_orthonormal_columns(m, k, nullptr, rng);
+  const CMat b = random_orthonormal_columns(m, k, &a, rng);
+  return LsdInstance(a, b);
+}
+
+QmaOneWayInstance lsd_qma_instance(const LsdInstance& lsd) {
+  QmaOneWayInstance inst;
+  inst.name = "LSD";
+  const CMat pa = projector_from_basis(lsd.a_basis());
+  const CMat pb = projector_from_basis(lsd.b_basis());
+  // Alice: membership filter P_A (a contraction); message space = R^m.
+  inst.alice = pa;
+  inst.bob_accept = pb;
+  // Honest proof: the top eigenvector of P_A P_B P_A (a unit vector of V1
+  // maximizing ||P_B v||; for yes instances its acceptance is
+  // sigma_max(A^T B)^2 >= (1 - Delta^2/2)^2).
+  const auto es = linalg::eigh(pa * pb * pa);
+  CVec top(lsd.ambient_dim());
+  for (int i = 0; i < lsd.ambient_dim(); ++i) {
+    top[i] = es.vectors(i, lsd.ambient_dim() - 1);
+  }
+  // Make sure the proof lies inside V1 (eigenvector of the sandwiched
+  // operator with nonzero eigenvalue always does; renormalize defensively).
+  CVec projected = pa * top;
+  if (projected.norm() > 1e-9) {
+    projected.normalize();
+  } else {
+    // Degenerate (e.g. P_A P_B P_A = 0): any vector of V1 is "optimal".
+    for (int i = 0; i < lsd.ambient_dim(); ++i) {
+      projected[i] = lsd.a_basis()(i, 0);
+    }
+  }
+  inst.honest_proof = std::move(projected);
+  inst.yes_instance = lsd.is_yes();
+  inst.gamma_qubits = qubits_for_dim(lsd.ambient_dim());
+  inst.mu_qubits = qubits_for_dim(lsd.ambient_dim());
+  return inst;
+}
+
+}  // namespace dqma::comm

@@ -1,0 +1,58 @@
+// The Linear Subspace Distance (LSD) problem of Raz and Shpilka (paper
+// Definition 16): given subspaces V1 (Alice) and V2 (Bob) of R^m promised
+// that Delta(V1, V2) <= 0.1 sqrt(2) or >= 0.9 sqrt(2), decide which.
+//
+// Delta(V1, V2) = min over unit v1 in V1, v2 in V2 of ||v1 - v2||, which
+// equals sqrt(2 - 2 sigma_max(A^T B)) for orthonormal basis matrices A, B.
+//
+// The QMA one-way protocol of Lemma 45 (cost O(log m)): Merlin sends the
+// closest unit vector v1 in V1; Alice filters through the projector P_A and
+// forwards; Bob measures {P_B, I - P_B}. Yes instances accept with
+// probability >= (1 - Delta^2/2)^2 >= 0.98; no instances accept with
+// probability <= (1 - Delta^2/2)^2 <= 0.037 for any proof.
+#pragma once
+
+#include "comm/qma_one_way.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::comm {
+
+/// An LSD instance: two subspaces of R^m (stored as real-valued complex
+/// matrices with orthonormal columns).
+class LsdInstance {
+ public:
+  /// From explicit orthonormal bases (columns). Validates orthonormality.
+  LsdInstance(CMat a_basis, CMat b_basis);
+
+  int ambient_dim() const { return a_.rows(); }
+  int dim_a() const { return a_.cols(); }
+  int dim_b() const { return b_.cols(); }
+  const CMat& a_basis() const { return a_; }
+  const CMat& b_basis() const { return b_; }
+
+  /// Delta(V1, V2) = sqrt(2 - 2 sigma_max(A^dagger B)).
+  double distance() const;
+
+  /// Promise checks with the paper's constants.
+  bool is_yes() const { return distance() <= 0.1 * kSqrt2; }
+  bool is_no() const { return distance() >= 0.9 * kSqrt2; }
+
+  /// Yes instance: V2 is V1 with every basis vector rotated by `angle`
+  /// into fresh orthogonal directions; Delta = sqrt(2 - 2 cos(angle)).
+  static LsdInstance close_pair(int m, int k, double angle, util::Rng& rng);
+
+  /// No instance: V2 orthogonal to V1 (Delta = sqrt(2)).
+  static LsdInstance far_pair(int m, int k, util::Rng& rng);
+
+  static constexpr double kSqrt2 = 1.4142135623730951;
+
+ private:
+  CMat a_;
+  CMat b_;
+};
+
+/// The Lemma 45 QMA one-way protocol for an LSD instance.
+QmaOneWayInstance lsd_qma_instance(const LsdInstance& lsd);
+
+}  // namespace dqma::comm

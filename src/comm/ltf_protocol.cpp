@@ -1,0 +1,67 @@
+#include "comm/ltf_protocol.hpp"
+
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace dqma::comm {
+
+using util::Bitstring;
+using util::require;
+
+LtfOneWayProtocol::LtfOneWayProtocol(std::vector<int> weights, int theta,
+                                     double delta, std::uint64_t seed)
+    : weights_(std::move(weights)), theta_(theta) {
+  require(!weights_.empty(), "LtfOneWayProtocol: need at least one weight");
+  for (const int w : weights_) {
+    require(w >= 0, "LtfOneWayProtocol: weights must be non-negative");
+  }
+  expanded_length_ = std::accumulate(weights_.begin(), weights_.end(), 0);
+  require(expanded_length_ >= 1, "LtfOneWayProtocol: all-zero weights");
+  require(theta >= 0 && theta <= expanded_length_,
+          "LtfOneWayProtocol: threshold out of range");
+  const int copies = HammingOneWayProtocol::recommended_copies(theta, delta);
+  inner_ = std::make_unique<HammingOneWayProtocol>(expanded_length_, theta,
+                                                   delta, copies, seed);
+}
+
+Bitstring LtfOneWayProtocol::expand(const Bitstring& x) const {
+  Bitstring out(expanded_length_);
+  int pos = 0;
+  for (int i = 0; i < input_length(); ++i) {
+    for (int rep = 0; rep < weights_[static_cast<std::size_t>(i)]; ++rep) {
+      out.set(pos++, x.get(i));
+    }
+  }
+  return out;
+}
+
+std::vector<int> LtfOneWayProtocol::message_dims() const {
+  return inner_->message_dims();
+}
+
+std::vector<CVec> LtfOneWayProtocol::honest_message(const Bitstring& x) const {
+  require(x.size() == input_length(),
+          "LtfOneWayProtocol: input length mismatch");
+  return inner_->honest_message(expand(x));
+}
+
+double LtfOneWayProtocol::accept_product(
+    const Bitstring& y, const std::vector<CVec>& message) const {
+  require(y.size() == input_length(),
+          "LtfOneWayProtocol: input length mismatch");
+  return inner_->accept_product(expand(y), message);
+}
+
+bool LtfOneWayProtocol::predicate(const Bitstring& x,
+                                  const Bitstring& y) const {
+  int weighted = 0;
+  for (int i = 0; i < input_length(); ++i) {
+    if (x.get(i) != y.get(i)) {
+      weighted += weights_[static_cast<std::size_t>(i)];
+    }
+  }
+  return weighted <= theta_;
+}
+
+}  // namespace dqma::comm

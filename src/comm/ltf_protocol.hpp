@@ -1,0 +1,48 @@
+// One-way protocol for linear-threshold XOR functions (paper Def. 14 /
+// Lemma 38): F(x, y) = f(x xor y) with f(z) = [ sum_i w_i z_i <= theta ].
+//
+// Implemented by the textbook weight-expansion reduction to the Hamming
+// protocol: repeat index i exactly w_i times, so the weighted XOR weight of
+// (x, y) equals the Hamming distance of the expanded strings. The paper's
+// O((theta/margin) log n) cost via [LZ13] is replaced by the expanded
+// Hamming cost (DESIGN.md substitution table); the predicate and the
+// one-sided completeness are exact.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/hamming_protocol.hpp"
+#include "comm/one_way.hpp"
+
+namespace dqma::comm {
+
+class LtfOneWayProtocol final : public OneWayProtocol {
+ public:
+  /// weights: per-index non-negative integer weights; theta: threshold.
+  LtfOneWayProtocol(std::vector<int> weights, int theta, double delta,
+                    std::uint64_t seed = 0x17f0);
+
+  std::string name() const override { return "LTF-weight-expansion"; }
+  int input_length() const override {
+    return static_cast<int>(weights_.size());
+  }
+  int theta() const { return theta_; }
+  int expanded_length() const { return expanded_length_; }
+
+  std::vector<int> message_dims() const override;
+  std::vector<CVec> honest_message(const Bitstring& x) const override;
+  double accept_product(const Bitstring& y,
+                        const std::vector<CVec>& message) const override;
+  bool predicate(const Bitstring& x, const Bitstring& y) const override;
+
+ private:
+  std::vector<int> weights_;
+  int theta_;
+  int expanded_length_;
+  std::unique_ptr<HammingOneWayProtocol> inner_;
+
+  Bitstring expand(const Bitstring& x) const;
+};
+
+}  // namespace dqma::comm

@@ -1,0 +1,26 @@
+#include "comm/one_way.hpp"
+
+namespace dqma::comm {
+
+int qubits_for_dim(int dim) {
+  int q = 0;
+  while ((1 << q) < dim) {
+    ++q;
+  }
+  return q;
+}
+
+int OneWayProtocol::message_qubits() const {
+  int total = 0;
+  for (const int d : message_dims()) {
+    total += qubits_for_dim(d);
+  }
+  return total;
+}
+
+double OneWayProtocol::honest_accept(const Bitstring& x,
+                                     const Bitstring& y) const {
+  return accept_product(y, honest_message(x));
+}
+
+}  // namespace dqma::comm

@@ -1,0 +1,90 @@
+#include "comm/qma_one_way.hpp"
+
+#include <cmath>
+
+#include "comm/eq_protocol.hpp"
+#include "linalg/eigen.hpp"
+#include "util/require.hpp"
+#include "util/tolerance.hpp"
+
+namespace dqma::comm {
+
+using linalg::Complex;
+using util::require;
+
+double QmaOneWayInstance::accept(const CVec& proof) const {
+  require(proof.dim() == proof_dim(), "QmaOneWayInstance: proof dim mismatch");
+  const CVec message = alice * proof;
+  const CVec image = bob_accept * message;
+  return std::max(0.0, message.dot(image).real());
+}
+
+double QmaOneWayInstance::max_accept() const {
+  const CMat op = alice.adjoint() * bob_accept * alice;
+  return linalg::max_eigenvalue_psd(op);
+}
+
+void QmaOneWayInstance::validate() const {
+  // Spectral checks are O(dim^3); skip them beyond a few hundred dimensions
+  // (they exist to catch construction bugs, which small instances surface).
+  if (proof_dim() <= 256) {
+    // V^dagger V <= I.
+    const CMat gram = alice.adjoint() * alice;
+    const auto es = linalg::eigh(gram);
+    require(es.values.front() >= -1e-8 && es.values.back() <= 1.0 + 1e-8,
+            "QmaOneWayInstance: alice map is not a contraction");
+  }
+  if (message_dim() <= 256) {
+    // 0 <= M <= I.
+    const auto em = linalg::eigh(bob_accept);
+    require(em.values.front() >= -1e-8 && em.values.back() <= 1.0 + 1e-8,
+            "QmaOneWayInstance: bob effect not in [0, I]");
+  }
+  if (yes_instance) {
+    require(honest_proof.dim() == proof_dim(),
+            "QmaOneWayInstance: honest proof dimension mismatch");
+    require(std::abs(honest_proof.norm() - 1.0) < 1e-6,
+            "QmaOneWayInstance: honest proof not normalized");
+  }
+}
+
+QmaOneWayInstance and_amplify(const QmaOneWayInstance& base, int k) {
+  require(k >= 1, "and_amplify: k must be positive");
+  QmaOneWayInstance out = base;
+  out.name = base.name + "^" + std::to_string(k);
+  for (int rep = 1; rep < k; ++rep) {
+    out.alice = out.alice.kron(base.alice);
+    out.bob_accept = out.bob_accept.kron(base.bob_accept);
+    if (base.yes_instance) {
+      out.honest_proof = out.honest_proof.tensor(base.honest_proof);
+    }
+    require(out.message_dim() <= util::kMaxExactDim,
+            "and_amplify: amplified dimension too large");
+  }
+  out.gamma_qubits = base.gamma_qubits * k;
+  out.mu_qubits = base.mu_qubits * k;
+  return out;
+}
+
+QmaOneWayInstance eq_as_qma_instance(const EqOneWayProtocol& eq,
+                                     const util::Bitstring& x,
+                                     const util::Bitstring& y) {
+  QmaOneWayInstance inst;
+  inst.name = "EQ-as-QMAcc1";
+  const CVec hx = eq.scheme().state(x);
+  const CVec hy = eq.scheme().state(y);
+  // Proof space is trivial (dim 1); Alice deterministically emits |h_x>.
+  CMat v(hx.dim(), 1);
+  for (int i = 0; i < hx.dim(); ++i) {
+    v(i, 0) = hx[i];
+  }
+  inst.alice = std::move(v);
+  inst.bob_accept = CMat::projector(hy);
+  inst.yes_instance = (x == y);
+  inst.honest_proof = CVec::basis(1, 0);
+  inst.gamma_qubits = 0;
+  inst.mu_qubits = eq.message_qubits();
+  return inst;
+}
+
+}  // namespace dqma::comm

@@ -1,0 +1,64 @@
+// QMA one-way communication protocols (paper Definition 3), specialized to
+// a *fixed input pair*: the form Algorithm 10 (Theorem 42) consumes.
+//
+// For a fixed (x, y), the protocol is fully described by
+//   * Alice's operation: a contraction V (message_dim x proof_dim,
+//     V^dagger V <= I) mapping Merlin's proof to the message; the missing
+//     weight is Alice rejecting (e.g. a subspace-membership filter);
+//   * Bob's accept effect M (0 <= M <= I on the message space);
+//   * an honest proof for yes instances.
+// Overall acceptance on proof |xi> is <xi| V^dagger M V |xi>, and the
+// worst case over all proofs is the top eigenvalue of V^dagger M V.
+#pragma once
+
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "util/bitstring.hpp"
+
+namespace dqma::comm {
+
+using linalg::CMat;
+using linalg::CVec;
+
+/// A QMA one-way protocol instance for one fixed input pair.
+struct QmaOneWayInstance {
+  std::string name;
+  CMat alice;        ///< message_dim x proof_dim contraction V
+  CMat bob_accept;   ///< accept effect M on the message space
+  CVec honest_proof; ///< optimal proof (empty vector for no instances)
+  int gamma_qubits = 0;  ///< declared proof cost
+  int mu_qubits = 0;     ///< declared message cost
+  bool yes_instance = false;
+
+  int proof_dim() const { return alice.cols(); }
+  int message_dim() const { return alice.rows(); }
+  int cost_qubits() const { return gamma_qubits + mu_qubits; }
+
+  /// Acceptance on a specific proof vector.
+  double accept(const CVec& proof) const;
+
+  /// Worst-case acceptance over all proofs: top eigenvalue of V^dagger M V.
+  double max_accept() const;
+
+  /// Validates the structural invariants (contraction, effect range, proof
+  /// normalization); throws on violation.
+  void validate() const;
+};
+
+/// AND-amplification: k-fold tensor power. For one-sided-complete instances
+/// completeness stays 1 while the soundness error decays as err^k. The
+/// proof/message dimensions grow geometrically, so k is capped by the exact
+/// engine's dimension limit.
+QmaOneWayInstance and_amplify(const QmaOneWayInstance& base, int k);
+
+/// The EQ fingerprint protocol cast as a (trivial-proof) QMA one-way
+/// instance: gamma = 0; V maps the 1-dimensional proof to |h_x>; M projects
+/// onto |h_y>. Used to exercise Algorithm 10 against a known baseline.
+class EqOneWayProtocol;  // fwd (comm/eq_protocol.hpp)
+QmaOneWayInstance eq_as_qma_instance(const EqOneWayProtocol& eq,
+                                     const util::Bitstring& x,
+                                     const util::Bitstring& y);
+
+}  // namespace dqma::comm

@@ -1,0 +1,63 @@
+#include "dma/attacks.hpp"
+
+#include <unordered_map>
+
+#include "util/require.hpp"
+
+namespace dqma::dma {
+
+using util::Bitstring;
+using util::require;
+
+std::optional<std::pair<Bitstring, Bitstring>> find_tag_collision(
+    const TagDmaEq& protocol, int budget, util::Rng& rng) {
+  const int n = protocol.n();
+  std::unordered_map<std::uint64_t, Bitstring> seen;
+  const auto probe = [&](const Bitstring& x)
+      -> std::optional<std::pair<Bitstring, Bitstring>> {
+    const Bitstring t = protocol.tag(x);
+    // Key on (tag content, tag length) via the stable hash; verify equality
+    // to rule out hash-of-tag collisions.
+    const auto it = seen.find(t.hash());
+    if (it != seen.end()) {
+      if (it->second != x && protocol.tag(it->second) == t) {
+        return std::make_pair(it->second, x);
+      }
+    } else {
+      seen.emplace(t.hash(), x);
+    }
+    return std::nullopt;
+  };
+
+  if (n <= 20) {
+    for (std::uint64_t v = 0; v < (1ULL << n); ++v) {
+      if (auto hit = probe(Bitstring::from_integer(v, n))) {
+        return hit;
+      }
+    }
+    return std::nullopt;
+  }
+  for (int i = 0; i < budget; ++i) {
+    if (auto hit = probe(Bitstring::random(n, rng))) {
+      return hit;
+    }
+  }
+  return std::nullopt;
+}
+
+double collision_attack_soundness_error(const TagDmaEq& protocol, int budget,
+                                        util::Rng& rng) {
+  const auto pair = find_tag_collision(protocol, budget, rng);
+  if (!pair) {
+    return 0.0;
+  }
+  // The colliding pair's honest proof is accepted on the no instance
+  // (x, y): every node's check passes because the tags agree.
+  const bool accepted =
+      protocol.accepts(pair->first, pair->second,
+                       protocol.honest_proof(pair->first));
+  require(accepted, "collision_attack: collision must be accepted");
+  return 1.0;
+}
+
+}  // namespace dqma::dma

@@ -1,0 +1,25 @@
+// Constructive attacks realizing the classical lower bounds of Sec. 4.2.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "dma/dma_protocols.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::dma {
+
+/// Searches for a tag collision x != y with tag(x) == tag(y): the fooling
+/// pair that makes the budgeted protocol accept a no instance with
+/// certainty (the constructive core of Lemma 23). Exhaustive for n <= 20,
+/// birthday sampling otherwise. Returns nullopt if none found within
+/// `budget` probes.
+std::optional<std::pair<Bitstring, Bitstring>> find_tag_collision(
+    const TagDmaEq& protocol, int budget, util::Rng& rng);
+
+/// Measured soundness error of a budgeted protocol: 1.0 when a collision
+/// attack exists (the spliced proof is accepted by every node), else 0.0.
+double collision_attack_soundness_error(const TagDmaEq& protocol, int budget,
+                                        util::Rng& rng);
+
+}  // namespace dqma::dma

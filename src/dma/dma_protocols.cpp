@@ -1,0 +1,139 @@
+#include "dma/dma_protocols.hpp"
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::dma {
+
+using util::require;
+using util::Rng;
+
+TagDmaEq::TagDmaEq(int n, int r) : n_(n), r_(r) {
+  require(n >= 1, "TagDmaEq: n must be positive");
+  require(r >= 2, "TagDmaEq: need at least one intermediate node");
+}
+
+std::vector<Bitstring> TagDmaEq::honest_proof(const Bitstring& x) const {
+  require(x.size() == n_, "TagDmaEq: input length mismatch");
+  return std::vector<Bitstring>(static_cast<std::size_t>(r_ - 1), tag(x));
+}
+
+std::vector<bool> TagDmaEq::node_verdicts(
+    const Bitstring& x, const Bitstring& y,
+    const std::vector<Bitstring>& proof) const {
+  require(static_cast<int>(proof.size()) == r_ - 1,
+          "TagDmaEq: proof entry count mismatch");
+  std::vector<bool> verdicts(static_cast<std::size_t>(r_) + 1, true);
+  verdicts[0] = proof.front() == tag(x);
+  for (int j = 1; j < r_ - 1; ++j) {
+    verdicts[static_cast<std::size_t>(j)] =
+        proof[static_cast<std::size_t>(j - 1)] ==
+        proof[static_cast<std::size_t>(j)];
+  }
+  // Node v_{r-1} compares its proof with v_r's check... the final check is
+  // v_r's: last tag against tag(y).
+  verdicts[static_cast<std::size_t>(r_)] = proof.back() == tag(y);
+  return verdicts;
+}
+
+bool TagDmaEq::accepts(const Bitstring& x, const Bitstring& y,
+                       const std::vector<Bitstring>& proof) const {
+  for (const bool v : node_verdicts(x, y, proof)) {
+    if (!v) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HashDmaEq::HashDmaEq(int n, int r, int bits, std::uint64_t seed)
+    : TagDmaEq(n, r), bits_(bits), seed_(seed) {
+  require(bits >= 1 && bits <= 63, "HashDmaEq: bits must be in [1, 63]");
+}
+
+Bitstring HashDmaEq::tag(const Bitstring& x) const {
+  // Seeded 64-bit mix of the content hash, truncated to `bits`.
+  Rng rng(x.hash() ^ seed_);
+  const std::uint64_t h = rng.next_u64() & ((1ULL << bits_) - 1);
+  return Bitstring::from_integer(h, bits_);
+}
+
+PrefixDmaEq::PrefixDmaEq(int n, int r, int bits)
+    : TagDmaEq(n, r), bits_(bits) {
+  require(bits >= 0 && bits <= n, "PrefixDmaEq: bits out of range");
+}
+
+Bitstring PrefixDmaEq::tag(const Bitstring& x) const {
+  return x.prefix(bits_);
+}
+
+ZeroWindowDmaEq::ZeroWindowDmaEq(int n, int r, int gap_start)
+    : n_(n), r_(r), gap_start_(gap_start) {
+  require(n >= 1, "ZeroWindowDmaEq: n must be positive");
+  require(r >= 4, "ZeroWindowDmaEq: path too short for a 2-node gap");
+  require(gap_start >= 1 && gap_start + 1 <= r - 1,
+          "ZeroWindowDmaEq: gap out of range");
+}
+
+long long ZeroWindowDmaEq::total_proof_bits() const {
+  return static_cast<long long>(n_) * (r_ - 1 - 2);
+}
+
+std::vector<Bitstring> ZeroWindowDmaEq::honest_proof(const Bitstring& x) const {
+  require(x.size() == n_, "ZeroWindowDmaEq: input length mismatch");
+  std::vector<Bitstring> proof;
+  for (int j = 1; j <= r_ - 1; ++j) {
+    proof.push_back(has_proof(j) ? x : Bitstring(0));
+  }
+  return proof;
+}
+
+std::vector<bool> ZeroWindowDmaEq::node_verdicts(
+    const Bitstring& x, const Bitstring& y,
+    const std::vector<Bitstring>& proof) const {
+  require(static_cast<int>(proof.size()) == r_ - 1,
+          "ZeroWindowDmaEq: proof entry count mismatch");
+  std::vector<bool> verdicts(static_cast<std::size_t>(r_) + 1, true);
+  const auto entry = [&](int j) -> const Bitstring& {
+    return proof[static_cast<std::size_t>(j - 1)];
+  };
+  // v_0 checks against v_1 if v_1 carries a proof.
+  if (has_proof(1)) {
+    verdicts[0] = entry(1) == x;
+  }
+  // Adjacent checks where both sides carry proofs.
+  for (int j = 1; j <= r_ - 2; ++j) {
+    if (has_proof(j) && has_proof(j + 1)) {
+      verdicts[static_cast<std::size_t>(j)] = entry(j) == entry(j + 1);
+    }
+  }
+  if (has_proof(r_ - 1)) {
+    verdicts[static_cast<std::size_t>(r_)] = entry(r_ - 1) == y;
+  }
+  return verdicts;
+}
+
+bool ZeroWindowDmaEq::accepts(const Bitstring& x, const Bitstring& y,
+                              const std::vector<Bitstring>& proof) const {
+  for (const bool v : node_verdicts(x, y, proof)) {
+    if (!v) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Bitstring> ZeroWindowDmaEq::splice_attack(
+    const Bitstring& x, const Bitstring& y) const {
+  std::vector<Bitstring> proof;
+  for (int j = 1; j <= r_ - 1; ++j) {
+    if (!has_proof(j)) {
+      proof.push_back(Bitstring(0));
+    } else {
+      proof.push_back(j < gap_start_ ? x : y);
+    }
+  }
+  return proof;
+}
+
+}  // namespace dqma::dma

@@ -1,0 +1,131 @@
+// Classical dMA protocols for EQ on a path — the baselines of the paper's
+// classical lower bounds (Sec. 4.2: Lemma 23, Proposition 24, Corollary 25).
+//
+// All protocols share one shape: the prover writes a per-node tag; v_0
+// checks the first tag against tag(x), adjacent nodes cross-check equality,
+// v_r checks the last tag against tag(y). The trivial protocol tags with
+// the whole input (sound, Theta(rn) total bits); the budgeted variants tag
+// with fewer bits and are broken by the constructive attacks in
+// dma/attacks.hpp exactly as the lower-bound proofs predict.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::dma {
+
+using util::Bitstring;
+
+/// Deterministic 1-round dMA protocol for EQ on the path v_0..v_r where the
+/// proof at every intermediate node is `tag(input)`.
+class TagDmaEq {
+ public:
+  virtual ~TagDmaEq() = default;
+
+  TagDmaEq(int n, int r);
+
+  int n() const { return n_; }
+  int r() const { return r_; }
+
+  /// Bits of one node's proof.
+  virtual int proof_bits() const = 0;
+
+  /// The tag of an input (honest proof content).
+  virtual Bitstring tag(const Bitstring& x) const = 0;
+
+  /// Total proof bits over all nodes.
+  long long total_proof_bits() const {
+    return static_cast<long long>(proof_bits()) * std::max(0, r_ - 1);
+  }
+
+  /// Honest proof: tag(x) at every intermediate node.
+  std::vector<Bitstring> honest_proof(const Bitstring& x) const;
+
+  /// Per-node verdicts (v_0..v_r) for inputs and an arbitrary proof.
+  std::vector<bool> node_verdicts(const Bitstring& x, const Bitstring& y,
+                                  const std::vector<Bitstring>& proof) const;
+
+  /// True iff every node accepts.
+  bool accepts(const Bitstring& x, const Bitstring& y,
+               const std::vector<Bitstring>& proof) const;
+
+ private:
+  int n_;
+  int r_;
+};
+
+/// Sound baseline: the tag is the whole input (proof_bits = n).
+class TrivialDmaEq final : public TagDmaEq {
+ public:
+  TrivialDmaEq(int n, int r) : TagDmaEq(n, r) {}
+  int proof_bits() const override { return n(); }
+  Bitstring tag(const Bitstring& x) const override { return x; }
+};
+
+/// Budgeted protocol: the tag is a seeded `bits`-bit hash of the input.
+/// For bits < n collisions exist and the collision attack achieves
+/// soundness error 1 (Lemma 23 made constructive).
+class HashDmaEq final : public TagDmaEq {
+ public:
+  HashDmaEq(int n, int r, int bits, std::uint64_t seed = 0xdead);
+  int proof_bits() const override { return bits_; }
+  Bitstring tag(const Bitstring& x) const override;
+
+ private:
+  int bits_;
+  std::uint64_t seed_;
+};
+
+/// Budgeted protocol tagging with the first `bits` input bits; collisions
+/// are trivially constructible (any two strings sharing a prefix).
+class PrefixDmaEq final : public TagDmaEq {
+ public:
+  PrefixDmaEq(int n, int r, int bits);
+  int proof_bits() const override { return bits_; }
+  Bitstring tag(const Bitstring& x) const override;
+
+ private:
+  int bits_;
+};
+
+/// The "proof gap" protocol of Lemma 53's classical analog: full n-bit tags
+/// everywhere EXCEPT two consecutive nodes (gap_start, gap_start+1), which
+/// receive nothing. With 1-round verification, no check spans the gap, so
+/// the spliced proof (tags of x on the left, tags of y on the right) is
+/// accepted by every node even when x != y.
+class ZeroWindowDmaEq {
+ public:
+  ZeroWindowDmaEq(int n, int r, int gap_start);
+
+  int n() const { return n_; }
+  int r() const { return r_; }
+  int gap_start() const { return gap_start_; }
+
+  long long total_proof_bits() const;
+
+  /// proof[j] for j = 1..r-1 (index j-1); entries inside the gap must be
+  /// empty bitstrings.
+  std::vector<Bitstring> honest_proof(const Bitstring& x) const;
+
+  std::vector<bool> node_verdicts(const Bitstring& x, const Bitstring& y,
+                                  const std::vector<Bitstring>& proof) const;
+  bool accepts(const Bitstring& x, const Bitstring& y,
+               const std::vector<Bitstring>& proof) const;
+
+  /// The Lemma 53 splice: x-tags left of the gap, y-tags right of it.
+  std::vector<Bitstring> splice_attack(const Bitstring& x,
+                                       const Bitstring& y) const;
+
+ private:
+  int n_;
+  int r_;
+  int gap_start_;
+
+  bool has_proof(int j) const { return j != gap_start_ && j != gap_start_ + 1; }
+};
+
+}  // namespace dqma::dma

@@ -1,0 +1,71 @@
+#include "dqma/circuit_sim.hpp"
+
+#include <cmath>
+
+#include "quantum/state.hpp"
+#include "quantum/unitary.hpp"
+#include "util/require.hpp"
+#include "util/tolerance.hpp"
+
+namespace dqma::protocol {
+
+using linalg::CMat;
+using linalg::CVec;
+using quantum::PureState;
+using quantum::RegisterShape;
+using util::require;
+
+MonteCarloEstimate circuit_eq_path_accept(const CVec& source,
+                                          const CVec& target,
+                                          const PathProof& proof,
+                                          util::Rng& rng, int samples) {
+  const int d = source.dim();
+  require(target.dim() == d, "circuit_eq_path_accept: dimension mismatch");
+  require(2 * d * d <= util::kMaxExactDim,
+          "circuit_eq_path_accept: dimension too large for circuit simulation");
+  for (const auto& v : proof.reg0) {
+    require(v.dim() == d, "circuit_eq_path_accept: proof dimension mismatch");
+  }
+  for (const auto& v : proof.reg1) {
+    require(v.dim() == d, "circuit_eq_path_accept: proof dimension mismatch");
+  }
+
+  // The SWAP-test circuit operators (Algorithm 1), built once.
+  const CMat h = quantum::hadamard();
+  const CMat cswap = quantum::select_unitary(
+      {CMat::identity(d * d), quantum::swap_unitary(d)});
+
+  const int inner = proof.intermediate_nodes();
+  const auto run_once = [&]() -> double {
+    // `received` travels down the chain; it is always a pure register
+    // disjoint from previously tested pairs.
+    CVec received = source;
+    for (int j = 0; j < inner; ++j) {
+      const bool coin = rng.next_bool(0.5);  // symmetrization (step 3)
+      const CVec& kept =
+          coin ? proof.reg1[static_cast<std::size_t>(j)]
+               : proof.reg0[static_cast<std::size_t>(j)];
+      const CVec& sent =
+          coin ? proof.reg0[static_cast<std::size_t>(j)]
+               : proof.reg1[static_cast<std::size_t>(j)];
+      // Algorithm 1 verbatim: ancilla |0>, H, controlled-SWAP, H, measure.
+      PureState psi = PureState::single(CVec::basis(2, 0))
+                          .tensor(PureState::single(received))
+                          .tensor(PureState::single(kept));
+      psi.apply(h, {0});
+      psi.apply(cswap, {0, 1, 2});
+      psi.apply(h, {0});
+      if (psi.measure_register(0, rng) != 0) {
+        return 0.0;  // this node rejects
+      }
+      received = sent;
+    }
+    // v_r: projective measurement {|h_y><h_y|, I - ...}.
+    const double p = std::norm(target.dot(received));
+    return rng.next_bool(p) ? 1.0 : 0.0;
+  };
+
+  return estimate(run_once, samples);
+}
+
+}  // namespace dqma::protocol

@@ -1,0 +1,35 @@
+// Circuit-level simulation of the EQ path protocol (Algorithm 3): one
+// repetition executed as an actual quantum circuit on a state-vector
+// machine — ancilla + Hadamard + controlled-SWAP + measurement for every
+// SWAP test (Algorithm 1 verbatim), explicit symmetrization coins, and a
+// projective final measurement.
+//
+// This is the third, fully independent implementation of the protocol's
+// semantics (next to the closed-form coin DP of runner.hpp and the
+// acceptance-operator engine of exact_runner.hpp); the three are
+// cross-checked in tests. It is Monte-Carlo (samples coins and measurement
+// outcomes) and exponential in the register count, so it runs on small
+// fingerprint dimensions only — exactly its purpose.
+#pragma once
+
+#include "dqma/model.hpp"
+#include "dqma/runner.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::protocol {
+
+/// Simulates `samples` runs of one repetition of Algorithm 3 at circuit
+/// level and returns the empirical acceptance probability.
+///
+/// * `source`: the state v_0 sends (e.g. |h_x>);
+/// * `target`: v_r's reference state (accept projector |h_y><h_y|);
+/// * `proof`: the intermediate nodes' registers (product proof).
+/// The total simulated system holds 2(r-1)+2 registers of the proof
+/// dimension plus one ancilla qubit (reused); dimensions are capped by the
+/// exact-engine limit.
+MonteCarloEstimate circuit_eq_path_accept(const linalg::CVec& source,
+                                          const linalg::CVec& target,
+                                          const PathProof& proof,
+                                          util::Rng& rng, int samples);
+
+}  // namespace dqma::protocol

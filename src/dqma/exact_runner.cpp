@@ -1,0 +1,159 @@
+#include "dqma/exact_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "quantum/density.hpp"
+#include "quantum/random.hpp"
+#include "quantum/unitary.hpp"
+#include "util/require.hpp"
+#include "util/tolerance.hpp"
+
+namespace dqma::protocol {
+
+using linalg::Complex;
+using quantum::RegisterShape;
+using util::require;
+
+namespace {
+
+/// Tensor product of a list of register states (register 0 most
+/// significant, matching RegisterShape's row-major convention).
+CVec tensor_all(const std::vector<CVec>& regs) {
+  require(!regs.empty(), "tensor_all: empty register list");
+  CVec out = regs.front();
+  for (std::size_t k = 1; k < regs.size(); ++k) {
+    out = out.tensor(regs[k]);
+  }
+  return out;
+}
+
+}  // namespace
+
+ExactEqPathAnalyzer::ExactEqPathAnalyzer(CVec hx, CVec hy, int r)
+    : r_(r), d_(hx.dim()) {
+  require(r >= 1, "ExactEqPathAnalyzer: path length must be >= 1");
+  require(hx.dim() == hy.dim(), "ExactEqPathAnalyzer: state dim mismatch");
+  require(d_ >= 2, "ExactEqPathAnalyzer: need dimension >= 2");
+
+  const int regs = 2 * std::max(0, r_ - 1);
+  long long dim = 1;
+  for (int k = 0; k < regs; ++k) {
+    dim *= d_;
+    require(dim <= util::kMaxExactDim,
+            "ExactEqPathAnalyzer: proof space exceeds exact-engine cap");
+  }
+  shape_ = RegisterShape(std::vector<int>(static_cast<std::size_t>(regs), d_));
+  build_operator(hx, hy);
+}
+
+void ExactEqPathAnalyzer::build_operator(const CVec& hx, const CVec& hy) {
+  const long long dim = shape_.total_dim();
+  if (r_ == 1) {
+    // No intermediate nodes: v_0 sends |h_x>, v_1 measures {|h_y><h_y|}.
+    op_ = CMat(1, 1);
+    const double amp = std::abs(hy.dot(hx));
+    op_(0, 0) = Complex{amp * amp, 0.0};
+    return;
+  }
+
+  // Local effects.
+  // First test at v_1 with the fixed |h_x| slot contracted:
+  // <h_x| (I + SWAP)/2 |h_x> = (I + |h_x><h_x|)/2 acting on kept_1.
+  CMat first = CMat::identity(d_);
+  first += CMat::projector(hx);
+  first *= Complex{0.5, 0.0};
+  // Middle swap-test effect on a register pair.
+  CMat swap_effect = quantum::swap_unitary(d_);
+  swap_effect += CMat::identity(d_ * d_);
+  swap_effect *= Complex{0.5, 0.0};
+  // Final measurement on sent_{r-1}.
+  const CMat final_effect = CMat::projector(hy);
+
+  const int inner = r_ - 1;
+  CMat acc(static_cast<int>(dim), static_cast<int>(dim));
+  const int patterns = 1 << inner;
+  for (int pattern = 0; pattern < patterns; ++pattern) {
+    const auto kept = [&](int j) {  // j = 1..inner
+      const int bit = (pattern >> (j - 1)) & 1;
+      return 2 * (j - 1) + bit;
+    };
+    const auto sent = [&](int j) {
+      const int bit = (pattern >> (j - 1)) & 1;
+      return 2 * (j - 1) + (1 - bit);
+    };
+    CMat term = quantum::embed_operator(shape_, first, {kept(1)});
+    for (int j = 2; j <= inner; ++j) {
+      term = term *
+             quantum::embed_operator(shape_, swap_effect, {sent(j - 1), kept(j)});
+    }
+    term = term * quantum::embed_operator(shape_, final_effect, {sent(inner)});
+    acc += term;
+  }
+  acc *= Complex{1.0 / static_cast<double>(patterns), 0.0};
+  op_ = std::move(acc);
+}
+
+double ExactEqPathAnalyzer::worst_case_accept() const {
+  return std::min(1.0, linalg::max_eigenvalue_psd(op_));
+}
+
+double ExactEqPathAnalyzer::product_accept(const std::vector<CVec>& regs) const {
+  require(static_cast<int>(regs.size()) == shape_.register_count(),
+          "ExactEqPathAnalyzer: register count mismatch");
+  if (shape_.register_count() == 0) {
+    return op_(0, 0).real();
+  }
+  const CVec psi = tensor_all(regs);
+  return std::max(0.0, psi.dot(op_ * psi).real());
+}
+
+double ExactEqPathAnalyzer::best_product_accept(util::Rng& rng, int restarts,
+                                                int sweeps) const {
+  if (shape_.register_count() == 0) {
+    return op_(0, 0).real();
+  }
+  const int nregs = shape_.register_count();
+  double best = 0.0;
+  for (int restart = 0; restart < restarts; ++restart) {
+    std::vector<CVec> regs;
+    regs.reserve(static_cast<std::size_t>(nregs));
+    for (int k = 0; k < nregs; ++k) {
+      regs.push_back(quantum::haar_state(d_, rng));
+    }
+    double value = product_accept(regs);
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      for (int k = 0; k < nregs; ++k) {
+        // Conditional operator M_k(i, j) = <psi_-k, e_i| O |psi_-k, e_j>.
+        CMat conditional(d_, d_);
+        std::vector<CVec> probe = regs;
+        for (int j = 0; j < d_; ++j) {
+          probe[static_cast<std::size_t>(k)] = CVec::basis(d_, j);
+          const CVec image = op_ * tensor_all(probe);
+          for (int i = 0; i < d_; ++i) {
+            probe[static_cast<std::size_t>(k)] = CVec::basis(d_, i);
+            conditional(i, j) = tensor_all(probe).dot(image);
+          }
+          probe[static_cast<std::size_t>(k)] = regs[static_cast<std::size_t>(k)];
+        }
+        const auto es = linalg::eigh(conditional);
+        CVec top(d_);
+        for (int i = 0; i < d_; ++i) {
+          top[i] = es.vectors(i, d_ - 1);
+        }
+        regs[static_cast<std::size_t>(k)] = std::move(top);
+      }
+      const double next = product_accept(regs);
+      if (next <= value + 1e-12) {
+        value = std::max(value, next);
+        break;
+      }
+      value = next;
+    }
+    best = std::max(best, value);
+  }
+  return std::min(1.0, best);
+}
+
+}  // namespace dqma::protocol

@@ -1,0 +1,71 @@
+// Exact worst-case prover analysis for the EQ path protocol (Algorithm 3)
+// on small instances.
+//
+// The protocol's acceptance probability is linear in the proof density
+// operator: Pr[accept | rho] = tr(O rho) for the *acceptance operator*
+//
+//   O = E_coins  (<h_x| tensor I)  ProdTests(coins)  (|h_x> tensor I)
+//
+// where the coin average runs over the 2^{r-1} symmetrization patterns and
+// ProdTests is the tensor product of the local accept effects (the tests
+// act on pairwise-disjoint registers, so their product is a POVM element).
+// Hence:
+//   * worst-case acceptance over ALL (entangled) proofs = lambda_max(O);
+//   * worst-case over product proofs (dQMA_sep,sep provers) is computed by
+//     alternating optimization, which at each step maximizes the Rayleigh
+//     quotient of a single register's conditional operator.
+// Comparing the two quantifies how much entangled provers gain — the
+// question behind the paper's Sec. 8 lower bounds.
+//
+// Dimensions: the proof space has dimension d^{2(r-1)} for fingerprint
+// stand-ins of dimension d; constructors enforce the exact-engine cap.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "quantum/state.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::protocol {
+
+using linalg::CMat;
+using linalg::CVec;
+
+/// Exact analyzer for one repetition of Algorithm 3 with endpoint states
+/// |h_x> = `hx`, |h_y> = `hy` (any equal dimension d >= 2) on the path of
+/// length `r`.
+class ExactEqPathAnalyzer {
+ public:
+  ExactEqPathAnalyzer(CVec hx, CVec hy, int r);
+
+  /// The full acceptance operator O on the proof space.
+  const CMat& acceptance_operator() const { return op_; }
+
+  /// Proof-space dimension d^{2(r-1)}.
+  long long proof_dim() const { return static_cast<long long>(op_.rows()); }
+
+  /// max over all (entangled) proofs of Pr[accept].
+  double worst_case_accept() const;
+
+  /// max over product proofs, by alternating optimization with `restarts`
+  /// random restarts. A lower bound on worst_case_accept() that is tight in
+  /// practice for these operators.
+  double best_product_accept(util::Rng& rng, int restarts = 8,
+                             int sweeps = 60) const;
+
+  /// Acceptance of an explicit product proof (one state per register, in
+  /// order R_{1,0}, R_{1,1}, ..., R_{r-1,0}, R_{r-1,1}).
+  double product_accept(const std::vector<CVec>& regs) const;
+
+ private:
+  int r_;
+  int d_;
+  quantum::RegisterShape shape_;  // 2(r-1) registers of dimension d
+  CMat op_;
+
+  void build_operator(const CVec& hx, const CVec& hy);
+};
+
+}  // namespace dqma::protocol

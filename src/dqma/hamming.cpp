@@ -1,0 +1,15 @@
+#include "dqma/hamming.hpp"
+
+namespace dqma::protocol {
+
+HammingGraphProtocol::HammingGraphProtocol(const network::Graph& graph,
+                                           std::vector<int> terminals, int n,
+                                           int d, double delta, int reps,
+                                           std::uint64_t seed)
+    : one_way_(std::make_unique<comm::HammingOneWayProtocol>(
+          n, d, delta,
+          comm::HammingOneWayProtocol::recommended_copies(d, delta), seed)),
+      forall_(std::make_unique<ForallFProtocol>(graph, std::move(terminals),
+                                                *one_way_, reps)) {}
+
+}  // namespace dqma::protocol

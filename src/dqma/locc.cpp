@@ -1,0 +1,38 @@
+#include "dqma/locc.hpp"
+
+#include "dqma/eq_path.hpp"
+#include "util/require.hpp"
+
+namespace dqma::protocol {
+
+using util::require;
+
+LoccCosts locc_conversion_costs(const CostProfile& source, int dmax) {
+  require(dmax >= 1, "locc_conversion_costs: dmax must be positive");
+  LoccCosts out;
+  const long long s_m = source.local_message_qubits;
+  const long long s_tm = source.total_message_qubits;
+  out.local_proof_qubits =
+      source.local_proof_qubits + static_cast<long long>(dmax) * s_m * s_tm;
+  out.local_message_bits = s_m * s_tm;
+  return out;
+}
+
+LoccCosts corollary21_eq_costs(int n, int r, int node_count, int dmax,
+                               double delta) {
+  require(node_count >= 2, "corollary21_eq_costs: need at least two nodes");
+  // Source: the Theorem 19 protocol at the paper's repetition count. Its
+  // total message size scales with the node count (every non-root node
+  // sends once per repetition).
+  const int reps = EqPathProtocol::paper_reps(r);
+  const long long q = EqPathProtocol::fingerprint_qubits(n, delta);
+  CostProfile source;
+  source.local_proof_qubits = 2LL * reps * q;
+  source.total_proof_qubits = source.local_proof_qubits * node_count;
+  source.local_message_qubits = static_cast<long long>(reps) * q;
+  source.total_message_qubits =
+      source.local_message_qubits * (node_count - 1);
+  return locc_conversion_costs(source, dmax);
+}
+
+}  // namespace dqma::protocol

@@ -1,0 +1,37 @@
+// LOCC dQMA conversion (paper Lemma 20, from [GMN23a], and Corollary 21):
+// any dQMA protocol can be run with CLASSICAL communication between the
+// verifiers, at the cost of extra prover-supplied registers.
+//
+// Lemma 20's overheads, for a source protocol with local proof size s_c,
+// local message size s_m, and s_tm total verification qubits on a network
+// of maximum degree dmax:
+//   local proof   ->  s_c + O(dmax * s_m * s_tm)
+//   local message ->  O(s_m * s_tm)
+// Corollary 21 instantiates this with our Theorem 19 EQ protocol, giving
+// local proof O(dmax |V| r^4 log^2 n) and message O(|V| r^4 log^2 n).
+//
+// This module provides the cost accounting (the executable LOCC simulation
+// itself belongs to [GMN23a]; we reproduce the costs the paper reports).
+#pragma once
+
+#include "dqma/model.hpp"
+
+namespace dqma::protocol {
+
+/// Costs of the Lemma 20 conversion applied to a source protocol.
+struct LoccCosts {
+  long long local_proof_qubits = 0;
+  long long local_message_bits = 0;  ///< communication is classical
+};
+
+/// Applies Lemma 20's overhead formulas. `total_verification_qubits` is
+/// s_tm (the total number of qubits sent in the source's verification
+/// stage, i.e. its total message size).
+LoccCosts locc_conversion_costs(const CostProfile& source, int dmax);
+
+/// Corollary 21: the LOCC EQ protocol on a network with `node_count`
+/// nodes, radius r, max degree dmax, inputs of n bits.
+LoccCosts corollary21_eq_costs(int n, int r, int node_count, int dmax,
+                               double delta = 0.3);
+
+}  // namespace dqma::protocol

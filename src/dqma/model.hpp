@@ -1,0 +1,44 @@
+// Shared types of the dQMA protocol implementations: cost accounting and
+// proof containers for the fast (product-state) runner.
+//
+// Conventions
+// -----------
+// * Costs are in qubits, following the paper's Definition 6: local proof
+//   size = max over nodes, total proof size = sum over nodes, and likewise
+//   for messages over edges.
+// * The fast runner represents proofs as *products of pure states*, one per
+//   proof register. This is exactly the honest-prover regime (the paper's
+//   protocols are dQMA_sep) and the dQMA_sep,sep adversary regime; entangled
+//   adversaries are handled by the exact engine (exact_runner.hpp) on small
+//   instances.
+#pragma once
+
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace dqma::protocol {
+
+using linalg::CVec;
+
+/// Qubit cost profile of a protocol instance (Definition 6 accounting).
+struct CostProfile {
+  long long local_proof_qubits = 0;    ///< max_u c(u)
+  long long total_proof_qubits = 0;    ///< sum_u c(u)
+  long long local_message_qubits = 0;  ///< max_{v,w} m(v,w)
+  long long total_message_qubits = 0;  ///< sum_{v,w} m(v,w)
+};
+
+/// One repetition of a path proof (Algorithm 3): the two fingerprint-sized
+/// registers R_{j,0}, R_{j,1} of every intermediate node v_j, j = 1..r-1.
+struct PathProof {
+  std::vector<CVec> reg0;  ///< R_{j,0}, index j-1
+  std::vector<CVec> reg1;  ///< R_{j,1}, index j-1
+
+  int intermediate_nodes() const { return static_cast<int>(reg0.size()); }
+};
+
+/// k independent repetitions (Algorithm 4).
+using PathProofReps = std::vector<PathProof>;
+
+}  // namespace dqma::protocol

@@ -1,0 +1,101 @@
+#include "dqma/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dqma/attacks.hpp"
+#include "dqma/runner.hpp"
+#include "qtest/swap_test.hpp"
+#include "util/require.hpp"
+
+namespace dqma::protocol {
+
+using linalg::CVec;
+using util::require;
+
+namespace {
+
+double noisy_chain(const EqPathProtocol& protocol, const Bitstring& x,
+                   const Bitstring& y, const PathProofReps& proof,
+                   double noise) {
+  require(noise >= 0.0 && noise <= 1.0, "noisy_chain: noise out of range");
+  require(protocol.mode() == EqPathMode::kSymmetrized,
+          "noisy_chain: noise model implemented for the symmetrized protocol");
+  const auto& scheme = protocol.scheme();
+  const CVec hx = scheme.state(x);
+  const CVec hy = scheme.state(y);
+  const double d = static_cast<double>(scheme.dim());
+  const double depol_swap = 0.5 + 0.5 / d;
+  const auto pair_test = [&](const CVec& a, const CVec& b) {
+    return (1.0 - noise) * qtest::swap_test_accept(a, b) + noise * depol_swap;
+  };
+  const auto final_test = [&](const CVec& received) {
+    const double amp = std::abs(hy.dot(received));
+    return (1.0 - noise) * amp * amp + noise / d;
+  };
+  double accept = 1.0;
+  for (const auto& rep : proof) {
+    accept *= chain_accept(hx, rep, pair_test, final_test);
+    if (accept == 0.0) {
+      break;
+    }
+  }
+  return accept;
+}
+
+}  // namespace
+
+double noisy_accept_probability(const EqPathProtocol& protocol,
+                                const Bitstring& x, const Bitstring& y,
+                                const PathProofReps& proof, double noise) {
+  require(static_cast<int>(proof.size()) == protocol.reps(),
+          "noisy_accept_probability: repetition count mismatch");
+  return noisy_chain(protocol, x, y, proof, noise);
+}
+
+double noisy_completeness(const EqPathProtocol& protocol, const Bitstring& x,
+                          double noise) {
+  return noisy_accept_probability(protocol, x, x, protocol.honest_proof(x),
+                                  noise);
+}
+
+double noisy_attack_accept(const EqPathProtocol& protocol, const Bitstring& x,
+                           const Bitstring& y, double noise) {
+  const CVec hx = protocol.scheme().state(x);
+  const CVec hy = protocol.scheme().state(y);
+  const int inner = std::max(0, protocol.r() - 1);
+  double best_single = 0.0;
+  const auto single = [&](const PathProof& attack) {
+    return noisy_chain(protocol, x, y, PathProofReps{attack}, noise);
+  };
+  best_single = single(rotation_attack(hx, hy, inner));
+  for (int cut = 0; cut <= inner; ++cut) {
+    best_single = std::max(best_single, single(step_attack(hx, hy, inner, cut)));
+  }
+  return std::pow(best_single, protocol.reps());
+}
+
+double noise_threshold(const EqPathProtocol& protocol, const Bitstring& x,
+                       const Bitstring& y, double tol) {
+  require(tol > 0.0, "noise_threshold: tolerance must be positive");
+  const auto separated = [&](double p) {
+    return noisy_completeness(protocol, x, p) >= 2.0 / 3.0 &&
+           noisy_attack_accept(protocol, x, y, p) <= 1.0 / 3.0;
+  };
+  if (!separated(0.0)) {
+    return 0.0;
+  }
+  double lo = 0.0;
+  double hi = 1.0;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (separated(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace dqma::protocol

@@ -1,0 +1,46 @@
+// Failure injection: the EQ path protocol under depolarizing noise on the
+// verifier-to-verifier channels.
+//
+// The paper assumes noiseless communication; a practical deployment would
+// not have it. We model each forwarded register passing through a
+// depolarizing channel D_p(rho) = (1-p) rho + p I/d, which admits exact
+// closed forms for every test in the protocol:
+//   * SWAP test on (noisy received, clean kept):
+//       (1-p) * swap(a, b) + p * (1/2 + 1/(2d));
+//   * final projector |h_y><h_y| on a noisy register:
+//       (1-p) |<h_y|b>|^2 + p/d.
+// Depolarization damps every test statistic toward its mixed-state
+// baseline (1/2 + 1/2d for SWAP tests, 1/d for the final projector), so it
+// hurts whichever side relies on near-deterministic outcomes — primarily
+// completeness, which needs ALL r*k tests to accept: it decays as
+// ~(1 - p/2)^{r k}, making the paper's k = Theta(r^2) repetition count a
+// genuine robustness liability. noise_threshold() reports the largest p at
+// which the protocol still separates completeness >= 2/3 from attacked
+// soundness <= 1/3 at a given repetition count.
+#pragma once
+
+#include "dqma/eq_path.hpp"
+
+namespace dqma::protocol {
+
+/// Exact acceptance of a product proof under depolarizing noise of
+/// strength p on every forwarded register (k repetitions multiply).
+double noisy_accept_probability(const EqPathProtocol& protocol,
+                                const Bitstring& x, const Bitstring& y,
+                                const PathProofReps& proof, double noise);
+
+/// Completeness of the honest proof under noise.
+double noisy_completeness(const EqPathProtocol& protocol, const Bitstring& x,
+                          double noise);
+
+/// Best implemented product attack (rotation + step cuts) under noise.
+double noisy_attack_accept(const EqPathProtocol& protocol, const Bitstring& x,
+                           const Bitstring& y, double noise);
+
+/// Largest noise level (binary search, resolution `tol`) at which
+/// completeness >= 2/3 AND the attack acceptance <= 1/3 simultaneously;
+/// returns 0 if the protocol fails even noiselessly.
+double noise_threshold(const EqPathProtocol& protocol, const Bitstring& x,
+                       const Bitstring& y, double tol = 1e-3);
+
+}  // namespace dqma::protocol

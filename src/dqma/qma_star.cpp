@@ -1,0 +1,135 @@
+#include "dqma/qma_star.hpp"
+
+#include <algorithm>
+
+#include "linalg/eigen.hpp"
+#include "quantum/random.hpp"
+#include "util/require.hpp"
+
+namespace dqma::protocol {
+
+using linalg::CMat;
+using linalg::Complex;
+using linalg::CVec;
+using util::require;
+
+QmaStarInstance::QmaStarInstance(const ExactEqPathAnalyzer& analyzer, int cut,
+                                 int register_qubits) {
+  op_ = analyzer.acceptance_operator();
+  const long long total = analyzer.proof_dim();
+  // The analyzer's registers are ordered by node: R_{1,0}, R_{1,1}, ...,
+  // so Alice's share (nodes 1..cut) is the most-significant block of the
+  // flat index — no reordering needed.
+  require(register_qubits >= 1, "QmaStarInstance: register qubits");
+  // Infer the per-register dimension from the operator: total = d^{2*inner}.
+  long long inner = 0;
+  long long dim = 1;
+  long long d = 2;
+  // Find d and inner such that d^{2*inner} == total, preferring the
+  // analyzer's natural d (total is a perfect power).
+  for (long long cand = 2; cand <= total; ++cand) {
+    long long acc = 1;
+    long long count = 0;
+    while (acc < total) {
+      acc *= cand * cand;
+      ++count;
+    }
+    if (acc == total) {
+      d = cand;
+      inner = count;
+      dim = acc;
+      break;
+    }
+  }
+  require(dim == total || total == 1, "QmaStarInstance: non-power proof space");
+  if (total == 1) {
+    inner = 0;
+  }
+  require(cut >= 0 && cut <= inner, "QmaStarInstance: cut out of range");
+
+  gamma1_dim_ = 1;
+  for (int k = 0; k < 2 * cut; ++k) {
+    gamma1_dim_ *= d;
+  }
+  gamma2_dim_ = total / gamma1_dim_;
+  gamma1_qubits_ = 2LL * cut * register_qubits;
+  gamma2_qubits_ = 2LL * (inner - cut) * register_qubits;
+  mu_qubits_ = register_qubits;
+}
+
+double QmaStarInstance::max_accept() const {
+  return std::min(1.0, linalg::max_eigenvalue_psd(op_));
+}
+
+double QmaStarInstance::max_cut_separable_accept(util::Rng& rng, int restarts,
+                                                 int sweeps) const {
+  const int g1 = static_cast<int>(gamma1_dim_);
+  const int g2 = static_cast<int>(gamma2_dim_);
+  if (g1 == 1 || g2 == 1) {
+    // One side holds everything: separable equals entangled.
+    return max_accept();
+  }
+  const auto objective = [&](const CVec& alpha, const CVec& beta) {
+    const CVec full = alpha.tensor(beta);
+    return std::max(0.0, full.dot(op_ * full).real());
+  };
+  double best = 0.0;
+  for (int restart = 0; restart < restarts; ++restart) {
+    CVec alpha = quantum::haar_state(g1, rng);
+    CVec beta = quantum::haar_state(g2, rng);
+    double value = objective(alpha, beta);
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      // Optimize alpha for fixed beta: top eigenvector of
+      // M(i,j) = <e_i (x) beta| O |e_j (x) beta>.
+      CMat m_alpha(g1, g1);
+      for (int i = 0; i < g1; ++i) {
+        for (int j = 0; j < g1; ++j) {
+          Complex acc{0.0, 0.0};
+          for (int k = 0; k < g2; ++k) {
+            for (int l = 0; l < g2; ++l) {
+              acc += std::conj(beta[k]) * beta[l] *
+                     op_(i * g2 + k, j * g2 + l);
+            }
+          }
+          m_alpha(i, j) = acc;
+        }
+      }
+      {
+        const auto es = linalg::eigh(m_alpha);
+        for (int i = 0; i < g1; ++i) {
+          alpha[i] = es.vectors(i, g1 - 1);
+        }
+      }
+      // Optimize beta for fixed alpha.
+      CMat m_beta(g2, g2);
+      for (int k = 0; k < g2; ++k) {
+        for (int l = 0; l < g2; ++l) {
+          Complex acc{0.0, 0.0};
+          for (int i = 0; i < g1; ++i) {
+            for (int j = 0; j < g1; ++j) {
+              acc += std::conj(alpha[i]) * alpha[j] *
+                     op_(i * g2 + k, j * g2 + l);
+            }
+          }
+          m_beta(k, l) = acc;
+        }
+      }
+      {
+        const auto es = linalg::eigh(m_beta);
+        for (int k = 0; k < g2; ++k) {
+          beta[k] = es.vectors(k, g2 - 1);
+        }
+      }
+      const double next = objective(alpha, beta);
+      if (next <= value + 1e-12) {
+        value = std::max(value, next);
+        break;
+      }
+      value = next;
+    }
+    best = std::max(best, value);
+  }
+  return std::min(1.0, best);
+}
+
+}  // namespace dqma::protocol

@@ -1,0 +1,83 @@
+#include "dqma/runner.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dqma::protocol {
+
+using util::require;
+
+double chain_accept(
+    const CVec& source, const PathProof& proof,
+    const std::function<double(const CVec&, const CVec&)>& pair_test,
+    const std::function<double(const CVec&)>& final_test) {
+  const int inner = proof.intermediate_nodes();
+  require(static_cast<int>(proof.reg1.size()) == inner,
+          "chain_accept: reg0/reg1 size mismatch");
+  if (inner == 0) {
+    return final_test(source);
+  }
+
+  // f[c] = expected product of test acceptances over nodes 1..j, given that
+  // node j's coin is c (coin 0: keep reg0 / send reg1; coin 1: swapped),
+  // including the 1/2 weight of each coin.
+  //
+  // kept_j(c)  = c == 0 ? reg0[j] : reg1[j]
+  // sent_j(c)  = c == 0 ? reg1[j] : reg0[j]
+  double f0 = 0.5 * pair_test(source, proof.reg0[0]);
+  double f1 = 0.5 * pair_test(source, proof.reg1[0]);
+  for (int j = 1; j < inner; ++j) {
+    const CVec& sent_prev_c0 = proof.reg1[static_cast<std::size_t>(j - 1)];
+    const CVec& sent_prev_c1 = proof.reg0[static_cast<std::size_t>(j - 1)];
+    const CVec& kept_c0 = proof.reg0[static_cast<std::size_t>(j)];
+    const CVec& kept_c1 = proof.reg1[static_cast<std::size_t>(j)];
+    const double t00 = pair_test(sent_prev_c0, kept_c0);
+    const double t10 = pair_test(sent_prev_c1, kept_c0);
+    const double t01 = pair_test(sent_prev_c0, kept_c1);
+    const double t11 = pair_test(sent_prev_c1, kept_c1);
+    const double n0 = 0.5 * (f0 * t00 + f1 * t10);
+    const double n1 = 0.5 * (f0 * t01 + f1 * t11);
+    f0 = n0;
+    f1 = n1;
+  }
+  const int last = inner - 1;
+  return f0 * final_test(proof.reg1[static_cast<std::size_t>(last)]) +
+         f1 * final_test(proof.reg0[static_cast<std::size_t>(last)]);
+}
+
+double chain_accept_reps(
+    const std::vector<CVec>& sources, const PathProofReps& proofs,
+    const std::function<double(const CVec&, const CVec&)>& pair_test,
+    const std::function<double(const CVec&)>& final_test) {
+  require(sources.size() == proofs.size(),
+          "chain_accept_reps: sources/proofs size mismatch");
+  double accept = 1.0;
+  for (std::size_t k = 0; k < proofs.size(); ++k) {
+    accept *= chain_accept(sources[k], proofs[k], pair_test, final_test);
+    if (accept == 0.0) {
+      break;
+    }
+  }
+  return accept;
+}
+
+MonteCarloEstimate estimate(const std::function<double()>& sample, int count) {
+  require(count >= 1, "estimate: need at least one sample");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < count; ++i) {
+    const double v = sample();
+    sum += v;
+    sum_sq += v * v;
+  }
+  MonteCarloEstimate out;
+  out.samples = count;
+  out.mean = sum / count;
+  const double var =
+      std::max(0.0, sum_sq / count - out.mean * out.mean);
+  out.half_width_95 = 1.96 * std::sqrt(var / count);
+  return out;
+}
+
+}  // namespace dqma::protocol

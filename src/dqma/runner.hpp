@@ -1,0 +1,56 @@
+// Execution engines for the product-state (fast) regime.
+//
+// chain_accept() is the workhorse shared by every path protocol in the
+// paper (Algorithms 3, 7, 10): v_0 emits a state, every intermediate node
+// symmetrizes its two registers with a fair coin, forwards one, tests the
+// other against what arrived from the left, and v_r applies a final
+// measurement. For product proofs the acceptance probability is *exact*:
+// the coin dependence forms a chain, so a 2-state dynamic program over coin
+// values evaluates the expectation in O(r) closed-form test evaluations —
+// no Monte-Carlo error anywhere.
+#pragma once
+
+#include <functional>
+
+#include "dqma/model.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::protocol {
+
+/// Exact acceptance probability of one repetition of a symmetrize-and-
+/// forward chain.
+///
+/// * `source`: the state v_0 sends to v_1 (e.g. |h_x>).
+/// * `proof`: the two registers of each intermediate node v_1..v_{r-1}.
+/// * `pair_test(received, kept)`: acceptance probability of the local test
+///   at an intermediate node (e.g. the SWAP test closed form).
+/// * `final_test(received)`: acceptance probability of v_r's measurement.
+///
+/// With zero intermediate nodes (r = 1) this reduces to
+/// final_test(source).
+double chain_accept(
+    const CVec& source, const PathProof& proof,
+    const std::function<double(const CVec&, const CVec&)>& pair_test,
+    const std::function<double(const CVec&)>& final_test);
+
+/// Acceptance of k independent repetitions where every node rejects if any
+/// of its k local tests rejects: the product of per-repetition chain
+/// acceptances (registers across repetitions are disjoint and coins are
+/// independent).
+double chain_accept_reps(
+    const std::vector<CVec>& sources, const PathProofReps& proofs,
+    const std::function<double(const CVec&, const CVec&)>& pair_test,
+    const std::function<double(const CVec&)>& final_test);
+
+/// Mean and a (approximate, normal) 95% confidence half-width of Bernoulli
+/// or bounded samples; used by Monte-Carlo estimates in tree protocols.
+struct MonteCarloEstimate {
+  double mean = 0.0;
+  double half_width_95 = 0.0;
+  int samples = 0;
+};
+
+/// Averages `sample()` over `count` draws.
+MonteCarloEstimate estimate(const std::function<double()>& sample, int count);
+
+}  // namespace dqma::protocol

@@ -1,0 +1,146 @@
+#include "dqma/rv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace dqma::protocol {
+
+using util::require;
+
+bool rv_predicate(const std::vector<Bitstring>& inputs, int i, int rank) {
+  const int t = static_cast<int>(inputs.size());
+  require(i >= 0 && i < t, "rv_predicate: index out of range");
+  require(rank >= 1 && rank <= t, "rv_predicate: rank out of range");
+  int geq_count = 0;
+  for (int k = 0; k < t; ++k) {
+    if (k != i && inputs[static_cast<std::size_t>(i)] >=
+                      inputs[static_cast<std::size_t>(k)]) {
+      ++geq_count;
+    }
+  }
+  return geq_count == t - rank;
+}
+
+RvProtocol::RvProtocol(const network::Graph& graph, std::vector<int> terminals,
+                       int i, int rank, int n, double delta, int reps,
+                       std::uint64_t seed)
+    : terminals_(std::move(terminals)),
+      i_(i),
+      rank_(rank),
+      n_(n),
+      tree_(network::SpanningTree::build(
+          graph, terminals_,
+          terminals_.at(static_cast<std::size_t>(i)))) {
+  const int t = terminal_count();
+  require(t >= 2, "RvProtocol: need at least two terminals");
+  require(i >= 0 && i < t, "RvProtocol: index out of range");
+  require(rank >= 1 && rank <= t, "RvProtocol: rank out of range");
+
+  for (int k = 0; k < t; ++k) {
+    if (k == i_) {
+      continue;
+    }
+    others_.push_back(k);
+    const int leaf =
+        tree_.leaf_of_terminal(terminals_[static_cast<std::size_t>(k)]);
+    const auto path = tree_.path_between(tree_.root(), leaf);
+    const int length = std::max(1, static_cast<int>(path.size()) - 1);
+    path_lengths_.push_back(length);
+    geq_.push_back(std::make_unique<GtProtocol>(n, length, delta, reps,
+                                                GtVariant::kGeq, seed));
+    less_.push_back(std::make_unique<GtProtocol>(n, length, delta, reps,
+                                                 GtVariant::kLess, seed));
+  }
+}
+
+CostProfile RvProtocol::costs() const {
+  CostProfile c;
+  for (std::size_t k = 0; k < others_.size(); ++k) {
+    const CostProfile gc = geq_[k]->costs();
+    // Direction register: one qubit per node on the path.
+    const long long dir_bits = path_lengths_[k] + 1;
+    c.total_proof_qubits += gc.total_proof_qubits + dir_bits;
+    c.total_message_qubits += gc.total_message_qubits + path_lengths_[k];
+    // Local sizes: a node may sit on up to t-1 paths (e.g. the root).
+    c.local_proof_qubits += gc.local_proof_qubits + 1;
+    c.local_message_qubits += gc.local_message_qubits + 1;
+  }
+  return c;
+}
+
+double RvProtocol::completeness(const std::vector<Bitstring>& inputs) const {
+  require(static_cast<int>(inputs.size()) == terminal_count(),
+          "RvProtocol: input count mismatch");
+  if (!rv_predicate(inputs, i_, rank_)) {
+    // The honest prover's true directions fail the root's count check.
+    return 0.0;
+  }
+  // True directions; every GT sub-protocol runs on a yes instance of its
+  // variant, so each accepts with probability 1.
+  double accept = 1.0;
+  for (std::size_t k = 0; k < others_.size(); ++k) {
+    const Bitstring& xi = inputs[static_cast<std::size_t>(i_)];
+    const Bitstring& xk =
+        inputs[static_cast<std::size_t>(others_[k])];
+    if (xi >= xk) {
+      accept *= geq_[k]->completeness(xi, xk);
+    } else {
+      accept *= less_[k]->completeness(xi, xk);
+    }
+  }
+  return accept;
+}
+
+double RvProtocol::best_attack_accept(
+    const std::vector<Bitstring>& inputs) const {
+  require(static_cast<int>(inputs.size()) == terminal_count(),
+          "RvProtocol: input count mismatch");
+  const int t = terminal_count();
+  const int needed_geq = t - rank_;
+  const Bitstring& xi = inputs[static_cast<std::size_t>(i_)];
+
+  // Per pair: acceptance if labeled ">=" (a) or "<" (b). True labels give
+  // probability 1 (honest sub-proof); lies are the best GT attack.
+  const int m = static_cast<int>(others_.size());
+  std::vector<double> a(static_cast<std::size_t>(m));
+  std::vector<double> b(static_cast<std::size_t>(m));
+  for (int k = 0; k < m; ++k) {
+    const Bitstring& xk =
+        inputs[static_cast<std::size_t>(others_[static_cast<std::size_t>(k)])];
+    const bool truly_geq = xi >= xk;
+    a[static_cast<std::size_t>(k)] =
+        truly_geq ? 1.0 : geq_[static_cast<std::size_t>(k)]->best_attack_accept(xi, xk);
+    b[static_cast<std::size_t>(k)] =
+        truly_geq ? less_[static_cast<std::size_t>(k)]->best_attack_accept(xi, xk)
+                  : 1.0;
+  }
+
+  if (needed_geq < 0 || needed_geq > m) {
+    return 0.0;  // no direction assignment passes the root's count check
+  }
+  // Choose exactly `needed_geq` pairs to label ">=" maximizing the product
+  // prod_{chosen} a_k * prod_{rest} b_k: pick the largest log(a/b) gaps.
+  std::vector<int> order(static_cast<std::size_t>(m));
+  std::iota(order.begin(), order.end(), 0);
+  const auto gap = [&](int k) {
+    const double ak = a[static_cast<std::size_t>(k)];
+    const double bk = b[static_cast<std::size_t>(k)];
+    if (ak == 0.0) return -1e300;
+    if (bk == 0.0) return 1e300;
+    return std::log(ak) - std::log(bk);
+  };
+  std::sort(order.begin(), order.end(),
+            [&](int u, int v) { return gap(u) > gap(v); });
+  double accept = 1.0;
+  for (int pos = 0; pos < m; ++pos) {
+    const int k = order[static_cast<std::size_t>(pos)];
+    accept *= pos < needed_geq ? a[static_cast<std::size_t>(k)]
+                               : b[static_cast<std::size_t>(k)];
+  }
+  return accept;
+}
+
+}  // namespace dqma::protocol

@@ -1,0 +1,69 @@
+// The paper's Theorem 29: ranking verification (Algorithm 8).
+//
+// RV^{i,j}_t(x_1..x_t) = 1 iff x_i is the j-th largest input. Following
+// Definition 9 we verify the count of terminals k != i with x_i >= x_k;
+// for the j-th largest input (inputs distinct) that count is t - j, which
+// is the arithmetically consistent form of the paper's t - j + 1 (its sum
+// ranges over t - 1 terms, so t - j + 1 is unreachable for j = 1; we use
+// t - j and note the off-by-one in EXPERIMENTS.md).
+//
+// The protocol runs, for every other terminal k, the GT>= or GT< protocol
+// of Corollary 28 along the tree path between u_i and u_k, with a
+// direction register on every path node; direction registers are compared
+// pairwise (a lying prover must lie consistently along the whole path) and
+// the root counts the ">=" directions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dqma/gt.hpp"
+#include "dqma/model.hpp"
+#include "network/graph.hpp"
+#include "network/tree.hpp"
+#include "util/bitstring.hpp"
+
+namespace dqma::protocol {
+
+/// Ground truth: is x_i the rank-th largest (rank 1 = maximum) of inputs?
+/// Ties are broken toward "larger or equal counts as >=", matching the
+/// GT>= sub-protocols.
+bool rv_predicate(const std::vector<Bitstring>& inputs, int i, int rank);
+
+class RvProtocol {
+ public:
+  /// graph + terminals: the network; i: index (into `terminals`) of the
+  /// distinguished terminal; rank: claimed rank j (1-based).
+  RvProtocol(const network::Graph& graph, std::vector<int> terminals, int i,
+             int rank, int n, double delta, int reps,
+             std::uint64_t seed = 0x0ddba11);
+
+  int terminal_count() const { return static_cast<int>(terminals_.size()); }
+  int rank() const { return rank_; }
+  const network::SpanningTree& tree() const { return tree_; }
+
+  CostProfile costs() const;
+
+  /// Acceptance of the honest prover (1 on yes instances, and the honest
+  /// count check fails deterministically on no instances).
+  double completeness(const std::vector<Bitstring>& inputs) const;
+
+  /// Strongest implemented attack: the prover must claim exactly t - rank
+  /// ">=" directions; it assigns the lies to the pairs where the GT attack
+  /// is strongest and cheats those sub-protocols.
+  double best_attack_accept(const std::vector<Bitstring>& inputs) const;
+
+ private:
+  std::vector<int> terminals_;
+  int i_;
+  int rank_;
+  int n_;
+  network::SpanningTree tree_;
+  std::vector<int> others_;                     ///< terminal indices != i
+  std::vector<int> path_lengths_;               ///< tree path length per other
+  std::vector<std::unique_ptr<GtProtocol>> geq_;
+  std::vector<std::unique_ptr<GtProtocol>> less_;
+};
+
+}  // namespace dqma::protocol

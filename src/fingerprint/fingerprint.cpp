@@ -1,0 +1,60 @@
+#include "fingerprint/fingerprint.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dqma::fingerprint {
+
+using util::require;
+
+FingerprintScheme::FingerprintScheme(int n, double delta, std::uint64_t seed)
+    : FingerprintScheme(n, code::recommended_block_length(n, delta), delta,
+                        seed) {}
+
+FingerprintScheme::FingerprintScheme(int n, int block_length, double delta,
+                                     std::uint64_t seed)
+    : n_(n), delta_(delta), code_(n, block_length, seed) {
+  require(n >= 1, "FingerprintScheme: n must be positive");
+  require(delta > 0.0 && delta < 1.0,
+          "FingerprintScheme: delta must be in (0,1)");
+}
+
+int FingerprintScheme::qubits() const {
+  int q = 0;
+  while ((1 << q) < dim()) {
+    ++q;
+  }
+  return q;
+}
+
+CVec FingerprintScheme::state(const Bitstring& x) const {
+  require(x.size() == n_, "FingerprintScheme::state: input length mismatch");
+  const Bitstring cw = code_.encode(x);
+  const int m = dim();
+  CVec v(m);
+  const double amp = 1.0 / std::sqrt(static_cast<double>(m));
+  for (int i = 0; i < m; ++i) {
+    v[i] = linalg::Complex{cw.get(i) ? -amp : amp, 0.0};
+  }
+  return v;
+}
+
+double FingerprintScheme::overlap(const Bitstring& x, const Bitstring& y) const {
+  require(x.size() == n_ && y.size() == n_,
+          "FingerprintScheme::overlap: input length mismatch");
+  const int d = code_.encode(x).distance(code_.encode(y));
+  return 1.0 - 2.0 * static_cast<double>(d) / static_cast<double>(dim());
+}
+
+CVec FingerprintScheme::bottom_state() const {
+  const int m = dim();
+  CVec v(m);
+  const double amp = 1.0 / std::sqrt(static_cast<double>(m));
+  for (int i = 0; i < m; ++i) {
+    v[i] = linalg::Complex{amp, 0.0};
+  }
+  return v;
+}
+
+}  // namespace dqma::fingerprint

@@ -1,0 +1,63 @@
+// Quantum fingerprints |h_x> [BCWdW01], the proof payload of the paper's
+// EQ, GT, RV and relay protocols.
+//
+// We use the phase encoding |h_x> = m^{-1/2} sum_i (-1)^{E(x)_i} |i>, so the
+// overlap has the exact closed form <h_x|h_y> = 1 - 2 d(E(x), E(y)) / m.
+// The scheme also provides the one-way EQ protocol "pi" of Sec. 2.2.1: Bob's
+// accept POVM on input y is the rank-one projector onto |h_y>, giving
+// perfect completeness and soundness error at most delta^2.
+#pragma once
+
+#include <memory>
+
+#include "code/linear_code.hpp"
+#include "linalg/vector.hpp"
+#include "util/bitstring.hpp"
+
+namespace dqma::fingerprint {
+
+using linalg::CVec;
+using util::Bitstring;
+
+/// A fingerprinting scheme for n-bit inputs with target overlap bound delta.
+class FingerprintScheme {
+ public:
+  /// Builds the scheme with a deterministic code of recommended block
+  /// length for (n, delta). All nodes constructing a scheme with the same
+  /// (n, delta, seed) share the same code.
+  FingerprintScheme(int n, double delta, std::uint64_t seed = 0x0ddba11);
+
+  /// Scheme with an explicit block length (testing / ablations).
+  FingerprintScheme(int n, int block_length, double delta, std::uint64_t seed);
+
+  int input_length() const { return n_; }
+  int dim() const { return code_.block_length(); }
+
+  /// Number of qubits of one fingerprint register: ceil(log2(dim)).
+  int qubits() const;
+
+  /// Design overlap bound delta.
+  double delta() const { return delta_; }
+
+  /// The fingerprint state |h_x> as an explicit amplitude vector.
+  CVec state(const Bitstring& x) const;
+
+  /// Exact overlap <h_x|h_y> = 1 - 2 d(E(x),E(y)) / m without building
+  /// states (the fast-runner path; cost O(m * n / 64)).
+  double overlap(const Bitstring& x, const Bitstring& y) const;
+
+  /// The underlying code (exposed for diagnostics and tests).
+  const code::LinearCode& code() const { return code_; }
+
+  /// Fingerprint for the empty input |bot>: the all-zero-phase state. Used
+  /// by the GT protocol when the prefix length is 0 (paper Sec. 5.1). Two
+  /// |bot> states always have overlap 1.
+  CVec bottom_state() const;
+
+ private:
+  int n_;
+  double delta_;
+  code::LinearCode code_;
+};
+
+}  // namespace dqma::fingerprint

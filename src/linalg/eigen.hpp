@@ -1,0 +1,39 @@
+// Hermitian eigensolver (cyclic complex Jacobi) plus spectral utilities:
+// top eigenvalue via power iteration, PSD matrix square root, trace norm.
+//
+// These are the numerical workhorses behind trace distance, fidelity, and
+// the exact worst-case-prover optimizer (which maximizes acceptance over all
+// quantum proofs by computing the top eigenvalue of the acceptance operator).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dqma::linalg {
+
+/// Result of a Hermitian eigendecomposition A = V diag(values) V^dagger.
+struct EigenSystem {
+  std::vector<double> values;  ///< ascending order
+  CMat vectors;                ///< column k is the eigenvector of values[k]
+};
+
+/// Full eigendecomposition of a Hermitian matrix by cyclic complex Jacobi
+/// sweeps. Throws if `a` is not (numerically) Hermitian. Intended for
+/// dimensions up to a few hundred; complexity O(d^3) per sweep.
+EigenSystem eigh(const CMat& a);
+
+/// Largest eigenvalue of a Hermitian PSD matrix by power iteration with a
+/// deterministic start vector and Rayleigh-quotient convergence test.
+/// `max_iters` bounds work; accuracy ~`tol` on the eigenvalue.
+double max_eigenvalue_psd(const CMat& a, int max_iters = 2000,
+                          double tol = 1e-10);
+
+/// Hermitian square root of a PSD matrix (eigenvalues clamped at 0).
+CMat sqrt_psd(const CMat& a);
+
+/// Trace norm ||A||_1 = sum of singular values. For Hermitian input this is
+/// the sum of |eigenvalues|; for general input it is computed from A^dagger A.
+double trace_norm(const CMat& a);
+
+}  // namespace dqma::linalg

@@ -1,0 +1,192 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dqma::linalg {
+
+using util::require;
+
+CMat::CMat(int rows, int cols) : rows_(rows), cols_(cols) {
+  require(rows >= 0 && cols >= 0, "CMat: negative dimensions");
+  a_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            Complex{0.0, 0.0});
+}
+
+CMat CMat::identity(int n) {
+  CMat m(n, n);
+  for (int i = 0; i < n; ++i) {
+    m(i, i) = Complex{1.0, 0.0};
+  }
+  return m;
+}
+
+CMat CMat::outer(const CVec& u, const CVec& v) {
+  CMat m(u.dim(), v.dim());
+  for (int i = 0; i < u.dim(); ++i) {
+    if (u[i] == Complex{0.0, 0.0}) continue;
+    for (int j = 0; j < v.dim(); ++j) {
+      m(i, j) = u[i] * std::conj(v[j]);
+    }
+  }
+  return m;
+}
+
+CMat CMat::projector(const CVec& u) { return outer(u, u); }
+
+CMat CMat::diagonal(const std::vector<Complex>& entries) {
+  const int n = static_cast<int>(entries.size());
+  CMat m(n, n);
+  for (int i = 0; i < n; ++i) {
+    m(i, i) = entries[static_cast<std::size_t>(i)];
+  }
+  return m;
+}
+
+CMat& CMat::operator+=(const CMat& other) {
+  require(rows_ == other.rows_ && cols_ == other.cols_,
+          "CMat::operator+=: shape mismatch");
+  for (std::size_t k = 0; k < a_.size(); ++k) {
+    a_[k] += other.a_[k];
+  }
+  return *this;
+}
+
+CMat& CMat::operator-=(const CMat& other) {
+  require(rows_ == other.rows_ && cols_ == other.cols_,
+          "CMat::operator-=: shape mismatch");
+  for (std::size_t k = 0; k < a_.size(); ++k) {
+    a_[k] -= other.a_[k];
+  }
+  return *this;
+}
+
+CMat& CMat::operator*=(Complex scalar) {
+  for (auto& x : a_) {
+    x *= scalar;
+  }
+  return *this;
+}
+
+CMat CMat::operator+(const CMat& other) const {
+  CMat out = *this;
+  out += other;
+  return out;
+}
+
+CMat CMat::operator-(const CMat& other) const {
+  CMat out = *this;
+  out -= other;
+  return out;
+}
+
+CMat CMat::operator*(Complex scalar) const {
+  CMat out = *this;
+  out *= scalar;
+  return out;
+}
+
+CMat CMat::operator*(const CMat& other) const {
+  require(cols_ == other.rows_, "CMat::operator*: shape mismatch");
+  CMat out(rows_, other.cols_);
+  // ikj loop order for cache friendliness on row-major storage.
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      const Complex aik = (*this)(i, k);
+      if (aik == Complex{0.0, 0.0}) continue;
+      for (int j = 0; j < other.cols_; ++j) {
+        out(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+CVec CMat::operator*(const CVec& v) const {
+  require(cols_ == v.dim(), "CMat::operator*(CVec): shape mismatch");
+  CVec out(rows_);
+  for (int i = 0; i < rows_; ++i) {
+    Complex acc{0.0, 0.0};
+    for (int j = 0; j < cols_; ++j) {
+      acc += (*this)(i, j) * v[j];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+CMat CMat::adjoint() const {
+  CMat out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) {
+      out(j, i) = std::conj((*this)(i, j));
+    }
+  }
+  return out;
+}
+
+Complex CMat::trace() const {
+  require(rows_ == cols_, "CMat::trace: matrix not square");
+  Complex acc{0.0, 0.0};
+  for (int i = 0; i < rows_; ++i) {
+    acc += (*this)(i, i);
+  }
+  return acc;
+}
+
+CMat CMat::kron(const CMat& other) const {
+  CMat out(rows_ * other.rows_, cols_ * other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) {
+      const Complex aij = (*this)(i, j);
+      if (aij == Complex{0.0, 0.0}) continue;
+      for (int k = 0; k < other.rows_; ++k) {
+        for (int l = 0; l < other.cols_; ++l) {
+          out(i * other.rows_ + k, j * other.cols_ + l) = aij * other(k, l);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double CMat::frobenius_norm() const {
+  double acc = 0.0;
+  for (const auto& x : a_) {
+    acc += std::norm(x);
+  }
+  return std::sqrt(acc);
+}
+
+bool CMat::is_hermitian(double tol) const {
+  if (rows_ != cols_) return false;
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = i; j < cols_; ++j) {
+      if (std::abs((*this)(i, j) - std::conj((*this)(j, i))) > tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool CMat::is_unitary(double tol) const {
+  if (rows_ != cols_) return false;
+  const CMat product = adjoint() * (*this);
+  const CMat id = identity(rows_);
+  return product.linf_distance(id) <= tol;
+}
+
+double CMat::linf_distance(const CMat& other) const {
+  require(rows_ == other.rows_ && cols_ == other.cols_,
+          "CMat::linf_distance: shape mismatch");
+  double worst = 0.0;
+  for (std::size_t k = 0; k < a_.size(); ++k) {
+    worst = std::max(worst, std::abs(a_[k] - other.a_[k]));
+  }
+  return worst;
+}
+
+}  // namespace dqma::linalg

@@ -1,0 +1,48 @@
+#include "linalg/permanent.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace dqma::linalg {
+
+using util::require;
+
+Complex permanent(const CMat& a) {
+  require(a.rows() == a.cols(), "permanent: matrix not square");
+  const int n = a.rows();
+  require(n <= 20, "permanent: dimension too large for Ryser's formula");
+  if (n == 0) {
+    return Complex{1.0, 0.0};
+  }
+
+  // Ryser: perm(A) = (-1)^n sum_{S subset [n]} (-1)^{|S|} prod_i sum_{j in S} a_ij.
+  // Gray-code enumeration keeps per-subset work at O(n): when the subset
+  // changes by one column j, each row sum changes by +-a_ij.
+  std::vector<Complex> row_sum(static_cast<std::size_t>(n), Complex{0.0, 0.0});
+  Complex total{0.0, 0.0};
+  std::uint64_t gray_prev = 0;
+  const std::uint64_t subsets = 1ULL << n;
+  for (std::uint64_t iter = 1; iter < subsets; ++iter) {
+    const std::uint64_t gray = iter ^ (iter >> 1);
+    const std::uint64_t changed = gray ^ gray_prev;
+    const int j = std::countr_zero(changed);
+    const double sign_col = (gray & changed) != 0 ? 1.0 : -1.0;
+    for (int i = 0; i < n; ++i) {
+      row_sum[static_cast<std::size_t>(i)] += sign_col * a(i, j);
+    }
+    Complex prod{1.0, 0.0};
+    for (int i = 0; i < n; ++i) {
+      prod *= row_sum[static_cast<std::size_t>(i)];
+    }
+    const int popcount = std::popcount(gray);
+    const double sign_subset = ((n - popcount) % 2 == 0) ? 1.0 : -1.0;
+    total += sign_subset * prod;
+    gray_prev = gray;
+  }
+  return total;
+}
+
+}  // namespace dqma::linalg

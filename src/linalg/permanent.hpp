@@ -1,0 +1,19 @@
+// Matrix permanent via Ryser's formula.
+//
+// The permutation test (Sec. 3.1 of the paper) accepts a k-partite product
+// state |psi_1> ... |psi_k> with probability perm(G)/k!, where G is the Gram
+// matrix G_{ij} = <psi_i|psi_j>. This closed form lets the fast protocol
+// runner evaluate permutation tests exactly without building the
+// (dim^k)-dimensional symmetric-subspace projector.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace dqma::linalg {
+
+/// Permanent of a square complex matrix, Ryser's inclusion-exclusion formula
+/// with Gray-code subset enumeration: O(2^n * n) time. Practical for n <= 20;
+/// throws for larger inputs.
+Complex permanent(const CMat& a);
+
+}  // namespace dqma::linalg

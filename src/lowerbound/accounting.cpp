@@ -1,0 +1,49 @@
+#include "lowerbound/accounting.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dqma::lowerbound {
+
+using util::require;
+
+double thm51_total_proof_bound(int r, int n) {
+  require(r >= 1 && n >= 2, "thm51_total_proof_bound: bad parameters");
+  return static_cast<double>(r) * std::log2(static_cast<double>(n));
+}
+
+double cor55_total_proof_bound(int r) {
+  require(r >= 1, "cor55_total_proof_bound: bad parameters");
+  return static_cast<double>(r);
+}
+
+double thm52_bound(int r, int n, double eps, double eps_prime) {
+  require(r >= 1 && n >= 2, "thm52_bound: bad parameters");
+  require(eps > 0.0 && eps < 0.5 && eps_prime > 0.0, "thm52_bound: bad eps");
+  return std::pow(std::log2(static_cast<double>(n)), 0.5 - eps) /
+         std::pow(static_cast<double>(r), 1.0 + eps_prime);
+}
+
+double thm56_bound(int n, double eps) {
+  require(n >= 2, "thm56_bound: bad parameters");
+  require(eps > 0.0 && eps < 0.25, "thm56_bound: bad eps");
+  return std::pow(std::log2(static_cast<double>(n)), 0.25 - eps);
+}
+
+double thm63_disjointness_bound(int n) {
+  require(n >= 1, "thm63_disjointness_bound: bad parameters");
+  return std::cbrt(static_cast<double>(n));
+}
+
+double thm63_inner_product_bound(int n) {
+  require(n >= 1, "thm63_inner_product_bound: bad parameters");
+  return std::sqrt(static_cast<double>(n));
+}
+
+double thm63_pattern_and_bound(int n) {
+  require(n >= 1, "thm63_pattern_and_bound: bad parameters");
+  return std::cbrt(static_cast<double>(n));
+}
+
+}  // namespace dqma::lowerbound

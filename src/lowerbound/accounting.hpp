@@ -1,0 +1,31 @@
+// Formula-level calculators for the paper's lower bounds (Table 3), printed
+// by the benches next to the measured attack results. The *verification* of
+// each bound is constructive (attack harnesses); these functions report the
+// bound values themselves.
+#pragma once
+
+namespace dqma::lowerbound {
+
+/// Theorem 51: total proof size of any dQMA_sep,sep protocol for a function
+/// with a 1-fooling set of size 2^n on a path of length r is
+/// Omega(r log n). Returns r * log2(n).
+double thm51_total_proof_bound(int r, int n);
+
+/// Corollary 55: any non-constant function needs Omega(r) total proof
+/// qubits against entangled proofs. Returns r.
+double cor55_total_proof_bound(int r);
+
+/// Theorem 52: total proof + cut communication is
+/// Omega((log n)^{1/2 - eps} / r^{1 + eps'}).
+double thm52_bound(int r, int n, double eps, double eps_prime);
+
+/// Theorem 56: total proof + cut communication is
+/// Omega((log n)^{1/4 - eps}).
+double thm56_bound(int n, double eps);
+
+/// Theorem 63 instantiations (via one-sided smooth discrepancy, Sec. 8.2).
+double thm63_disjointness_bound(int n);  ///< Omega(n^{1/3})
+double thm63_inner_product_bound(int n); ///< Omega(n^{1/2})
+double thm63_pattern_and_bound(int n);   ///< Omega(n^{1/3})
+
+}  // namespace dqma::lowerbound

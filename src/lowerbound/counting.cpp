@@ -1,0 +1,51 @@
+#include "lowerbound/counting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quantum/random.hpp"
+#include "util/require.hpp"
+
+namespace dqma::lowerbound {
+
+using util::require;
+
+double max_pairwise_overlap(const std::vector<CVec>& states) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    for (std::size_t j = i + 1; j < states.size(); ++j) {
+      worst = std::max(worst, std::abs(states[i].dot(states[j])));
+    }
+  }
+  return worst;
+}
+
+double welch_overlap_bound(int count, int dim) {
+  require(count >= 2 && dim >= 1, "welch_overlap_bound: bad parameters");
+  if (count <= dim) {
+    return 0.0;
+  }
+  const double num = static_cast<double>(count - dim);
+  const double den = static_cast<double>(dim) * (count - 1);
+  return std::sqrt(num / den);
+}
+
+double lemma48_qubit_bound(int n, double delta) {
+  require(n >= 1, "lemma48_qubit_bound: n must be positive");
+  require(delta > 0.0 && delta < 1.0, "lemma48_qubit_bound: bad delta");
+  return std::log2(static_cast<double>(n) / (delta * delta));
+}
+
+double random_family_max_overlap(int qubits, int count, util::Rng& rng) {
+  require(qubits >= 0 && qubits <= 12, "random_family_max_overlap: qubits cap");
+  require(count >= 2, "random_family_max_overlap: need at least two states");
+  const int dim = 1 << qubits;
+  std::vector<CVec> states;
+  states.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    states.push_back(quantum::haar_state(dim, rng));
+  }
+  return max_pairwise_overlap(states);
+}
+
+}  // namespace dqma::lowerbound

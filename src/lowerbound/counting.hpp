@@ -1,0 +1,35 @@
+// The counting argument over quantum states (paper Sec. 8.1): Lemma 48 /
+// Claim 49 say that any family of pairwise-far states needs Omega(log n)
+// qubits, i.e. packing too many states into too few qubits forces a
+// high-overlap pair — the pair that fools a dQMA_sep,sep verifier
+// (Proposition 50).
+#pragma once
+
+#include <vector>
+
+#include "linalg/vector.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::lowerbound {
+
+using linalg::CVec;
+
+/// Maximum |<psi_i|psi_j>| over distinct pairs.
+double max_pairwise_overlap(const std::vector<CVec>& states);
+
+/// Welch bound: for N unit vectors in C^d with N > d, the maximal pairwise
+/// squared overlap is at least (N - d) / (d (N - 1)). Returns the bound on
+/// the overlap (square root), 0 when N <= d.
+double welch_overlap_bound(int count, int dim);
+
+/// Lemma 48 qubit bound (contrapositive form used by Claim 49): a family
+/// of 2^n states with pairwise overlap <= delta needs at least
+/// log2(n / delta^2) - O(1) qubits. Returns that bound (may be fractional).
+double lemma48_qubit_bound(int n, double delta);
+
+/// Claim 49 demonstration: draws `count` Haar-random states on `qubits`
+/// qubits and reports the maximum pairwise overlap found — compare against
+/// delta to exhibit the fooling pair when qubits is below the bound.
+double random_family_max_overlap(int qubits, int count, util::Rng& rng);
+
+}  // namespace dqma::lowerbound

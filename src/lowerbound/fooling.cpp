@@ -1,0 +1,91 @@
+#include "lowerbound/fooling.hpp"
+
+#include <unordered_set>
+
+#include "util/require.hpp"
+
+namespace dqma::lowerbound {
+
+using util::require;
+
+std::vector<InputPair> eq_fooling_set(int n, int count, util::Rng& rng) {
+  require(n >= 1 && count >= 1, "eq_fooling_set: bad parameters");
+  require(n >= 60 || count <= (1 << std::min(n, 30)),
+          "eq_fooling_set: count exceeds set size");
+  std::vector<InputPair> out;
+  std::unordered_set<std::uint64_t> used;
+  while (static_cast<int>(out.size()) < count) {
+    const Bitstring z = Bitstring::random(n, rng);
+    if (used.insert(z.hash()).second) {
+      out.emplace_back(z, z);
+    }
+  }
+  return out;
+}
+
+std::vector<InputPair> gt_fooling_set(int n, int count, util::Rng& rng) {
+  require(n >= 1 && count >= 1, "gt_fooling_set: bad parameters");
+  std::vector<InputPair> out;
+  std::unordered_set<std::uint64_t> used;
+  while (static_cast<int>(out.size()) < count) {
+    Bitstring z = Bitstring::random(n, rng);
+    // Need z >= 1; decrement to form (z, z-1).
+    bool all_zero = z.weight() == 0;
+    if (all_zero) {
+      z.set(n - 1, true);  // z = 1
+    }
+    if (!used.insert(z.hash()).second) {
+      continue;
+    }
+    // y = z - 1 via binary decrement (big-endian bit order).
+    Bitstring y = z;
+    for (int i = n - 1; i >= 0; --i) {
+      if (y.get(i)) {
+        y.set(i, false);
+        break;
+      }
+      y.set(i, true);
+    }
+    out.emplace_back(z, y);
+  }
+  return out;
+}
+
+bool is_one_fooling_set(const Predicate& f, const std::vector<InputPair>& set,
+                        util::Rng& rng, int max_checks) {
+  for (const auto& [x, y] : set) {
+    if (!f(x, y)) {
+      return false;
+    }
+  }
+  const long long m = static_cast<long long>(set.size());
+  const bool exhaustive = m * m <= max_checks;
+  const auto check_cross = [&](std::size_t i, std::size_t j) {
+    const auto& [x1, y1] = set[i];
+    const auto& [x2, y2] = set[j];
+    return !f(x1, y2) || !f(x2, y1);
+  };
+  if (exhaustive) {
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      for (std::size_t j = i + 1; j < set.size(); ++j) {
+        if (!check_cross(i, j)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+  for (int c = 0; c < max_checks; ++c) {
+    const auto i = static_cast<std::size_t>(rng.next_below(set.size()));
+    auto j = static_cast<std::size_t>(rng.next_below(set.size()));
+    if (i == j) {
+      continue;
+    }
+    if (!check_cross(i, j)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dqma::lowerbound

@@ -1,0 +1,33 @@
+// 1-fooling sets (paper Sec. 2.2.1) for EQ and GT, with a sampling
+// verifier. These drive both the classical (Sec. 4.2) and quantum
+// (Sec. 8.1) lower-bound machinery.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::lowerbound {
+
+using util::Bitstring;
+
+using InputPair = std::pair<Bitstring, Bitstring>;
+using Predicate = std::function<bool(const Bitstring&, const Bitstring&)>;
+
+/// `count` distinct members of the size-2^n 1-fooling set {(z, z)} for EQ.
+std::vector<InputPair> eq_fooling_set(int n, int count, util::Rng& rng);
+
+/// `count` distinct members of the size-(2^n - 1) 1-fooling set
+/// {(z, z - 1)} for GT.
+std::vector<InputPair> gt_fooling_set(int n, int count, util::Rng& rng);
+
+/// Verifies the 1-fooling property on all pairs when |set|^2 <= max_checks,
+/// otherwise on max_checks random cross pairs: f = 1 on every member, and
+/// for distinct members (x1,y1), (x2,y2), f(x1,y2) = 0 or f(x2,y1) = 0.
+bool is_one_fooling_set(const Predicate& f, const std::vector<InputPair>& set,
+                        util::Rng& rng, int max_checks = 10000);
+
+}  // namespace dqma::lowerbound

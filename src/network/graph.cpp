@@ -1,0 +1,191 @@
+#include "network/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace dqma::network {
+
+using util::require;
+
+Graph::Graph(int node_count) {
+  require(node_count >= 1, "Graph: need at least one node");
+  adj_.assign(static_cast<std::size_t>(node_count), {});
+}
+
+Graph Graph::path(int length) {
+  require(length >= 1, "Graph::path: length must be >= 1");
+  Graph g(length + 1);
+  for (int i = 0; i < length; ++i) {
+    g.add_edge(i, i + 1);
+  }
+  return g;
+}
+
+Graph Graph::star(int leaves) {
+  require(leaves >= 1, "Graph::star: need at least one leaf");
+  Graph g(leaves + 1);
+  for (int i = 1; i <= leaves; ++i) {
+    g.add_edge(0, i);
+  }
+  return g;
+}
+
+Graph Graph::cycle(int node_count) {
+  require(node_count >= 3, "Graph::cycle: need at least three nodes");
+  Graph g(node_count);
+  for (int i = 0; i < node_count; ++i) {
+    g.add_edge(i, (i + 1) % node_count);
+  }
+  return g;
+}
+
+Graph Graph::complete(int node_count) {
+  Graph g(node_count);
+  for (int i = 0; i < node_count; ++i) {
+    for (int j = i + 1; j < node_count; ++j) {
+      g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+Graph Graph::random_tree(int node_count, util::Rng& rng) {
+  Graph g(node_count);
+  for (int v = 1; v < node_count; ++v) {
+    g.add_edge(v, static_cast<int>(rng.next_below(static_cast<std::uint64_t>(v))));
+  }
+  return g;
+}
+
+Graph Graph::balanced_tree(int arity, int depth) {
+  require(arity >= 1 && depth >= 0, "Graph::balanced_tree: bad parameters");
+  // Node count 1 + k + k^2 + ... + k^depth.
+  long long count = 1;
+  long long level = 1;
+  for (int d = 0; d < depth; ++d) {
+    level *= arity;
+    count += level;
+    require(count < (1 << 20), "Graph::balanced_tree: too many nodes");
+  }
+  Graph g(static_cast<int>(count));
+  for (int v = 1; v < static_cast<int>(count); ++v) {
+    g.add_edge(v, (v - 1) / arity);
+  }
+  return g;
+}
+
+void Graph::add_edge(int u, int v) {
+  require(u >= 0 && u < node_count() && v >= 0 && v < node_count(),
+          "Graph::add_edge: node out of range");
+  require(u != v, "Graph::add_edge: self-loops not allowed");
+  if (has_edge(u, v)) {
+    return;
+  }
+  auto& au = adj_[static_cast<std::size_t>(u)];
+  auto& av = adj_[static_cast<std::size_t>(v)];
+  au.insert(std::lower_bound(au.begin(), au.end(), v), v);
+  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+  ++edge_count_;
+}
+
+bool Graph::has_edge(int u, int v) const {
+  const auto& au = adj_[static_cast<std::size_t>(u)];
+  return std::binary_search(au.begin(), au.end(), v);
+}
+
+const std::vector<int>& Graph::neighbors(int v) const {
+  require(v >= 0 && v < node_count(), "Graph::neighbors: node out of range");
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+int Graph::max_degree() const {
+  int best = 0;
+  for (int v = 0; v < node_count(); ++v) {
+    best = std::max(best, degree(v));
+  }
+  return best;
+}
+
+std::vector<int> Graph::bfs_distances(int source) const {
+  require(source >= 0 && source < node_count(),
+          "Graph::bfs_distances: node out of range");
+  std::vector<int> dist(static_cast<std::size_t>(node_count()), -1);
+  std::deque<int> queue{source};
+  dist[static_cast<std::size_t>(source)] = 0;
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    for (const int w : neighbors(v)) {
+      if (dist[static_cast<std::size_t>(w)] == -1) {
+        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+int Graph::eccentricity(int source) const {
+  const auto dist = bfs_distances(source);
+  int worst = 0;
+  for (const int d : dist) {
+    require(d >= 0, "Graph::eccentricity: graph is disconnected");
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+int Graph::radius() const { return eccentricity(center()); }
+
+int Graph::center() const {
+  int best_node = 0;
+  int best_ecc = std::numeric_limits<int>::max();
+  for (int v = 0; v < node_count(); ++v) {
+    const int e = eccentricity(v);
+    if (e < best_ecc) {
+      best_ecc = e;
+      best_node = v;
+    }
+  }
+  return best_node;
+}
+
+int Graph::diameter() const {
+  int worst = 0;
+  for (int v = 0; v < node_count(); ++v) {
+    worst = std::max(worst, eccentricity(v));
+  }
+  return worst;
+}
+
+bool Graph::is_connected() const {
+  const auto dist = bfs_distances(0);
+  return std::all_of(dist.begin(), dist.end(), [](int d) { return d >= 0; });
+}
+
+std::vector<int> Graph::shortest_path(int u, int v) const {
+  require(u >= 0 && u < node_count() && v >= 0 && v < node_count(),
+          "Graph::shortest_path: node out of range");
+  // BFS from v, then walk downhill from u.
+  const auto dist = bfs_distances(v);
+  require(dist[static_cast<std::size_t>(u)] >= 0,
+          "Graph::shortest_path: nodes not connected");
+  std::vector<int> path{u};
+  int cur = u;
+  while (cur != v) {
+    for (const int w : neighbors(cur)) {
+      if (dist[static_cast<std::size_t>(w)] ==
+          dist[static_cast<std::size_t>(cur)] - 1) {
+        cur = w;
+        path.push_back(cur);
+        break;
+      }
+    }
+  }
+  return path;
+}
+
+}  // namespace dqma::network

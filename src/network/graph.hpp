@@ -1,0 +1,62 @@
+// Simple connected undirected graphs: the network substrate of distributed
+// verification (paper Sec. 2, "this paper considers simple connected graphs
+// ... and identifies a network with its underlying graph").
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dqma::network {
+
+/// Undirected simple graph on nodes 0..n-1 (adjacency lists kept sorted).
+class Graph {
+ public:
+  /// Edgeless graph on n nodes (add edges afterwards).
+  explicit Graph(int node_count);
+
+  /// Factories for the topologies used across the paper and benches.
+  static Graph path(int length);          ///< v_0 - v_1 - ... - v_length
+  static Graph star(int leaves);          ///< center 0, leaves 1..leaves
+  static Graph cycle(int node_count);
+  static Graph complete(int node_count);
+  /// Random tree on n nodes (uniform attachment), reproducible from rng.
+  static Graph random_tree(int node_count, util::Rng& rng);
+  /// Balanced k-ary tree with the given depth (root 0).
+  static Graph balanced_tree(int arity, int depth);
+
+  int node_count() const { return static_cast<int>(adj_.size()); }
+  int edge_count() const { return edge_count_; }
+
+  /// Adds the undirected edge {u, v}; idempotent, rejects self-loops.
+  void add_edge(int u, int v);
+
+  bool has_edge(int u, int v) const;
+  const std::vector<int>& neighbors(int v) const;
+  int degree(int v) const { return static_cast<int>(neighbors(v).size()); }
+  int max_degree() const;
+
+  /// BFS distances from `source` (-1 for unreachable nodes).
+  std::vector<int> bfs_distances(int source) const;
+
+  /// max_v dist(source, v); requires connectivity.
+  int eccentricity(int source) const;
+
+  /// Radius min_u ecc(u) and a center attaining it.
+  int radius() const;
+  int center() const;
+
+  /// Diameter max_u ecc(u).
+  int diameter() const;
+
+  bool is_connected() const;
+
+  /// Shortest path from u to v as a node sequence (BFS parents).
+  std::vector<int> shortest_path(int u, int v) const;
+
+ private:
+  std::vector<std::vector<int>> adj_;
+  int edge_count_ = 0;
+};
+
+}  // namespace dqma::network

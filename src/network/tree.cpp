@@ -1,0 +1,273 @@
+#include "network/tree.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace dqma::network {
+
+using util::require;
+
+SpanningTree SpanningTree::build(const Graph& graph,
+                                 const std::vector<int>& terminals,
+                                 std::optional<int> forced_root) {
+  require(!terminals.empty(), "SpanningTree::build: need at least one terminal");
+  for (const int t : terminals) {
+    require(t >= 0 && t < graph.node_count(),
+            "SpanningTree::build: terminal out of range");
+  }
+  require(graph.is_connected(), "SpanningTree::build: graph must be connected");
+
+  // Root choice: the most central terminal, i.e. argmin over terminals u of
+  // max over terminals v of dist(u, v) (paper Sec. 3.3).
+  int root_graph = terminals.front();
+  if (forced_root) {
+    root_graph = *forced_root;
+    require(std::find(terminals.begin(), terminals.end(), root_graph) !=
+                terminals.end(),
+            "SpanningTree::build: forced root must be a terminal");
+  } else {
+    int best = std::numeric_limits<int>::max();
+    for (const int u : terminals) {
+      const auto dist = graph.bfs_distances(u);
+      int worst = 0;
+      for (const int v : terminals) {
+        worst = std::max(worst, dist[static_cast<std::size_t>(v)]);
+      }
+      if (worst < best) {
+        best = worst;
+        root_graph = u;
+      }
+    }
+  }
+
+  // BFS parents from the root.
+  const int n = graph.node_count();
+  std::vector<int> parent(static_cast<std::size_t>(n), -2);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  parent[static_cast<std::size_t>(root_graph)] = -1;
+  order.push_back(root_graph);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const int v = order[head];
+    for (const int w : graph.neighbors(v)) {
+      if (parent[static_cast<std::size_t>(w)] == -2) {
+        parent[static_cast<std::size_t>(w)] = v;
+        order.push_back(w);
+      }
+    }
+  }
+
+  // Keep only nodes whose subtree contains a terminal: walk each terminal's
+  // root path and mark it.
+  std::vector<bool> keep(static_cast<std::size_t>(n), false);
+  for (const int t : terminals) {
+    int cur = t;
+    while (cur != -1 && !keep[static_cast<std::size_t>(cur)]) {
+      keep[static_cast<std::size_t>(cur)] = true;
+      cur = parent[static_cast<std::size_t>(cur)];
+    }
+  }
+
+  // Emit tree nodes in BFS order so parents precede children.
+  SpanningTree tree;
+  std::vector<int> tree_index(static_cast<std::size_t>(n), -1);
+  for (const int v : order) {
+    if (!keep[static_cast<std::size_t>(v)]) {
+      continue;
+    }
+    Node node;
+    node.original = v;
+    if (v == root_graph) {
+      node.parent = -1;
+      node.depth = 0;
+      tree.root_ = static_cast<int>(tree.nodes_.size());
+    } else {
+      const int p = tree_index[static_cast<std::size_t>(
+          parent[static_cast<std::size_t>(v)])];
+      node.parent = p;
+      node.depth = tree.nodes_[static_cast<std::size_t>(p)].depth + 1;
+      tree.nodes_[static_cast<std::size_t>(p)].children.push_back(
+          static_cast<int>(tree.nodes_.size()));
+    }
+    tree_index[static_cast<std::size_t>(v)] = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(std::move(node));
+  }
+
+  // Re-hang every non-root terminal that ended up internal as a virtual
+  // leaf child of itself (paper Sec. 3.3: u_i keeps the input, u_i' takes
+  // its network role; operationally u_i simulates both).
+  for (const int t : terminals) {
+    if (t == root_graph) {
+      continue;
+    }
+    const int ti = tree_index[static_cast<std::size_t>(t)];
+    if (!tree.nodes_[static_cast<std::size_t>(ti)].children.empty()) {
+      Node leaf;
+      leaf.original = t;
+      leaf.is_virtual = true;
+      leaf.parent = ti;
+      leaf.depth = tree.nodes_[static_cast<std::size_t>(ti)].depth + 1;
+      tree.nodes_[static_cast<std::size_t>(ti)].children.push_back(
+          static_cast<int>(tree.nodes_.size()));
+      tree.nodes_.push_back(std::move(leaf));
+    }
+  }
+  return tree;
+}
+
+const SpanningTree::Node& SpanningTree::node(int i) const {
+  require(i >= 0 && i < size(), "SpanningTree::node: index out of range");
+  return nodes_[static_cast<std::size_t>(i)];
+}
+
+int SpanningTree::depth() const {
+  int worst = 0;
+  for (const auto& n : nodes_) {
+    worst = std::max(worst, n.depth);
+  }
+  return worst;
+}
+
+int SpanningTree::max_degree() const {
+  int worst = 0;
+  for (const auto& n : nodes_) {
+    const int deg = static_cast<int>(n.children.size()) + (n.parent >= 0 ? 1 : 0);
+    worst = std::max(worst, deg);
+  }
+  return worst;
+}
+
+int SpanningTree::leaf_of_terminal(int graph_node) const {
+  // Prefer a virtual leaf mirroring the terminal; otherwise the terminal's
+  // own tree node (root or a natural leaf).
+  int fallback = -1;
+  for (int i = 0; i < size(); ++i) {
+    if (nodes_[static_cast<std::size_t>(i)].original == graph_node) {
+      if (nodes_[static_cast<std::size_t>(i)].is_virtual) {
+        return i;
+      }
+      fallback = i;
+    }
+  }
+  require(fallback >= 0, "SpanningTree::leaf_of_terminal: terminal not in tree");
+  return fallback;
+}
+
+std::vector<int> SpanningTree::leaves() const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i) {
+    if (nodes_[static_cast<std::size_t>(i)].children.empty()) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<int> SpanningTree::path_between(int a, int b) const {
+  require(a >= 0 && a < size() && b >= 0 && b < size(),
+          "SpanningTree::path_between: index out of range");
+  std::vector<int> up_a{a};
+  std::vector<int> up_b{b};
+  int x = a;
+  int y = b;
+  while (x != y) {
+    if (nodes_[static_cast<std::size_t>(x)].depth >=
+        nodes_[static_cast<std::size_t>(y)].depth) {
+      x = nodes_[static_cast<std::size_t>(x)].parent;
+      up_a.push_back(x);
+    } else {
+      y = nodes_[static_cast<std::size_t>(y)].parent;
+      up_b.push_back(y);
+    }
+  }
+  // up_a ends at the common ancestor; append up_b reversed without the
+  // duplicated ancestor.
+  for (auto it = up_b.rbegin(); it != up_b.rend(); ++it) {
+    if (*it != x) {
+      up_a.push_back(*it);
+    }
+  }
+  return up_a;
+}
+
+std::vector<int> SpanningTree::post_order() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  // Iterative DFS from the root.
+  std::vector<std::pair<int, std::size_t>> stack{{root_, 0}};
+  while (!stack.empty()) {
+    auto& [v, next_child] = stack.back();
+    const auto& children = nodes_[static_cast<std::size_t>(v)].children;
+    if (next_child < children.size()) {
+      const int c = children[next_child];
+      ++next_child;
+      stack.emplace_back(c, 0);
+    } else {
+      out.push_back(v);
+      stack.pop_back();
+    }
+  }
+  return out;
+}
+
+std::vector<bool> verify_tree_labels(const Graph& graph,
+                                     const std::vector<TreeLabel>& labels) {
+  const int n = graph.node_count();
+  require(static_cast<int>(labels.size()) == n,
+          "verify_tree_labels: one label per node required");
+  std::vector<bool> accept(static_cast<std::size_t>(n), true);
+  for (int v = 0; v < n; ++v) {
+    const TreeLabel& lv = labels[static_cast<std::size_t>(v)];
+    bool ok = lv.root_id >= 0 && lv.root_id < n && lv.distance >= 0;
+    if (ok && v == lv.root_id) {
+      // Root checks: distance 0, own parent.
+      ok = lv.distance == 0 && lv.parent == v;
+    } else if (ok) {
+      // Non-root: parent must be a true neighbor with distance one less,
+      // and agree on the root id.
+      ok = lv.parent >= 0 && lv.parent < n && graph.has_edge(v, lv.parent);
+      if (ok) {
+        const TreeLabel& lp = labels[static_cast<std::size_t>(lv.parent)];
+        ok = lp.distance == lv.distance - 1 && lp.root_id == lv.root_id;
+      }
+    }
+    // Every node also cross-checks the root id with all neighbors (a
+    // constant-round exchange in the real network model).
+    if (ok) {
+      for (const int w : graph.neighbors(v)) {
+        if (labels[static_cast<std::size_t>(w)].root_id != lv.root_id) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    accept[static_cast<std::size_t>(v)] = ok;
+  }
+  return accept;
+}
+
+std::vector<TreeLabel> honest_tree_labels(const Graph& graph, int root) {
+  const auto dist = graph.bfs_distances(root);
+  std::vector<TreeLabel> labels(static_cast<std::size_t>(graph.node_count()));
+  for (int v = 0; v < graph.node_count(); ++v) {
+    TreeLabel& l = labels[static_cast<std::size_t>(v)];
+    l.root_id = root;
+    l.distance = dist[static_cast<std::size_t>(v)];
+    if (v == root) {
+      l.parent = v;
+    } else {
+      for (const int w : graph.neighbors(v)) {
+        if (dist[static_cast<std::size_t>(w)] ==
+            dist[static_cast<std::size_t>(v)] - 1) {
+          l.parent = w;
+          break;
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace dqma::network

@@ -1,0 +1,79 @@
+// Spanning-tree construction for multi-terminal protocols (paper Sec. 3.3)
+// and the proof-labelling verification of trees (Lemma 18, [KKP10]).
+//
+// Given a network G and terminals u_1..u_t, the paper roots a BFS tree at
+// the most central terminal, truncates branches containing no terminal, and
+// re-hangs every internal terminal u_i as a fresh leaf u_i' so that all
+// terminals end up as leaves of a tree of depth <= r + 1.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "network/graph.hpp"
+
+namespace dqma::network {
+
+/// A rooted tree for protocol execution. Nodes are indexed 0..size-1 in the
+/// tree's own numbering; `original` maps back to graph nodes (virtual leaves
+/// introduced by the re-hanging step map to the terminal they mirror).
+class SpanningTree {
+ public:
+  struct Node {
+    int parent = -1;               ///< tree index of parent; -1 for root
+    std::vector<int> children;     ///< tree indices
+    int original = -1;             ///< graph node this tree node simulates
+    bool is_virtual = false;       ///< re-hung terminal leaf (u_i')
+    int depth = 0;
+  };
+
+  /// Builds the Sec. 3.3 verification tree for `terminals` on `graph`,
+  /// rooted at the most central terminal (or at `forced_root` if given).
+  static SpanningTree build(const Graph& graph,
+                            const std::vector<int>& terminals,
+                            std::optional<int> forced_root = std::nullopt);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int i) const;
+  int root() const { return root_; }
+  int depth() const;
+  int max_degree() const;
+
+  /// Tree index of the (virtual leaf for the) given terminal.
+  int leaf_of_terminal(int graph_node) const;
+
+  /// Tree indices of all leaves.
+  std::vector<int> leaves() const;
+
+  /// Tree nodes on the path from `a` up through their common ancestor down
+  /// to `b` (inclusive).
+  std::vector<int> path_between(int a, int b) const;
+
+  /// Post-order traversal (children before parents): the message schedule of
+  /// leaf-to-root protocols such as Algorithm 5.
+  std::vector<int> post_order() const;
+
+ private:
+  std::vector<Node> nodes_;
+  int root_ = 0;
+};
+
+/// The Lemma 18 deterministic proof-labelling scheme for spanning trees:
+/// per-node labels (root id, parent id, distance) that each node checks
+/// against its neighbors' labels. Returns per-node accept bits; a correct
+/// labelling of a true spanning tree is accepted by all nodes, and any
+/// labelling that does not describe a spanning tree of `graph` rooted at
+/// `claimed_root` is rejected by at least one node.
+struct TreeLabel {
+  int root_id = -1;
+  int parent = -1;   ///< parent graph node (self for the root)
+  int distance = -1; ///< claimed distance to root
+};
+
+std::vector<bool> verify_tree_labels(const Graph& graph,
+                                     const std::vector<TreeLabel>& labels);
+
+/// Honest labelling of the BFS tree rooted at `root` (for completeness runs).
+std::vector<TreeLabel> honest_tree_labels(const Graph& graph, int root);
+
+}  // namespace dqma::network

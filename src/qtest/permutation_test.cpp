@@ -1,0 +1,70 @@
+#include "qtest/permutation_test.hpp"
+
+#include <cmath>
+
+#include "linalg/permanent.hpp"
+#include "quantum/unitary.hpp"
+#include "util/require.hpp"
+
+namespace dqma::qtest {
+
+using linalg::Complex;
+using util::require;
+
+CMat symmetric_projector(int d, int k) {
+  require(d >= 1, "symmetric_projector: d must be positive");
+  require(k >= 1 && k <= 8, "symmetric_projector: k must be in [1,8]");
+  long long dim = 1;
+  for (int s = 0; s < k; ++s) {
+    dim *= d;
+    require(dim <= (1 << 14), "symmetric_projector: dimension too large");
+  }
+  const auto perms = quantum::all_permutations(k);
+  CMat acc(static_cast<int>(dim), static_cast<int>(dim));
+  for (const auto& perm : perms) {
+    acc += quantum::permutation_unitary(d, perm);
+  }
+  acc *= Complex{1.0 / static_cast<double>(perms.size()), 0.0};
+  return acc;
+}
+
+BinaryPovm permutation_test_povm(int d, int k) {
+  return BinaryPovm(symmetric_projector(d, k));
+}
+
+double permutation_test_accept(const std::vector<CVec>& factors) {
+  const int k = static_cast<int>(factors.size());
+  require(k >= 1 && k <= 20, "permutation_test_accept: k must be in [1,20]");
+  CMat gram(k, k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      gram(i, j) = factors[static_cast<std::size_t>(i)].dot(
+          factors[static_cast<std::size_t>(j)]);
+    }
+  }
+  double kfact = 1.0;
+  for (int s = 2; s <= k; ++s) {
+    kfact *= static_cast<double>(s);
+  }
+  const Complex p = linalg::permanent(gram);
+  // perm(G) of a PSD Gram matrix is real and non-negative.
+  return std::min(1.0, std::max(0.0, p.real() / kfact));
+}
+
+double permutation_test_accept(const Density& rho) {
+  const int k = rho.shape().register_count();
+  require(k >= 1, "permutation_test_accept: need at least one register");
+  const int d = rho.shape().dim(0);
+  for (int r = 1; r < k; ++r) {
+    require(rho.shape().dim(r) == d,
+            "permutation_test_accept: registers must share one dimension");
+  }
+  return permutation_test_povm(d, k).accept_probability(rho);
+}
+
+double lemma16_distance_bound(double eps) {
+  require(eps >= 0.0 && eps <= 1.0, "lemma16_distance_bound: eps out of range");
+  return 2.0 * std::sqrt(eps) + eps;
+}
+
+}  // namespace dqma::qtest

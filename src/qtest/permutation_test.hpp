@@ -1,0 +1,45 @@
+// The permutation test (paper Algorithm 2): projection onto the symmetric
+// subspace of k registers of dimension d.
+//
+// Three forms, mirroring swap_test.hpp:
+//  * closed form on product pure states:  Pr[accept] = perm(Gram)/k!
+//    (the Gram matrix G_{ij} = <psi_i|psi_j> of the k factors);
+//  * POVM form: M_accept = Pi_sym = (1/k!) sum_pi U_pi;
+//  * the trace-distance bound of Lemma 16.
+// The k = 2 case reduces exactly to the SWAP test.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "quantum/density.hpp"
+#include "quantum/measurement.hpp"
+
+namespace dqma::qtest {
+
+using linalg::CMat;
+using linalg::CVec;
+using quantum::BinaryPovm;
+using quantum::Density;
+
+/// Projector onto the symmetric subspace of (C^d)^{tensor k}.
+/// Dimension d^k; requires d^k <= 2^14 and k <= 8.
+CMat symmetric_projector(int d, int k);
+
+/// Acceptance POVM of the permutation test.
+BinaryPovm permutation_test_povm(int d, int k);
+
+/// Closed-form acceptance on a product of k pure states (any d, k <= 20):
+/// perm(G)/k! for the Gram matrix G.
+double permutation_test_accept(const std::vector<CVec>& factors);
+
+/// Acceptance on an arbitrary k-register state (all registers must share one
+/// dimension): tr(Pi_sym rho).
+double permutation_test_accept(const Density& rho);
+
+/// Lemma 16 bound: maximal D(rho_i, rho_j) consistent with the permutation
+/// test accepting with probability 1 - eps (same form as Lemma 14).
+double lemma16_distance_bound(double eps);
+
+}  // namespace dqma::qtest

@@ -1,0 +1,59 @@
+#include "qtest/swap_test.hpp"
+
+#include <cmath>
+
+#include "quantum/unitary.hpp"
+#include "util/require.hpp"
+
+namespace dqma::qtest {
+
+using linalg::CMat;
+using linalg::Complex;
+using quantum::PureState;
+using quantum::RegisterShape;
+using util::require;
+
+double swap_test_accept(const CVec& a, const CVec& b) {
+  require(a.dim() == b.dim(), "swap_test_accept: dimension mismatch");
+  const double overlap = std::abs(a.dot(b));
+  return 0.5 + 0.5 * overlap * overlap;
+}
+
+BinaryPovm swap_test_povm(int d) {
+  CMat m = quantum::swap_unitary(d);
+  m += CMat::identity(d * d);
+  m *= Complex{0.5, 0.0};
+  return BinaryPovm(std::move(m));
+}
+
+double swap_test_accept(const Density& rho) {
+  require(rho.shape().register_count() == 2,
+          "swap_test_accept: state must have exactly two registers");
+  const int d = rho.shape().dim(0);
+  require(rho.shape().dim(1) == d,
+          "swap_test_accept: registers must have equal dimension");
+  return swap_test_povm(d).accept_probability(rho);
+}
+
+double swap_test_accept_circuit(const CVec& a, const CVec& b) {
+  require(a.dim() == b.dim(), "swap_test_accept_circuit: dimension mismatch");
+  const int d = a.dim();
+  // Registers: ancilla (dim 2), A, B.
+  PureState psi = PureState::single(CVec::basis(2, 0))
+                      .tensor(PureState::single(a))
+                      .tensor(PureState::single(b));
+  psi.apply(quantum::hadamard(), {0});
+  // Controlled-SWAP: identity on |0>, SWAP on |1>.
+  const CMat cswap = quantum::select_unitary(
+      {CMat::identity(d * d), quantum::swap_unitary(d)});
+  psi.apply(cswap, {0, 1, 2});
+  psi.apply(quantum::hadamard(), {0});
+  return psi.outcome_probability(/*reg=*/0, /*outcome=*/0);
+}
+
+double lemma14_distance_bound(double eps) {
+  require(eps >= 0.0 && eps <= 1.0, "lemma14_distance_bound: eps out of range");
+  return 2.0 * std::sqrt(eps) + eps;
+}
+
+}  // namespace dqma::qtest

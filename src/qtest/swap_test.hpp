@@ -1,0 +1,40 @@
+// The SWAP test (paper Algorithm 1) in three equivalent forms:
+//  * closed form on pure states:  Pr[accept] = 1/2 + |<a|b>|^2 / 2;
+//  * POVM form on mixed states:   M_accept = (I + SWAP)/2;
+//  * circuit form (ancilla + H + controlled-SWAP + H + measure), used by
+//    tests to validate the other two.
+// Also provides the trace-distance bound of Lemma 14: if the SWAP test on
+// rho accepts with probability 1 - eps, then D(rho_1, rho_2) <= 2 sqrt(eps)
+// + eps.
+#pragma once
+
+#include "linalg/vector.hpp"
+#include "quantum/density.hpp"
+#include "quantum/measurement.hpp"
+
+namespace dqma::qtest {
+
+using linalg::CVec;
+using quantum::BinaryPovm;
+using quantum::Density;
+
+/// Closed-form acceptance probability on a product of pure states.
+double swap_test_accept(const CVec& a, const CVec& b);
+
+/// Acceptance POVM (I + SWAP)/2 on two registers of dimension d each.
+BinaryPovm swap_test_povm(int d);
+
+/// Acceptance probability on an arbitrary (possibly correlated) two-register
+/// state, tr((I+SWAP)/2 rho). Registers must have equal dimension.
+double swap_test_accept(const Density& rho);
+
+/// Circuit-level simulation of Algorithm 1 on a product input: builds
+/// ancilla + controlled-SWAP explicitly and returns Pr[ancilla = 0].
+/// O(d^4); used only by validation tests.
+double swap_test_accept_circuit(const CVec& a, const CVec& b);
+
+/// Lemma 14 bound: maximal D(rho_1, rho_2) consistent with acceptance
+/// probability 1 - eps.
+double lemma14_distance_bound(double eps);
+
+}  // namespace dqma::qtest

@@ -1,0 +1,144 @@
+#include "quantum/density.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/tolerance.hpp"
+
+namespace dqma::quantum {
+
+using util::require;
+
+Density Density::maximally_mixed(RegisterShape shape) {
+  const long long d = shape.total_dim();
+  require(d <= util::kMaxExactDim, "Density: dimension exceeds exact-engine cap");
+  CMat rho = CMat::identity(static_cast<int>(d));
+  rho *= Complex{1.0 / static_cast<double>(d), 0.0};
+  return Density(std::move(shape), std::move(rho));
+}
+
+Density Density::from_pure(const PureState& psi) {
+  return Density(psi.shape(), CMat::projector(psi.amplitudes()));
+}
+
+Density::Density(RegisterShape shape, CMat rho)
+    : shape_(std::move(shape)), rho_(std::move(rho)) {
+  const long long d = shape_.total_dim();
+  require(d <= util::kMaxExactDim, "Density: dimension exceeds exact-engine cap");
+  require(rho_.rows() == d && rho_.cols() == d,
+          "Density: matrix does not match shape");
+  require(rho_.is_hermitian(1e-7), "Density: matrix not Hermitian");
+  require(std::abs(rho_.trace().real() - 1.0) < 1e-6 &&
+              std::abs(rho_.trace().imag()) < 1e-7,
+          "Density: trace is not 1");
+}
+
+Density Density::tensor(const Density& other) const {
+  std::vector<int> dims = shape_.dims();
+  dims.insert(dims.end(), other.shape_.dims().begin(),
+              other.shape_.dims().end());
+  return Density(RegisterShape(std::move(dims)), rho_.kron(other.rho_));
+}
+
+CMat embed_operator(const RegisterShape& shape, const CMat& op,
+                    const std::vector<int>& regs) {
+  const int nregs = shape.register_count();
+  long long block = 1;
+  for (const int r : regs) {
+    block *= shape.dim(r);
+  }
+  require(static_cast<long long>(op.rows()) == block &&
+              static_cast<long long>(op.cols()) == block,
+          "embed_operator: operator dimension mismatch");
+
+  std::vector<long long> stride(static_cast<std::size_t>(nregs), 1);
+  for (int r = nregs - 2; r >= 0; --r) {
+    stride[static_cast<std::size_t>(r)] =
+        stride[static_cast<std::size_t>(r + 1)] * shape.dim(r + 1);
+  }
+
+  // target index -> flat offset contribution
+  auto target_offset = [&](long long b) {
+    long long rem = b;
+    long long off = 0;
+    for (int k = static_cast<int>(regs.size()) - 1; k >= 0; --k) {
+      const int r = regs[static_cast<std::size_t>(k)];
+      const int d = shape.dim(r);
+      off += (rem % d) * stride[static_cast<std::size_t>(r)];
+      rem /= d;
+    }
+    return off;
+  };
+
+  std::vector<int> free_regs;
+  std::vector<bool> is_target(static_cast<std::size_t>(nregs), false);
+  for (const int r : regs) {
+    is_target[static_cast<std::size_t>(r)] = true;
+  }
+  for (int r = 0; r < nregs; ++r) {
+    if (!is_target[static_cast<std::size_t>(r)]) {
+      free_regs.push_back(r);
+    }
+  }
+  long long free_count = 1;
+  for (const int r : free_regs) {
+    free_count *= shape.dim(r);
+  }
+
+  const long long total = shape.total_dim();
+  CMat out(static_cast<int>(total), static_cast<int>(total));
+  for (long long f = 0; f < free_count; ++f) {
+    long long rem = f;
+    long long base = 0;
+    for (int k = static_cast<int>(free_regs.size()) - 1; k >= 0; --k) {
+      const int r = free_regs[static_cast<std::size_t>(k)];
+      const int d = shape.dim(r);
+      base += (rem % d) * stride[static_cast<std::size_t>(r)];
+      rem /= d;
+    }
+    for (long long i = 0; i < block; ++i) {
+      for (long long j = 0; j < block; ++j) {
+        const Complex v = op(static_cast<int>(i), static_cast<int>(j));
+        if (v == Complex{0.0, 0.0}) continue;
+        out(static_cast<int>(base + target_offset(i)),
+            static_cast<int>(base + target_offset(j))) = v;
+      }
+    }
+  }
+  return out;
+}
+
+void Density::apply(const CMat& u, const std::vector<int>& regs) {
+  const CMat big = embed_operator(shape_, u, regs);
+  rho_ = big * rho_ * big.adjoint();
+}
+
+void Density::mix_with(const Density& other, double p_this) {
+  require(shape_ == other.shape_, "Density::mix_with: shape mismatch");
+  require(p_this >= 0.0 && p_this <= 1.0,
+          "Density::mix_with: probability out of range");
+  rho_ *= Complex{p_this, 0.0};
+  CMat scaled = other.rho_;
+  scaled *= Complex{1.0 - p_this, 0.0};
+  rho_ += scaled;
+}
+
+double Density::expectation(const CMat& effect,
+                            const std::vector<int>& regs) const {
+  const CMat big = embed_operator(shape_, effect, regs);
+  return (big * rho_).trace().real();
+}
+
+double Density::project(const CMat& effect, const std::vector<int>& regs) {
+  const CMat big = embed_operator(shape_, effect, regs);
+  CMat projected = big * rho_ * big.adjoint();
+  const double p = projected.trace().real();
+  if (p < 1e-14) {
+    return 0.0;
+  }
+  projected *= Complex{1.0 / p, 0.0};
+  rho_ = std::move(projected);
+  return p;
+}
+
+}  // namespace dqma::quantum

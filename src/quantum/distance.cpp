@@ -1,0 +1,44 @@
+#include "quantum/distance.hpp"
+
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "util/require.hpp"
+
+namespace dqma::quantum {
+
+using util::require;
+
+double trace_distance(const Density& rho, const Density& sigma) {
+  require(rho.shape() == sigma.shape(), "trace_distance: shape mismatch");
+  return 0.5 * linalg::trace_norm(rho.matrix() - sigma.matrix());
+}
+
+double fidelity(const Density& rho, const Density& sigma) {
+  require(rho.shape() == sigma.shape(), "fidelity: shape mismatch");
+  const CMat root = linalg::sqrt_psd(rho.matrix());
+  const CMat inner = root * sigma.matrix() * root;
+  const linalg::EigenSystem es = linalg::eigh(inner);
+  double acc = 0.0;
+  for (const double lam : es.values) {
+    acc += std::sqrt(std::max(0.0, lam));
+  }
+  return acc;
+}
+
+double trace_distance(const PureState& a, const PureState& b) {
+  const double f = std::abs(a.overlap(b));
+  return std::sqrt(std::max(0.0, 1.0 - f * f));
+}
+
+double fidelity(const PureState& a, const PureState& b) {
+  return std::abs(a.overlap(b));
+}
+
+bool fuchs_van_de_graaf_holds(double trace_dist, double fid, double tol) {
+  const double lower = 1.0 - fid;
+  const double upper = std::sqrt(std::max(0.0, 1.0 - fid * fid));
+  return trace_dist >= lower - tol && trace_dist <= upper + tol;
+}
+
+}  // namespace dqma::quantum

@@ -1,0 +1,24 @@
+// Distance measures between quantum states: trace distance and fidelity,
+// with the Fuchs-van de Graaf relations (Fact 1 of the paper) available as
+// checked helpers. Pure-state fast paths avoid the eigensolver.
+#pragma once
+
+#include "quantum/density.hpp"
+
+namespace dqma::quantum {
+
+/// Trace distance D(rho, sigma) = (1/2) || rho - sigma ||_1.
+double trace_distance(const Density& rho, const Density& sigma);
+
+/// Fidelity F(rho, sigma) = tr sqrt( sqrt(rho) sigma sqrt(rho) ).
+double fidelity(const Density& rho, const Density& sigma);
+
+/// Pure-state fast paths: D = sqrt(1 - |<a|b>|^2), F = |<a|b>|.
+double trace_distance(const PureState& a, const PureState& b);
+double fidelity(const PureState& a, const PureState& b);
+
+/// Fuchs-van de Graaf bounds (Fact 1): returns true iff
+/// 1 - F <= D <= sqrt(1 - F^2) holds within `tol`. Used by property tests.
+bool fuchs_van_de_graaf_holds(double trace_dist, double fid, double tol);
+
+}  // namespace dqma::quantum

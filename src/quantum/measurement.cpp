@@ -1,0 +1,48 @@
+#include "quantum/measurement.hpp"
+
+#include <algorithm>
+
+#include "linalg/eigen.hpp"
+#include "util/require.hpp"
+#include "util/tolerance.hpp"
+
+namespace dqma::quantum {
+
+using util::require;
+
+BinaryPovm::BinaryPovm(CMat accept_element) : m1_(std::move(accept_element)) {
+  require(m1_.rows() == m1_.cols(), "BinaryPovm: element not square");
+  require(m1_.is_hermitian(1e-8), "BinaryPovm: element not Hermitian");
+  // Spectral sandwich check 0 <= M1 <= I (only for small dims; the check is
+  // O(d^3) and the constructor is not on a hot path).
+  if (m1_.rows() <= 256) {
+    const auto es = linalg::eigh(m1_);
+    require(es.values.front() >= -1e-7 && es.values.back() <= 1.0 + 1e-7,
+            "BinaryPovm: element not in [0, I]");
+  }
+}
+
+double BinaryPovm::accept_probability(const Density& rho) const {
+  require(rho.matrix().rows() == m1_.rows(),
+          "BinaryPovm: state dimension mismatch");
+  return std::clamp((m1_ * rho.matrix()).trace().real(), 0.0, 1.0);
+}
+
+double BinaryPovm::accept_probability(const PureState& psi) const {
+  require(psi.amplitudes().dim() == m1_.rows(),
+          "BinaryPovm: state dimension mismatch");
+  const CVec image = m1_ * psi.amplitudes();
+  return std::clamp(psi.amplitudes().dot(image).real(), 0.0, 1.0);
+}
+
+bool BinaryPovm::sample(const PureState& psi, util::Rng& rng) const {
+  return rng.next_bool(accept_probability(psi));
+}
+
+BinaryPovm projective_povm(const CMat& projector) {
+  require(projector.linf_distance(projector * projector) < 1e-7,
+          "projective_povm: matrix is not idempotent");
+  return BinaryPovm(projector);
+}
+
+}  // namespace dqma::quantum

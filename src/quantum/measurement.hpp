@@ -1,0 +1,41 @@
+// Two-outcome measurements (accept/reject POVMs) and sampling helpers.
+//
+// Every local test in the paper's protocols is a binary POVM {M_1, M_0} with
+// M_1 + M_0 = I. This module provides a value type for such measurements
+// plus expectation and sampling entry points on pure and mixed states.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "quantum/density.hpp"
+#include "quantum/state.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::quantum {
+
+/// A binary POVM given by its accept element M1 (M0 = I - M1 implicitly).
+class BinaryPovm {
+ public:
+  /// Validates Hermiticity and 0 <= M1 <= I (spectrally, within tolerance).
+  explicit BinaryPovm(CMat accept_element);
+
+  const CMat& accept_element() const { return m1_; }
+  int dim() const { return m1_.rows(); }
+
+  /// Acceptance probability tr(M1 rho) for a state on matching dimension.
+  double accept_probability(const Density& rho) const;
+
+  /// Acceptance probability <psi|M1|psi> for a pure state.
+  double accept_probability(const PureState& psi) const;
+
+  /// Samples accept/reject on a pure state *without* modeling the
+  /// post-measurement state (used where the tested registers are consumed).
+  bool sample(const PureState& psi, util::Rng& rng) const;
+
+ private:
+  CMat m1_;
+};
+
+/// Projective accept measurement from a projector P (validates P^2 = P).
+BinaryPovm projective_povm(const CMat& projector);
+
+}  // namespace dqma::quantum

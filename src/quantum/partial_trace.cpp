@@ -1,0 +1,103 @@
+#include "quantum/partial_trace.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dqma::quantum {
+
+using util::require;
+
+Density partial_trace(const Density& rho, const std::vector<int>& traced_out) {
+  const RegisterShape& shape = rho.shape();
+  const int nregs = shape.register_count();
+  std::vector<bool> traced(static_cast<std::size_t>(nregs), false);
+  for (const int r : traced_out) {
+    require(r >= 0 && r < nregs, "partial_trace: register out of range");
+    require(!traced[static_cast<std::size_t>(r)],
+            "partial_trace: duplicate register");
+    traced[static_cast<std::size_t>(r)] = true;
+  }
+
+  std::vector<int> kept;
+  for (int r = 0; r < nregs; ++r) {
+    if (!traced[static_cast<std::size_t>(r)]) {
+      kept.push_back(r);
+    }
+  }
+  return reduce_to(rho, kept);
+}
+
+Density reduce_to(const Density& rho, const std::vector<int>& kept) {
+  const RegisterShape& shape = rho.shape();
+  const int nregs = shape.register_count();
+  std::vector<bool> keep(static_cast<std::size_t>(nregs), false);
+  for (const int r : kept) {
+    require(r >= 0 && r < nregs, "reduce_to: register out of range");
+    require(!keep[static_cast<std::size_t>(r)], "reduce_to: duplicate register");
+    keep[static_cast<std::size_t>(r)] = true;
+  }
+  // `kept` must preserve the original register order so indices stay stable.
+  for (std::size_t k = 1; k < kept.size(); ++k) {
+    require(kept[k] > kept[k - 1], "reduce_to: registers must be ascending");
+  }
+
+  std::vector<int> kept_dims;
+  std::vector<int> traced_regs;
+  for (int r = 0; r < nregs; ++r) {
+    if (keep[static_cast<std::size_t>(r)]) {
+      kept_dims.push_back(shape.dim(r));
+    } else {
+      traced_regs.push_back(r);
+    }
+  }
+
+  // Strides in the full flat index.
+  std::vector<long long> stride(static_cast<std::size_t>(nregs), 1);
+  for (int r = nregs - 2; r >= 0; --r) {
+    stride[static_cast<std::size_t>(r)] =
+        stride[static_cast<std::size_t>(r + 1)] * shape.dim(r + 1);
+  }
+
+  RegisterShape out_shape{kept_dims};
+  const long long out_dim = out_shape.total_dim();
+  long long traced_count = 1;
+  for (const int r : traced_regs) {
+    traced_count *= shape.dim(r);
+  }
+
+  auto offset_of = [&](const std::vector<int>& regs, long long value) {
+    long long rem = value;
+    long long off = 0;
+    for (int k = static_cast<int>(regs.size()) - 1; k >= 0; --k) {
+      const int r = regs[static_cast<std::size_t>(k)];
+      const int d = shape.dim(r);
+      off += (rem % d) * stride[static_cast<std::size_t>(r)];
+      rem /= d;
+    }
+    return off;
+  };
+
+  CMat out(static_cast<int>(out_dim), static_cast<int>(out_dim));
+  const CMat& full = rho.matrix();
+  for (long long i = 0; i < out_dim; ++i) {
+    const long long base_i = offset_of(kept, i);
+    for (long long j = 0; j < out_dim; ++j) {
+      const long long base_j = offset_of(kept, j);
+      Complex acc{0.0, 0.0};
+      for (long long t = 0; t < traced_count; ++t) {
+        const long long off = offset_of(traced_regs, t);
+        acc += full(static_cast<int>(base_i + off),
+                    static_cast<int>(base_j + off));
+      }
+      out(static_cast<int>(i), static_cast<int>(j)) = acc;
+    }
+  }
+  return Density(std::move(out_shape), std::move(out));
+}
+
+Density reduced_single(const PureState& psi, int reg) {
+  return reduce_to(Density::from_pure(psi), {reg});
+}
+
+}  // namespace dqma::quantum

@@ -1,0 +1,21 @@
+// Partial trace over register subsets (the tr_i / tr_{\bar i} operations of
+// the paper's Sec. 2.1).
+#pragma once
+
+#include <vector>
+
+#include "quantum/density.hpp"
+
+namespace dqma::quantum {
+
+/// Traces out the listed registers, returning the reduced state on the
+/// remaining registers (in their original order).
+Density partial_trace(const Density& rho, const std::vector<int>& traced_out);
+
+/// Keeps only the listed registers (complement of partial_trace).
+Density reduce_to(const Density& rho, const std::vector<int>& kept);
+
+/// Reduced state of one register of a pure state (common fast path).
+Density reduced_single(const PureState& psi, int reg);
+
+}  // namespace dqma::quantum

@@ -1,0 +1,68 @@
+#include "quantum/random.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dqma::quantum {
+
+using linalg::CMat;
+using linalg::Complex;
+using linalg::CVec;
+using util::require;
+
+CVec haar_state(int dim, util::Rng& rng) {
+  require(dim >= 1, "haar_state: dimension must be positive");
+  CVec v(dim);
+  for (int i = 0; i < dim; ++i) {
+    v[i] = Complex{rng.next_gaussian(), rng.next_gaussian()};
+  }
+  v.normalize();
+  return v;
+}
+
+CMat haar_unitary(int dim, util::Rng& rng) {
+  require(dim >= 1, "haar_unitary: dimension must be positive");
+  // Columns = Gram-Schmidt of Ginibre columns; phases fixed by making the
+  // diagonal of R positive (Mezzadri's recipe).
+  std::vector<CVec> cols;
+  cols.reserve(static_cast<std::size_t>(dim));
+  for (int c = 0; c < dim; ++c) {
+    CVec v(dim);
+    for (int i = 0; i < dim; ++i) {
+      v[i] = Complex{rng.next_gaussian(), rng.next_gaussian()};
+    }
+    for (const auto& prev : cols) {
+      const Complex coeff = prev.dot(v);
+      for (int i = 0; i < dim; ++i) {
+        v[i] -= coeff * prev[i];
+      }
+    }
+    v.normalize();
+    cols.push_back(std::move(v));
+  }
+  CMat u(dim, dim);
+  for (int c = 0; c < dim; ++c) {
+    for (int i = 0; i < dim; ++i) {
+      u(i, c) = cols[static_cast<std::size_t>(c)][i];
+    }
+  }
+  return u;
+}
+
+CMat random_density(int dim, util::Rng& rng) {
+  // rho = G G^dagger / tr(G G^dagger) for a Ginibre G: the Hilbert-Schmidt
+  // ensemble, full rank almost surely.
+  CMat g(dim, dim);
+  for (int i = 0; i < dim; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      g(i, j) = Complex{rng.next_gaussian(), rng.next_gaussian()};
+    }
+  }
+  CMat rho = g * g.adjoint();
+  const double tr = rho.trace().real();
+  rho *= Complex{1.0 / tr, 0.0};
+  return rho;
+}
+
+}  // namespace dqma::quantum

@@ -1,0 +1,20 @@
+// Haar-random pure states and unitaries (Ginibre + Gram-Schmidt), used by
+// property tests and by adversarial proof search.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::quantum {
+
+/// Haar-random pure state in C^dim.
+linalg::CVec haar_state(int dim, util::Rng& rng);
+
+/// Haar-random unitary on C^dim (QR of a Ginibre matrix with phase fixing).
+linalg::CMat haar_unitary(int dim, util::Rng& rng);
+
+/// Random density matrix: partial trace of a Haar state on C^dim x C^dim.
+linalg::CMat random_density(int dim, util::Rng& rng);
+
+}  // namespace dqma::quantum

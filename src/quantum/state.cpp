@@ -1,0 +1,223 @@
+#include "quantum/state.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/tolerance.hpp"
+
+namespace dqma::quantum {
+
+using util::require;
+
+RegisterShape::RegisterShape(std::vector<int> dims) : dims_(std::move(dims)) {
+  for (const int d : dims_) {
+    require(d >= 1, "RegisterShape: register dimension must be >= 1");
+  }
+}
+
+int RegisterShape::dim(int reg) const {
+  require(reg >= 0 && reg < register_count(),
+          "RegisterShape::dim: register index out of range");
+  return dims_[static_cast<std::size_t>(reg)];
+}
+
+long long RegisterShape::total_dim() const {
+  long long total = 1;
+  for (const int d : dims_) {
+    total *= d;
+  }
+  return total;
+}
+
+long long RegisterShape::flatten(const std::vector<int>& idx) const {
+  require(static_cast<int>(idx.size()) == register_count(),
+          "RegisterShape::flatten: index arity mismatch");
+  long long flat = 0;
+  for (int r = 0; r < register_count(); ++r) {
+    const int i = idx[static_cast<std::size_t>(r)];
+    require(i >= 0 && i < dims_[static_cast<std::size_t>(r)],
+            "RegisterShape::flatten: index out of range");
+    flat = flat * dims_[static_cast<std::size_t>(r)] + i;
+  }
+  return flat;
+}
+
+std::vector<int> RegisterShape::unflatten(long long flat) const {
+  require(flat >= 0 && flat < total_dim(),
+          "RegisterShape::unflatten: flat index out of range");
+  std::vector<int> idx(static_cast<std::size_t>(register_count()));
+  for (int r = register_count() - 1; r >= 0; --r) {
+    const int d = dims_[static_cast<std::size_t>(r)];
+    idx[static_cast<std::size_t>(r)] = static_cast<int>(flat % d);
+    flat /= d;
+  }
+  return idx;
+}
+
+PureState::PureState(RegisterShape shape)
+    : shape_(std::move(shape)), amp_(static_cast<int>(shape_.total_dim())) {
+  amp_[0] = Complex{1.0, 0.0};
+}
+
+PureState::PureState(RegisterShape shape, CVec amplitudes, bool normalize)
+    : shape_(std::move(shape)), amp_(std::move(amplitudes)) {
+  require(static_cast<long long>(amp_.dim()) == shape_.total_dim(),
+          "PureState: amplitude count does not match shape");
+  if (normalize) {
+    amp_.normalize();
+  } else {
+    require(std::abs(amp_.norm() - 1.0) < 1e-6,
+            "PureState: amplitudes not normalized");
+  }
+}
+
+PureState PureState::single(const CVec& amplitudes) {
+  return PureState(RegisterShape({amplitudes.dim()}), amplitudes,
+                   /*normalize=*/false);
+}
+
+PureState PureState::tensor(const PureState& other) const {
+  std::vector<int> dims = shape_.dims();
+  dims.insert(dims.end(), other.shape_.dims().begin(),
+              other.shape_.dims().end());
+  return PureState(RegisterShape(std::move(dims)), amp_.tensor(other.amp_),
+                   /*normalize=*/false);
+}
+
+Complex PureState::overlap(const PureState& other) const {
+  return amp_.dot(other.amp_);
+}
+
+void PureState::apply(const CMat& u, const std::vector<int>& regs) {
+  require(u.rows() == u.cols(), "PureState::apply: unitary not square");
+  long long block = 1;
+  for (const int r : regs) {
+    block *= shape_.dim(r);
+  }
+  require(static_cast<long long>(u.rows()) == block,
+          "PureState::apply: unitary dimension does not match registers");
+
+  // Strides of each register in the flat index.
+  const int nregs = shape_.register_count();
+  std::vector<long long> stride(static_cast<std::size_t>(nregs), 1);
+  for (int r = nregs - 2; r >= 0; --r) {
+    stride[static_cast<std::size_t>(r)] =
+        stride[static_cast<std::size_t>(r + 1)] * shape_.dim(r + 1);
+  }
+
+  // Enumerate assignments of the non-target registers; within each, gather
+  // the `block` amplitudes indexed by the target registers, multiply by u,
+  // scatter back.
+  std::vector<bool> is_target(static_cast<std::size_t>(nregs), false);
+  for (const int r : regs) {
+    require(r >= 0 && r < nregs, "PureState::apply: register out of range");
+    require(!is_target[static_cast<std::size_t>(r)],
+            "PureState::apply: duplicate register");
+    is_target[static_cast<std::size_t>(r)] = true;
+  }
+
+  // Offsets of each of the `block` target assignments.
+  std::vector<long long> target_offset(static_cast<std::size_t>(block), 0);
+  {
+    for (long long b = 0; b < block; ++b) {
+      long long rem = b;
+      long long off = 0;
+      for (int k = static_cast<int>(regs.size()) - 1; k >= 0; --k) {
+        const int r = regs[static_cast<std::size_t>(k)];
+        const int d = shape_.dim(r);
+        off += (rem % d) * stride[static_cast<std::size_t>(r)];
+        rem /= d;
+      }
+      target_offset[static_cast<std::size_t>(b)] = off;
+    }
+  }
+
+  // Enumerate the complement.
+  std::vector<int> free_regs;
+  for (int r = 0; r < nregs; ++r) {
+    if (!is_target[static_cast<std::size_t>(r)]) {
+      free_regs.push_back(r);
+    }
+  }
+  long long free_count = 1;
+  for (const int r : free_regs) {
+    free_count *= shape_.dim(r);
+  }
+
+  std::vector<Complex> in(static_cast<std::size_t>(block));
+  std::vector<Complex> out(static_cast<std::size_t>(block));
+  for (long long f = 0; f < free_count; ++f) {
+    long long rem = f;
+    long long base = 0;
+    for (int k = static_cast<int>(free_regs.size()) - 1; k >= 0; --k) {
+      const int r = free_regs[static_cast<std::size_t>(k)];
+      const int d = shape_.dim(r);
+      base += (rem % d) * stride[static_cast<std::size_t>(r)];
+      rem /= d;
+    }
+    for (long long b = 0; b < block; ++b) {
+      in[static_cast<std::size_t>(b)] =
+          amp_[static_cast<int>(base + target_offset[static_cast<std::size_t>(b)])];
+    }
+    for (long long i = 0; i < block; ++i) {
+      Complex acc{0.0, 0.0};
+      for (long long j = 0; j < block; ++j) {
+        acc += u(static_cast<int>(i), static_cast<int>(j)) *
+               in[static_cast<std::size_t>(j)];
+      }
+      out[static_cast<std::size_t>(i)] = acc;
+    }
+    for (long long b = 0; b < block; ++b) {
+      amp_[static_cast<int>(base + target_offset[static_cast<std::size_t>(b)])] =
+          out[static_cast<std::size_t>(b)];
+    }
+  }
+}
+
+int PureState::measure_register(int reg, util::Rng& rng) {
+  const int d = shape_.dim(reg);
+  std::vector<double> probs(static_cast<std::size_t>(d), 0.0);
+  for (int o = 0; o < d; ++o) {
+    probs[static_cast<std::size_t>(o)] = outcome_probability(reg, o);
+  }
+  double u = rng.next_double();
+  int outcome = d - 1;
+  for (int o = 0; o < d; ++o) {
+    if (u < probs[static_cast<std::size_t>(o)]) {
+      outcome = o;
+      break;
+    }
+    u -= probs[static_cast<std::size_t>(o)];
+  }
+  // Collapse: zero out amplitudes inconsistent with the outcome, renormalize.
+  const long long total = shape_.total_dim();
+  double norm_sq = 0.0;
+  for (long long flat = 0; flat < total; ++flat) {
+    const auto idx = shape_.unflatten(flat);
+    if (idx[static_cast<std::size_t>(reg)] != outcome) {
+      amp_[static_cast<int>(flat)] = Complex{0.0, 0.0};
+    } else {
+      norm_sq += std::norm(amp_[static_cast<int>(flat)]);
+    }
+  }
+  require(norm_sq > 1e-300, "PureState::measure_register: zero-probability branch");
+  const double scale = 1.0 / std::sqrt(norm_sq);
+  amp_ *= Complex{scale, 0.0};
+  return outcome;
+}
+
+double PureState::outcome_probability(int reg, int outcome) const {
+  require(outcome >= 0 && outcome < shape_.dim(reg),
+          "PureState::outcome_probability: outcome out of range");
+  const long long total = shape_.total_dim();
+  double p = 0.0;
+  for (long long flat = 0; flat < total; ++flat) {
+    const auto idx = shape_.unflatten(flat);
+    if (idx[static_cast<std::size_t>(reg)] == outcome) {
+      p += std::norm(amp_[static_cast<int>(flat)]);
+    }
+  }
+  return p;
+}
+
+}  // namespace dqma::quantum

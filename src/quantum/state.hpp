@@ -1,0 +1,90 @@
+// Pure quantum states over a list of registers (qudits of arbitrary
+// dimension), with register-local operations.
+//
+// The simulators model a protocol's quantum data as a small list of named
+// registers (fingerprint registers, index registers, ancillas). A
+// RegisterShape records their dimensions; flat indices are row-major over
+// the registers in order.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::quantum {
+
+using linalg::CMat;
+using linalg::Complex;
+using linalg::CVec;
+
+/// Dimensions of an ordered list of registers.
+class RegisterShape {
+ public:
+  RegisterShape() = default;
+  explicit RegisterShape(std::vector<int> dims);
+
+  int register_count() const { return static_cast<int>(dims_.size()); }
+  int dim(int reg) const;
+  const std::vector<int>& dims() const { return dims_; }
+
+  /// Product of all register dimensions (the global Hilbert dimension).
+  long long total_dim() const;
+
+  /// Flat index from per-register indices (row-major).
+  long long flatten(const std::vector<int>& idx) const;
+
+  /// Per-register indices from a flat index.
+  std::vector<int> unflatten(long long flat) const;
+
+  bool operator==(const RegisterShape& other) const {
+    return dims_ == other.dims_;
+  }
+
+ private:
+  std::vector<int> dims_;
+};
+
+/// A pure state over a RegisterShape.
+class PureState {
+ public:
+  PureState() = default;
+
+  /// |0...0> over the given shape.
+  explicit PureState(RegisterShape shape);
+
+  /// From amplitudes (must match the shape's total dimension); normalizes
+  /// if `normalize` is true, otherwise requires unit norm.
+  PureState(RegisterShape shape, CVec amplitudes, bool normalize = false);
+
+  /// Single-register state from a bare vector.
+  static PureState single(const CVec& amplitudes);
+
+  /// Tensor product (concatenates register lists).
+  PureState tensor(const PureState& other) const;
+
+  const RegisterShape& shape() const { return shape_; }
+  const CVec& amplitudes() const { return amp_; }
+
+  /// Overlap <this|other> (same total dimension required).
+  Complex overlap(const PureState& other) const;
+
+  /// Applies a unitary acting on the listed registers (in the listed order).
+  /// The unitary's dimension must equal the product of those registers'
+  /// dimensions.
+  void apply(const CMat& u, const std::vector<int>& regs);
+
+  /// Measures one register in the computational basis: samples an outcome,
+  /// collapses the state in place, and returns the outcome.
+  int measure_register(int reg, util::Rng& rng);
+
+  /// Probability of obtaining `outcome` when measuring `reg` (no collapse).
+  double outcome_probability(int reg, int outcome) const;
+
+ private:
+  RegisterShape shape_;
+  CVec amp_;
+};
+
+}  // namespace dqma::quantum

@@ -1,0 +1,105 @@
+#include "quantum/unitary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace dqma::quantum {
+
+using linalg::Complex;
+using util::require;
+
+CMat hadamard() {
+  CMat h(2, 2);
+  const double s = 1.0 / std::sqrt(2.0);
+  h(0, 0) = Complex{s, 0.0};
+  h(0, 1) = Complex{s, 0.0};
+  h(1, 0) = Complex{s, 0.0};
+  h(1, 1) = Complex{-s, 0.0};
+  return h;
+}
+
+CMat swap_unitary(int d) {
+  require(d >= 1, "swap_unitary: dimension must be positive");
+  CMat u(d * d, d * d);
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < d; ++j) {
+      u(j * d + i, i * d + j) = Complex{1.0, 0.0};
+    }
+  }
+  return u;
+}
+
+CMat permutation_unitary(int d, const std::vector<int>& perm) {
+  const int k = static_cast<int>(perm.size());
+  require(k >= 1, "permutation_unitary: empty permutation");
+  // Validate that perm is a permutation of 0..k-1 and build its inverse.
+  std::vector<int> inverse(static_cast<std::size_t>(k), -1);
+  for (int pos = 0; pos < k; ++pos) {
+    const int image = perm[static_cast<std::size_t>(pos)];
+    require(image >= 0 && image < k, "permutation_unitary: entry out of range");
+    require(inverse[static_cast<std::size_t>(image)] == -1,
+            "permutation_unitary: not a permutation");
+    inverse[static_cast<std::size_t>(image)] = pos;
+  }
+
+  long long dim = 1;
+  for (int s = 0; s < k; ++s) {
+    dim *= d;
+  }
+  require(dim <= (1 << 14), "permutation_unitary: dimension too large");
+
+  CMat u(static_cast<int>(dim), static_cast<int>(dim));
+  std::vector<int> idx(static_cast<std::size_t>(k));
+  for (long long col = 0; col < dim; ++col) {
+    // Decode |i_1 ... i_k> from the column index (register 0 most significant).
+    long long rem = col;
+    for (int s = k - 1; s >= 0; --s) {
+      idx[static_cast<std::size_t>(s)] = static_cast<int>(rem % d);
+      rem /= d;
+    }
+    // U_pi |i_1..i_k> = |j_1..j_k> with j_s = i_{pi^{-1}(s)}.
+    long long row = 0;
+    for (int s = 0; s < k; ++s) {
+      const int source = inverse[static_cast<std::size_t>(s)];
+      row = row * d + idx[static_cast<std::size_t>(source)];
+    }
+    u(static_cast<int>(row), static_cast<int>(col)) = Complex{1.0, 0.0};
+  }
+  return u;
+}
+
+CMat select_unitary(const std::vector<CMat>& us) {
+  require(!us.empty(), "select_unitary: need at least one unitary");
+  const int d = us.front().rows();
+  for (const auto& u : us) {
+    require(u.rows() == d && u.cols() == d,
+            "select_unitary: all blocks must be square of equal dimension");
+  }
+  const int c = static_cast<int>(us.size());
+  CMat out(c * d, c * d);
+  for (int b = 0; b < c; ++b) {
+    const CMat& u = us[static_cast<std::size_t>(b)];
+    for (int i = 0; i < d; ++i) {
+      for (int j = 0; j < d; ++j) {
+        out(b * d + i, b * d + j) = u(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> all_permutations(int k) {
+  require(k >= 1 && k <= 8, "all_permutations: k must be in [1,8]");
+  std::vector<int> base(static_cast<std::size_t>(k));
+  std::iota(base.begin(), base.end(), 0);
+  std::vector<std::vector<int>> out;
+  do {
+    out.push_back(base);
+  } while (std::next_permutation(base.begin(), base.end()));
+  return out;
+}
+
+}  // namespace dqma::quantum

@@ -1,0 +1,34 @@
+// Constructors for the unitaries the protocols use: Hadamard, SWAP between
+// equal-dimension registers, k-party permutation unitaries U_pi (Sec. 3.1),
+// and controlled versions with a separate control register.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dqma::quantum {
+
+using linalg::CMat;
+
+/// 2x2 Hadamard.
+CMat hadamard();
+
+/// SWAP on two registers of dimension d each (acts on C^d tensor C^d).
+CMat swap_unitary(int d);
+
+/// U_pi on k registers of dimension d each:
+///   U_pi |i_1 ... i_k> = |i_{pi^{-1}(1)} ... i_{pi^{-1}(k)}>
+/// (the paper's convention in Sec. 3.1). `perm` lists pi(0..k-1) 0-based.
+CMat permutation_unitary(int d, const std::vector<int>& perm);
+
+/// Controlled-U with a control register of dimension `controls`:
+/// |c> |psi> -> |c> (U_c |psi>), where U_c is us[c]. All us must be square
+/// and of equal dimension. Used for the controlled-SWAP of the SWAP test and
+/// the controlled-permutation of the permutation test.
+CMat select_unitary(const std::vector<CMat>& us);
+
+/// All permutations of {0..k-1} in lexicographic order (k <= 8).
+std::vector<std::vector<int>> all_permutations(int k);
+
+}  // namespace dqma::quantum

@@ -1,0 +1,157 @@
+#include "util/gf2.hpp"
+
+#include "util/require.hpp"
+
+namespace dqma::util {
+
+Gf2Matrix::Gf2Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols), words_per_row_((cols + 63) / 64) {
+  require(rows >= 1 && cols >= 1, "Gf2Matrix: dimensions must be positive");
+  w_.assign(static_cast<std::size_t>(rows) *
+                static_cast<std::size_t>(words_per_row_),
+            0);
+}
+
+Gf2Matrix Gf2Matrix::identity(int n) {
+  Gf2Matrix m(n, n);
+  for (int i = 0; i < n; ++i) {
+    m.set(i, i, true);
+  }
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::random(int rows, int cols, Rng& rng) {
+  Gf2Matrix m(rows, cols);
+  for (auto& word : m.w_) {
+    word = rng.next_u64();
+  }
+  // Mask tail bits of every row.
+  const int tail = cols % 64;
+  if (tail != 0) {
+    const std::uint64_t mask = (1ULL << tail) - 1;
+    for (int i = 0; i < rows; ++i) {
+      m.word(i, m.words_per_row_ - 1) &= mask;
+    }
+  }
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::random_of_rank(int n, int r, Rng& rng) {
+  require(r >= 0 && r <= n, "Gf2Matrix::random_of_rank: rank out of range");
+  if (r == 0) {
+    return Gf2Matrix(n, n);
+  }
+  for (;;) {
+    const Gf2Matrix a = random(n, r, rng);
+    const Gf2Matrix b = random(r, n, rng);
+    const Gf2Matrix m = a * b;
+    if (m.rank() == r) {
+      return m;
+    }
+  }
+}
+
+Gf2Matrix Gf2Matrix::from_bits(const Bitstring& bits, int rows, int cols) {
+  require(bits.size() == rows * cols, "Gf2Matrix::from_bits: size mismatch");
+  Gf2Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      m.set(i, j, bits.get(i * cols + j));
+    }
+  }
+  return m;
+}
+
+Bitstring Gf2Matrix::to_bits() const {
+  Bitstring out(rows_ * cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) {
+      out.set(i * cols_ + j, get(i, j));
+    }
+  }
+  return out;
+}
+
+bool Gf2Matrix::get(int i, int j) const {
+  require(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+          "Gf2Matrix::get: index out of range");
+  return (word(i, j / 64) >> (j % 64)) & 1ULL;
+}
+
+void Gf2Matrix::set(int i, int j, bool v) {
+  require(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+          "Gf2Matrix::set: index out of range");
+  const std::uint64_t mask = 1ULL << (j % 64);
+  if (v) {
+    word(i, j / 64) |= mask;
+  } else {
+    word(i, j / 64) &= ~mask;
+  }
+}
+
+Gf2Matrix Gf2Matrix::operator^(const Gf2Matrix& other) const {
+  require(rows_ == other.rows_ && cols_ == other.cols_,
+          "Gf2Matrix::operator^: shape mismatch");
+  Gf2Matrix out = *this;
+  for (std::size_t k = 0; k < w_.size(); ++k) {
+    out.w_[k] ^= other.w_[k];
+  }
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::operator*(const Gf2Matrix& other) const {
+  require(cols_ == other.rows_, "Gf2Matrix::operator*: shape mismatch");
+  Gf2Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      if (!get(i, k)) {
+        continue;
+      }
+      // Row i of the result ^= row k of `other`.
+      for (int wdx = 0; wdx < other.words_per_row_; ++wdx) {
+        out.word(i, wdx) ^= other.word(k, wdx);
+      }
+    }
+  }
+  return out;
+}
+
+int Gf2Matrix::rank() const {
+  Gf2Matrix work = *this;
+  int rank = 0;
+  for (int col = 0; col < cols_ && rank < rows_; ++col) {
+    // Find a pivot row at or below `rank` with a 1 in this column.
+    int pivot = -1;
+    for (int i = rank; i < rows_; ++i) {
+      if (work.get(i, col)) {
+        pivot = i;
+        break;
+      }
+    }
+    if (pivot < 0) {
+      continue;
+    }
+    // Swap pivot row into place.
+    if (pivot != rank) {
+      for (int wdx = 0; wdx < words_per_row_; ++wdx) {
+        std::swap(work.word(pivot, wdx), work.word(rank, wdx));
+      }
+    }
+    // Eliminate below.
+    for (int i = rank + 1; i < rows_; ++i) {
+      if (work.get(i, col)) {
+        for (int wdx = 0; wdx < words_per_row_; ++wdx) {
+          work.word(i, wdx) ^= work.word(rank, wdx);
+        }
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+bool Gf2Matrix::operator==(const Gf2Matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && w_ == other.w_;
+}
+
+}  // namespace dqma::util

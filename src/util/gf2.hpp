@@ -1,0 +1,66 @@
+// Dense matrices over GF(2) with rank computation: the substrate of the
+// paper's F_q-rank predicate (Definition 15 / Corollary 41, q = 2) and of
+// the random-sketch one-way protocol for it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::util {
+
+/// A rows x cols matrix over GF(2), rows packed into 64-bit words.
+class Gf2Matrix {
+ public:
+  Gf2Matrix() = default;
+  Gf2Matrix(int rows, int cols);
+
+  static Gf2Matrix identity(int n);
+  static Gf2Matrix random(int rows, int cols, Rng& rng);
+
+  /// Random matrix of exact rank `r` (product of random full-rank-ish
+  /// factors; retries until the rank is exact).
+  static Gf2Matrix random_of_rank(int n, int r, Rng& rng);
+
+  /// Row-major bit encoding round trip (inputs of the rank predicate).
+  static Gf2Matrix from_bits(const Bitstring& bits, int rows, int cols);
+  Bitstring to_bits() const;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  bool get(int i, int j) const;
+  void set(int i, int j, bool v);
+
+  /// Entrywise XOR (the GF(2) matrix sum X + Y of Definition 15).
+  Gf2Matrix operator^(const Gf2Matrix& other) const;
+
+  /// Matrix product over GF(2).
+  Gf2Matrix operator*(const Gf2Matrix& other) const;
+
+  /// Rank by Gaussian elimination on a working copy.
+  int rank() const;
+
+  bool operator==(const Gf2Matrix& other) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  int words_per_row_ = 0;
+  std::vector<std::uint64_t> w_;
+
+  std::uint64_t& word(int i, int k) {
+    return w_[static_cast<std::size_t>(i) *
+                  static_cast<std::size_t>(words_per_row_) +
+              static_cast<std::size_t>(k)];
+  }
+  const std::uint64_t& word(int i, int k) const {
+    return w_[static_cast<std::size_t>(i) *
+                  static_cast<std::size_t>(words_per_row_) +
+              static_cast<std::size_t>(k)];
+  }
+};
+
+}  // namespace dqma::util

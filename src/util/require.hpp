@@ -1,0 +1,31 @@
+// Lightweight precondition checking used throughout the library.
+//
+// Following the C++ Core Guidelines (I.5, I.6: state and check preconditions)
+// we fail fast with an informative exception rather than silently proceeding.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dqma::util {
+
+/// Throws std::invalid_argument with `message` if `condition` is false.
+///
+/// Used to validate function preconditions (argument ranges, dimension
+/// agreement, ...). The cost is a branch; none of the hot inner loops in the
+/// simulators call it per-element.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::invalid_argument(message);
+  }
+}
+
+/// Throws std::logic_error: used for internal invariants that indicate a bug
+/// in this library (as opposed to a caller error).
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::logic_error(message);
+  }
+}
+
+}  // namespace dqma::util

@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace dqma::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must be non-empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "Table::add_row: cell count does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt(int v) { return std::to_string(v); }
+std::string Table::fmt(long long v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      os << (c + 1 == row.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void print_banner(std::ostream& os, const std::string& experiment,
+                  const std::string& description) {
+  os << '\n'
+     << "==== " << experiment << " ====\n"
+     << description << '\n'
+     << '\n';
+}
+
+}  // namespace dqma::util

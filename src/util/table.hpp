@@ -1,0 +1,41 @@
+// Plain-text table printer used by the benchmark harnesses to emit rows in
+// the same layout as the paper's Tables 1-3 (DESIGN.md Sec. 3).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dqma::util {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+///
+/// Usage:
+///   Table t({"n", "r", "local proof (qubits)", "soundness err"});
+///   t.add_row({"64", "4", "288", "0.31"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats helpers for numeric cells.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt(int v);
+  static std::string fmt(long long v);
+
+  void print(std::ostream& os) const;
+
+  int row_count() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner (experiment id + description) above a table.
+void print_banner(std::ostream& os, const std::string& experiment,
+                  const std::string& description);
+
+}  // namespace dqma::util

@@ -1,0 +1,23 @@
+// Centralized numerical tolerances (DESIGN.md Sec. 5).
+#pragma once
+
+namespace dqma::util {
+
+/// Tolerance for algebraic identities (unitarity checks, trace == 1, ...).
+inline constexpr double kAlgebraTol = 1e-9;
+
+/// Looser tolerance for iteratively computed quantities (eigenvalues,
+/// trace norms) where O(dim) rounding accumulates.
+inline constexpr double kSpectralTol = 1e-7;
+
+/// Default convergence threshold for the Jacobi eigensolver: *squared*
+/// off-diagonal Frobenius mass below this value terminates the sweep loop
+/// (so residual off-diagonal entries are ~1e-11; convergence is quadratic,
+/// making the extra sweeps cheap).
+inline constexpr double kJacobiTol = 1e-22;
+
+/// Maximum global Hilbert-space dimension the exact density-matrix engine
+/// accepts (DESIGN.md Sec. 5). 2^14 keeps a single dense matrix under 4 GiB.
+inline constexpr int kMaxExactDim = 1 << 14;
+
+}  // namespace dqma::util

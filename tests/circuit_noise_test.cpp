@@ -1,0 +1,184 @@
+// Cross-validation of the three protocol engines (circuit-level Monte-
+// Carlo vs coin-DP closed form vs acceptance operator) and the noise
+// robustness model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dqma/attacks.hpp"
+#include "dqma/circuit_sim.hpp"
+#include "dqma/eq_path.hpp"
+#include "dqma/exact_runner.hpp"
+#include "dqma/noise.hpp"
+#include "dqma/runner.hpp"
+#include "qtest/swap_test.hpp"
+#include "quantum/random.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dqma::linalg::CVec;
+using dqma::protocol::chain_accept;
+using dqma::protocol::circuit_eq_path_accept;
+using dqma::protocol::EqPathProtocol;
+using dqma::protocol::noise_threshold;
+using dqma::protocol::noisy_attack_accept;
+using dqma::protocol::noisy_completeness;
+using dqma::protocol::PathProof;
+using dqma::protocol::rotation_attack;
+using dqma::util::Bitstring;
+using dqma::util::Rng;
+
+double dp_accept(const CVec& source, const CVec& target,
+                 const PathProof& proof) {
+  return chain_accept(
+      source, proof,
+      [](const CVec& a, const CVec& b) {
+        return dqma::qtest::swap_test_accept(a, b);
+      },
+      [&target](const CVec& v) {
+        const double amp = std::abs(target.dot(v));
+        return amp * amp;
+      });
+}
+
+TEST(CircuitSimTest, HonestRunAcceptsAlways) {
+  Rng rng(1);
+  const CVec psi = dqma::quantum::haar_state(4, rng);
+  PathProof proof;
+  proof.reg0.assign(3, psi);
+  proof.reg1 = proof.reg0;
+  const auto est = circuit_eq_path_accept(psi, psi, proof, rng, 300);
+  EXPECT_DOUBLE_EQ(est.mean, 1.0);
+}
+
+TEST(CircuitSimTest, MatchesChainDpOnRandomProducts) {
+  // The independent circuit-level implementation agrees with the closed-
+  // form DP within Monte-Carlo error on arbitrary product proofs.
+  Rng rng(2);
+  for (int trial = 0; trial < 4; ++trial) {
+    const CVec source = dqma::quantum::haar_state(4, rng);
+    const CVec target = dqma::quantum::haar_state(4, rng);
+    PathProof proof;
+    const int inner = 2 + trial % 2;
+    for (int j = 0; j < inner; ++j) {
+      proof.reg0.push_back(dqma::quantum::haar_state(4, rng));
+      proof.reg1.push_back(dqma::quantum::haar_state(4, rng));
+    }
+    const double exact = dp_accept(source, target, proof);
+    const auto est = circuit_eq_path_accept(source, target, proof, rng, 4000);
+    EXPECT_NEAR(est.mean, exact, 4.0 * est.half_width_95 + 0.01)
+        << "trial " << trial;
+  }
+}
+
+TEST(CircuitSimTest, MatchesExactEngineOnRotationAttack) {
+  Rng rng(3);
+  const CVec a = CVec::basis(3, 0);
+  const CVec b = CVec::basis(3, 1);
+  const int r = 3;
+  const auto attack = rotation_attack(a, b, r - 1);
+  const double dp = dp_accept(a, b, attack);
+  // Exact engine.
+  const dqma::protocol::ExactEqPathAnalyzer exact(a, b, r);
+  std::vector<CVec> regs;
+  for (int j = 0; j < r - 1; ++j) {
+    regs.push_back(attack.reg0[static_cast<std::size_t>(j)]);
+    regs.push_back(attack.reg1[static_cast<std::size_t>(j)]);
+  }
+  EXPECT_NEAR(dp, exact.product_accept(regs), 1e-9);
+  // Circuit.
+  const auto est = circuit_eq_path_accept(a, b, attack, rng, 4000);
+  EXPECT_NEAR(est.mean, dp, 4.0 * est.half_width_95 + 0.01);
+}
+
+// --- noise robustness ---------------------------------------------------------
+
+TEST(NoiseTest, ZeroNoiseMatchesNoiselessProtocol) {
+  Rng rng(4);
+  const EqPathProtocol protocol(12, 4, 0.3, 10);
+  const Bitstring x = Bitstring::random(12, rng);
+  EXPECT_NEAR(noisy_completeness(protocol, x, 0.0), protocol.completeness(x),
+              1e-12);
+  Bitstring y = Bitstring::random(12, rng);
+  if (x == y) y.flip(0);
+  EXPECT_NEAR(noisy_attack_accept(protocol, x, y, 0.0),
+              protocol.best_attack_accept(x, y), 1e-9);
+}
+
+TEST(NoiseTest, CompletenessDecaysMonotonically) {
+  Rng rng(5);
+  const EqPathProtocol protocol(12, 4, 0.3, 20);
+  const Bitstring x = Bitstring::random(12, rng);
+  double prev = 1.0;
+  for (const double p : {0.0, 0.001, 0.01, 0.1, 0.5}) {
+    const double c = noisy_completeness(protocol, x, p);
+    EXPECT_LE(c, prev + 1e-12);
+    prev = c;
+  }
+  // Full depolarization: every test is essentially a coin flip.
+  EXPECT_LT(noisy_completeness(protocol, x, 1.0), 1e-3);
+}
+
+TEST(NoiseTest, CompletenessClosedFormAtHonestProof) {
+  // Honest proof: every SWAP test has swap(a,b) = 1, so its noisy value is
+  // (1-p) + p (1/2 + 1/2d); the final projector gives (1-p) + p/d.
+  Rng rng(6);
+  const int r = 5;
+  const int reps = 3;
+  const EqPathProtocol protocol(12, r, 0.3, reps);
+  const Bitstring x = Bitstring::random(12, rng);
+  const double p = 0.07;
+  const double d = protocol.scheme().dim();
+  const double per_swap = (1.0 - p) + p * (0.5 + 0.5 / d);
+  const double per_final = (1.0 - p) + p / d;
+  const double expected =
+      std::pow(std::pow(per_swap, r - 1) * per_final, reps);
+  EXPECT_NEAR(noisy_completeness(protocol, x, p), expected, 1e-9);
+}
+
+TEST(NoiseTest, NoiseDampsTheAttackToo) {
+  // Depolarization pulls every test statistic toward its mixed baseline:
+  // the rotation attack's near-1 per-test acceptances decay as well, so
+  // the soundness side is robust; completeness is the fragile side.
+  Rng rng(7);
+  const EqPathProtocol protocol(12, 4, 0.3, 20);
+  const Bitstring x = Bitstring::random(12, rng);
+  Bitstring y = Bitstring::random(12, rng);
+  if (x == y) y.flip(0);
+  EXPECT_LT(noisy_attack_accept(protocol, x, y, 0.3),
+            noisy_attack_accept(protocol, x, y, 0.0));
+}
+
+TEST(NoiseTest, ThresholdIsPositiveAndBelowBreakdown) {
+  Rng rng(8);
+  const int r = 4;
+  // 64 repetitions: enough for soundness 1/3 at r = 4 (ablation D4) while
+  // keeping the completeness decay, and hence the threshold, measurable.
+  const EqPathProtocol protocol(12, r, 0.3, 64);
+  const Bitstring x = Bitstring::random(12, rng);
+  Bitstring y = Bitstring::random(12, rng);
+  if (x == y) y.flip(1);
+  const double threshold = noise_threshold(protocol, x, y, 1e-6);
+  EXPECT_GT(threshold, 0.0);
+  EXPECT_LT(threshold, 0.5);
+  // At the threshold the protocol still separates; just above it doesn't.
+  EXPECT_GE(noisy_completeness(protocol, x, threshold), 2.0 / 3.0 - 1e-6);
+  EXPECT_LE(noisy_attack_accept(protocol, x, y, threshold), 1.0 / 3.0 + 1e-6);
+}
+
+TEST(NoiseTest, MoreRepetitionsLowerTheNoiseTolerance) {
+  // Each repetition multiplies the noisy completeness, so the tolerable
+  // per-channel noise shrinks as repetitions grow: the robustness price of
+  // the soundness amplification.
+  Rng rng(9);
+  const Bitstring x = Bitstring::random(12, rng);
+  Bitstring y = Bitstring::random(12, rng);
+  if (x == y) y.flip(1);
+  const EqPathProtocol few(12, 4, 0.3, 100);
+  const EqPathProtocol many(12, 4, 0.3, 1000);
+  EXPECT_GT(noise_threshold(few, x, y), noise_threshold(many, x, y));
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Tests for the general-graph EQ protocol (Theorem 19 / Algorithm 5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dqma/eq_graph.hpp"
+#include "network/graph.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dqma::network::Graph;
+using dqma::protocol::EqGraphProtocol;
+using dqma::protocol::GraphTestMode;
+using dqma::util::Bitstring;
+using dqma::util::Rng;
+
+std::vector<Bitstring> equal_inputs(const Bitstring& x, int t) {
+  return std::vector<Bitstring>(static_cast<std::size_t>(t), x);
+}
+
+class EqGraphCompletenessTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EqGraphCompletenessTest, PerfectCompletenessOnStars) {
+  const auto [n, t] = GetParam();
+  Rng rng(1);
+  const Graph g = Graph::star(t);
+  std::vector<int> terminals;
+  for (int i = 1; i <= t; ++i) {
+    terminals.push_back(i);
+  }
+  const EqGraphProtocol protocol(g, terminals, n, 0.3, 2);
+  const Bitstring x = Bitstring::random(n, rng);
+  EXPECT_NEAR(protocol.completeness(x), 1.0, 1e-9) << "n=" << n << " t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EqGraphCompletenessTest,
+                         ::testing::Combine(::testing::Values(8, 32),
+                                            ::testing::Values(2, 3, 5)));
+
+TEST(EqGraphTest, PerfectCompletenessOnPaths) {
+  Rng rng(2);
+  const Graph g = Graph::path(6);
+  const EqGraphProtocol protocol(g, {0, 6}, 16, 0.3, 3);
+  const Bitstring x = Bitstring::random(16, rng);
+  EXPECT_NEAR(protocol.completeness(x), 1.0, 1e-9);
+}
+
+TEST(EqGraphTest, PerfectCompletenessOnRandomTreesWithManyTerminals) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = Graph::random_tree(20, rng);
+    std::vector<int> terminals{0, 5, 11, 19};
+    const EqGraphProtocol protocol(g, terminals, 12, 0.3, 1);
+    const Bitstring x = Bitstring::random(12, rng);
+    EXPECT_NEAR(protocol.completeness(x), 1.0, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(EqGraphTest, InternalTerminalVirtualLeafKeepsCompleteness) {
+  // Terminals on a path interior force the re-hang construction.
+  Rng rng(4);
+  const Graph g = Graph::path(4);
+  const EqGraphProtocol protocol(g, {0, 2, 4}, 12, 0.3, 2);
+  const Bitstring x = Bitstring::random(12, rng);
+  EXPECT_NEAR(protocol.completeness(x), 1.0, 1e-9);
+}
+
+TEST(EqGraphTest, DeviantLeafIsDetectedWithPaperRepetitions) {
+  Rng rng(5);
+  const Graph g = Graph::star(4);
+  const EqGraphProtocol protocol(g, {1, 2, 3, 4}, 16, 0.3,
+                                 /*reps=*/2 * 81 * 3 * 3 / 2);
+  const Bitstring x = Bitstring::random(16, rng);
+  Bitstring z = Bitstring::random(16, rng);
+  if (z == x) z.flip(0);
+  std::vector<Bitstring> inputs = equal_inputs(x, 4);
+  inputs[2] = z;
+  EXPECT_LE(protocol.best_attack_accept(inputs), 1.0 / 3.0);
+}
+
+TEST(EqGraphTest, SingleRepetitionAttackSurvivesOnDeepTrees) {
+  Rng rng(6);
+  const Graph g = Graph::path(10);
+  const EqGraphProtocol protocol(g, {0, 10}, 16, 0.3, 1);
+  const Bitstring x = Bitstring::random(16, rng);
+  Bitstring y = Bitstring::random(16, rng);
+  if (x == y) y.flip(1);
+  EXPECT_GE(protocol.best_attack_accept({x, y}), 0.6);
+}
+
+TEST(EqGraphTest, PermutationTestCostIndependentOfTerminals) {
+  // Theorem 19's improvement: local proof size does not grow with t.
+  const int n = 32;
+  const Graph g3 = Graph::star(3);
+  const Graph g7 = Graph::star(7);
+  const EqGraphProtocol p3(g3, {1, 2, 3}, n, 0.3, 5);
+  const EqGraphProtocol p7(g7, {1, 2, 3, 4, 5, 6, 7}, n, 0.3, 5);
+  EXPECT_EQ(p3.costs().local_proof_qubits, p7.costs().local_proof_qubits);
+}
+
+TEST(EqGraphAblationTest, PermutationTestCatchesBetterThanRandomPair) {
+  // On a star with t leaves the random-pair SWAP baseline tests the deviant
+  // child only with probability 1/(t-1) per repetition; the permutation
+  // test involves it always.
+  Rng rng(7);
+  const int t = 5;
+  const Graph g = Graph::star(t);
+  std::vector<int> terminals;
+  for (int i = 1; i <= t; ++i) {
+    terminals.push_back(i);
+  }
+  const EqGraphProtocol perm(g, terminals, 16, 0.3, 1,
+                             GraphTestMode::kPermutationTest);
+  const EqGraphProtocol pair(g, terminals, 16, 0.3, 1,
+                             GraphTestMode::kRandomPairSwap);
+  const Bitstring x = Bitstring::random(16, rng);
+  std::vector<Bitstring> inputs = equal_inputs(x, t);
+  Bitstring z = Bitstring::random(16, rng);
+  if (z == x) z.flip(0);
+  inputs[3] = z;
+  EXPECT_LT(perm.best_attack_accept(inputs),
+            pair.best_attack_accept(inputs) + 1e-9);
+}
+
+TEST(EqGraphAblationTest, RandomPairModeStillComplete) {
+  Rng rng(8);
+  const Graph g = Graph::star(4);
+  const EqGraphProtocol protocol(g, {1, 2, 3, 4}, 12, 0.3, 2,
+                                 GraphTestMode::kRandomPairSwap);
+  const Bitstring x = Bitstring::random(12, rng);
+  EXPECT_NEAR(protocol.completeness(x), 1.0, 1e-9);
+}
+
+TEST(EqGraphTest, TwoTerminalAcceptIsSymmetricInDeviation) {
+  // Flipping which endpoint deviates should not change the attack value
+  // much (the protocol is direction-asymmetric, but detection is driven by
+  // the same fingerprint overlap).
+  Rng rng(9);
+  const Graph g = Graph::path(5);
+  const EqGraphProtocol protocol(g, {0, 5}, 16, 0.3, 1);
+  const Bitstring x = Bitstring::random(16, rng);
+  Bitstring y = Bitstring::random(16, rng);
+  if (x == y) y.flip(2);
+  const double a = protocol.best_attack_accept({x, y});
+  const double b = protocol.best_attack_accept({y, x});
+  EXPECT_NEAR(a, b, 0.05);
+}
+
+}  // namespace

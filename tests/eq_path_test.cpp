@@ -1,0 +1,356 @@
+// Tests for the EQ path protocol (Algorithms 3/4), its ablations, and the
+// exact worst-case engine. Together these validate the paper's Theorem 19
+// pipeline on paths: perfect completeness, soundness 1/3 at k = Theta(r^2)
+// repetitions, and the necessity of the symmetrization step.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dqma/attacks.hpp"
+#include "dqma/eq_path.hpp"
+#include "dqma/exact_runner.hpp"
+#include "dqma/runner.hpp"
+#include "qtest/swap_test.hpp"
+#include "quantum/random.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dqma::linalg::CVec;
+using dqma::protocol::all_target_attack;
+using dqma::protocol::EqPathMode;
+using dqma::protocol::EqPathProtocol;
+using dqma::protocol::ExactEqPathAnalyzer;
+using dqma::protocol::geodesic_states;
+using dqma::protocol::PathProof;
+using dqma::protocol::rotation_attack;
+using dqma::protocol::step_attack;
+using dqma::util::Bitstring;
+using dqma::util::Rng;
+
+TEST(GeodesicTest, EndpointsAndMonotonicity) {
+  Rng rng(1);
+  const CVec a = dqma::quantum::haar_state(8, rng);
+  const CVec b = dqma::quantum::haar_state(8, rng);
+  const auto states = geodesic_states(a, b, 5);
+  ASSERT_EQ(states.size(), 5u);
+  // Overlap with a decreases along the path; overlap with b increases.
+  double prev_a = 1.0;
+  double prev_b = 0.0;
+  for (const auto& s : states) {
+    const double oa = std::abs(a.dot(s));
+    const double ob = std::abs(b.dot(s));
+    EXPECT_LE(oa, prev_a + 1e-9);
+    EXPECT_GE(ob, prev_b - 1e-9);
+    prev_a = oa;
+    prev_b = ob;
+    EXPECT_NEAR(s.norm(), 1.0, 1e-9);
+  }
+}
+
+TEST(GeodesicTest, AdjacentOverlapsAreUniform) {
+  Rng rng(2);
+  const CVec a = dqma::quantum::haar_state(6, rng);
+  const CVec b = dqma::quantum::haar_state(6, rng);
+  const auto states = geodesic_states(a, b, 7);
+  // Consecutive geodesic points have equal overlap cos(theta/8).
+  double first = std::abs(states[0].dot(states[1]));
+  for (std::size_t j = 2; j < states.size(); ++j) {
+    EXPECT_NEAR(std::abs(states[j - 1].dot(states[j])), first, 1e-9);
+  }
+}
+
+class EqPathCompletenessTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(EqPathCompletenessTest, PerfectCompleteness) {
+  const auto [n, r, reps] = GetParam();
+  Rng rng(3);
+  const EqPathProtocol protocol(n, r, 0.3, reps);
+  const Bitstring x = Bitstring::random(n, rng);
+  EXPECT_NEAR(protocol.completeness(x), 1.0, 1e-9)
+      << "n=" << n << " r=" << r << " reps=" << reps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EqPathCompletenessTest,
+    ::testing::Combine(::testing::Values(8, 24, 64),
+                       ::testing::Values(1, 2, 4, 9),
+                       ::testing::Values(1, 5)));
+
+TEST(EqPathTest, HonestProofOnUnequalInputsIsCaughtByFinalTest) {
+  Rng rng(4);
+  const int n = 24;
+  const EqPathProtocol protocol(n, 4, 0.3, 1);
+  const Bitstring x = Bitstring::random(n, rng);
+  Bitstring y = Bitstring::random(n, rng);
+  if (x == y) y.flip(0);
+  // All SWAP tests accept (identical registers); only v_r's POVM rejects.
+  const double accept =
+      protocol.accept_probability(x, y, protocol.honest_proof(x));
+  const double delta = protocol.scheme().delta();
+  EXPECT_LE(accept, delta * delta + 1e-9);
+}
+
+TEST(EqPathTest, PaperRepetitionsReachSoundnessOneThird) {
+  Rng rng(5);
+  const int n = 16;
+  for (int r : {2, 3, 5, 8}) {
+    const EqPathProtocol protocol(n, r, 0.3, EqPathProtocol::paper_reps(r));
+    const Bitstring x = Bitstring::random(n, rng);
+    Bitstring y = Bitstring::random(n, rng);
+    if (x == y) y.flip(1);
+    EXPECT_LE(protocol.best_attack_accept(x, y), 1.0 / 3.0) << "r=" << r;
+  }
+}
+
+TEST(EqPathTest, SingleRepetitionIsNotSoundForLongPaths) {
+  // The rotation attack survives one repetition with probability
+  // 1 - O(1/r): this is why Theta(r^2) parallel repetitions are needed.
+  Rng rng(6);
+  const int n = 16;
+  const EqPathProtocol protocol(n, 10, 0.3, 1);
+  const Bitstring x = Bitstring::random(n, rng);
+  Bitstring y = Bitstring::random(n, rng);
+  if (x == y) y.flip(2);
+  EXPECT_GE(protocol.best_attack_accept(x, y), 0.7);
+}
+
+TEST(EqPathTest, RotationAttackBeatsStepAttack) {
+  Rng rng(7);
+  const int n = 16;
+  const EqPathProtocol protocol(n, 8, 0.3, 1);
+  const Bitstring x = Bitstring::random(n, rng);
+  Bitstring y = Bitstring::random(n, rng);
+  if (x == y) y.flip(3);
+  const CVec hx = protocol.scheme().state(x);
+  const CVec hy = protocol.scheme().state(y);
+  const double rot = protocol.single_rep_accept(x, y, rotation_attack(hx, hy, 7));
+  for (int cut = 0; cut <= 7; ++cut) {
+    EXPECT_GE(rot + 1e-9,
+              protocol.single_rep_accept(x, y, step_attack(hx, hy, 7, cut)));
+  }
+}
+
+TEST(EqPathTest, AttackAcceptanceDecaysWithRepetitions) {
+  Rng rng(8);
+  const int n = 16;
+  const Bitstring x = Bitstring::random(n, rng);
+  Bitstring y = Bitstring::random(n, rng);
+  if (x == y) y.flip(0);
+  double prev = 1.0;
+  for (int reps : {1, 10, 50}) {
+    const EqPathProtocol protocol(n, 4, 0.3, reps);
+    const double acc = protocol.best_attack_accept(x, y);
+    EXPECT_LE(acc, prev + 1e-12);
+    prev = acc;
+  }
+}
+
+TEST(EqPathTest, SoundnessErrorMatchesLemma17Shape) {
+  // Single-repetition rejection probability of the best attack is at least
+  // 4/(81 r^2) (Lemma 17 + Lemma 11 give acceptance <= 1 - 4/81r^2).
+  Rng rng(9);
+  const int n = 16;
+  for (int r : {2, 4, 8}) {
+    const EqPathProtocol protocol(n, r, 0.3, 1);
+    const Bitstring x = Bitstring::random(n, rng);
+    Bitstring y = Bitstring::random(n, rng);
+    if (x == y) y.flip(1);
+    const double accept = protocol.best_attack_accept(x, y);
+    EXPECT_LE(accept, 1.0 - 4.0 / (81.0 * r * r) + 1e-9) << "r=" << r;
+  }
+}
+
+TEST(EqPathAblationTest, NoSymmetrizationIsCompletelyBroken) {
+  // Without the symmetrization step a product proof achieves acceptance 1
+  // on a no instance: kept registers mimic the forward chain while the
+  // forwarded registers deliver |h_y| to the endpoint.
+  Rng rng(10);
+  const int n = 16;
+  const int r = 5;
+  const EqPathProtocol protocol(n, r, 0.3, 7, EqPathMode::kNoSymmetrization);
+  const Bitstring x = Bitstring::random(n, rng);
+  Bitstring y = Bitstring::random(n, rng);
+  if (x == y) y.flip(0);
+  const CVec hx = protocol.scheme().state(x);
+  const CVec hy = protocol.scheme().state(y);
+  PathProof cheat;
+  for (int j = 0; j < r - 1; ++j) {
+    cheat.reg0.push_back(hx);                       // kept: matches the chain
+    cheat.reg1.push_back(j + 1 < r - 1 ? hx : hy);  // forwarded: flip at end
+  }
+  const double accept = protocol.accept_probability(
+      x, y, dqma::protocol::replicate(cheat, 7));
+  EXPECT_NEAR(accept, 1.0, 1e-9);
+}
+
+TEST(EqPathAblationTest, SymmetrizationDefeatsTheChainCheat) {
+  // The same cheat against the real protocol is caught with constant
+  // probability per repetition.
+  Rng rng(11);
+  const int n = 16;
+  const int r = 5;
+  const EqPathProtocol protocol(n, r, 0.3, 1);
+  const Bitstring x = Bitstring::random(n, rng);
+  Bitstring y = Bitstring::random(n, rng);
+  if (x == y) y.flip(0);
+  const CVec hx = protocol.scheme().state(x);
+  const CVec hy = protocol.scheme().state(y);
+  PathProof cheat;
+  for (int j = 0; j < r - 1; ++j) {
+    cheat.reg0.push_back(hx);
+    cheat.reg1.push_back(j + 1 < r - 1 ? hx : hy);
+  }
+  EXPECT_LE(protocol.single_rep_accept(x, y, cheat), 0.95);
+}
+
+TEST(EqPathAblationTest, FgnpForwardingHasPerfectCompleteness) {
+  Rng rng(12);
+  const EqPathProtocol protocol(16, 5, 0.3, 3, EqPathMode::kFgnpForwarding);
+  const Bitstring x = Bitstring::random(16, rng);
+  EXPECT_NEAR(protocol.completeness(x), 1.0, 1e-9);
+}
+
+TEST(EqPathAblationTest, SymmetrizedBeatsFgnpPerRepetition) {
+  // Per repetition, the symmetrized protocol catches the rotation attack
+  // with higher probability than the FGNP forwarding protocol (whose tests
+  // only occur on favorable coin patterns).
+  Rng rng(13);
+  const int n = 16;
+  const int r = 6;
+  const EqPathProtocol ours(n, r, 0.3, 1, EqPathMode::kSymmetrized);
+  const EqPathProtocol fgnp(n, r, 0.3, 1, EqPathMode::kFgnpForwarding);
+  const Bitstring x = Bitstring::random(n, rng);
+  Bitstring y = Bitstring::random(n, rng);
+  if (x == y) y.flip(0);
+  const CVec hx = ours.scheme().state(x);
+  const CVec hy = ours.scheme().state(y);
+  const auto attack = rotation_attack(hx, hy, r - 1);
+  EXPECT_LE(ours.single_rep_accept(x, y, attack),
+            fgnp.single_rep_accept(x, y, attack) + 1e-9);
+}
+
+TEST(EqPathCostTest, CostsMatchFormulas) {
+  const EqPathProtocol protocol(64, 6, 0.3, 10);
+  const auto c = protocol.costs();
+  const long long q = protocol.scheme().qubits();
+  EXPECT_EQ(c.local_proof_qubits, 2 * 10 * q);
+  EXPECT_EQ(c.total_proof_qubits, 2 * 10 * q * 5);
+  EXPECT_EQ(c.local_message_qubits, 10 * q);
+  EXPECT_EQ(c.total_message_qubits, 10 * q * 6);
+}
+
+TEST(EqPathCostTest, LocalProofGrowsAsRSquaredLogN) {
+  // With the paper's repetition count, local proof size is O(r^2 log n):
+  // doubling r roughly quadruples it at fixed n.
+  const int n = 64;
+  const EqPathProtocol p4(n, 4, 0.3, EqPathProtocol::paper_reps(4));
+  const EqPathProtocol p8(n, 8, 0.3, EqPathProtocol::paper_reps(8));
+  const double ratio = static_cast<double>(p8.costs().local_proof_qubits) /
+                       static_cast<double>(p4.costs().local_proof_qubits);
+  EXPECT_NEAR(ratio, 4.0, 0.3);
+}
+
+// --- exact engine -----------------------------------------------------------
+
+TEST(ExactEqPathTest, ChainDpMatchesExactEngineOnProducts) {
+  // Cross-validation of the two independent implementations: the closed-
+  // form coin DP and the explicit acceptance operator agree on random
+  // product proofs.
+  Rng rng(14);
+  const int r = 3;
+  // Tiny fingerprint scheme so states have dimension 4.
+  const dqma::fingerprint::FingerprintScheme scheme(6, 4, 0.9, 21);
+  Bitstring x = Bitstring::random(6, rng);
+  Bitstring y = Bitstring::random(6, rng);
+  const CVec hx = scheme.state(x);
+  const CVec hy = scheme.state(y);
+  const ExactEqPathAnalyzer exact(hx, hy, r);
+
+  // Build the same protocol objects by hand: the DP needs a protocol whose
+  // scheme produces hx, hy, so evaluate chain_accept directly instead.
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<CVec> regs;
+    PathProof proof;
+    for (int j = 0; j < r - 1; ++j) {
+      const CVec a = dqma::quantum::haar_state(4, rng);
+      const CVec b = dqma::quantum::haar_state(4, rng);
+      proof.reg0.push_back(a);
+      proof.reg1.push_back(b);
+      regs.push_back(a);
+      regs.push_back(b);
+    }
+    const double dp = dqma::protocol::chain_accept(
+        hx, proof,
+        [](const CVec& a, const CVec& b) {
+          return dqma::qtest::swap_test_accept(a, b);
+        },
+        [&hy](const CVec& received) {
+          const double amp = std::abs(hy.dot(received));
+          return amp * amp;
+        });
+    EXPECT_NEAR(dp, exact.product_accept(regs), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ExactEqPathTest, WorstCaseDominatesAllProductAttacks) {
+  Rng rng(15);
+  CVec a = CVec::basis(2, 0);
+  CVec b(2);
+  // <a|b> = 0.2 mimics a delta = 0.2 fingerprint pair.
+  b[0] = dqma::linalg::Complex{0.2, 0.0};
+  b[1] = dqma::linalg::Complex{std::sqrt(1.0 - 0.04), 0.0};
+  for (int r : {2, 3, 4}) {
+    const ExactEqPathAnalyzer exact(a, b, r);
+    const double worst = exact.worst_case_accept();
+    const double product = exact.best_product_accept(rng, 6, 40);
+    EXPECT_LE(product, worst + 1e-7) << "r=" << r;
+    EXPECT_LT(worst, 1.0 - 1e-4) << "r=" << r;  // soundness error < 1
+    // Rotation attack is a product strategy: dominated by both.
+    const auto rot = rotation_attack(a, b, r - 1);
+    std::vector<CVec> regs;
+    for (int j = 0; j < r - 1; ++j) {
+      regs.push_back(rot.reg0[static_cast<std::size_t>(j)]);
+      regs.push_back(rot.reg1[static_cast<std::size_t>(j)]);
+    }
+    EXPECT_LE(exact.product_accept(regs), product + 1e-6);
+  }
+}
+
+TEST(ExactEqPathTest, WorstCaseRespectsLemma17Bound) {
+  // The paper's soundness analysis: acceptance <= 1 - 4/(81 r^2) for any
+  // proof, including entangled ones.
+  CVec a = CVec::basis(2, 0);
+  CVec b = CVec::basis(2, 1);  // orthogonal endpoints (delta = 0)
+  for (int r : {2, 3, 4}) {
+    const ExactEqPathAnalyzer exact(a, b, r);
+    EXPECT_LE(exact.worst_case_accept(), 1.0 - 4.0 / (81.0 * r * r) + 1e-9);
+  }
+}
+
+TEST(ExactEqPathTest, EntangledAdvantageIsBounded) {
+  // Entangled proofs may beat product proofs, but not by much on these
+  // instances; record the gap to catch regressions in either engine.
+  Rng rng(16);
+  CVec a = CVec::basis(2, 0);
+  CVec b = CVec::basis(2, 1);
+  const ExactEqPathAnalyzer exact(a, b, 3);
+  const double worst = exact.worst_case_accept();
+  const double product = exact.best_product_accept(rng, 8, 60);
+  EXPECT_GE(worst, product - 1e-9);
+  EXPECT_LE(worst - product, 0.2);
+}
+
+TEST(ExactEqPathTest, EqualEndpointsAcceptCompletely) {
+  Rng rng(17);
+  const CVec a = dqma::quantum::haar_state(3, rng);
+  const ExactEqPathAnalyzer exact(a, a, 3);
+  // The honest product proof (all registers = a) accepts with certainty.
+  std::vector<CVec> regs(4, a);
+  EXPECT_NEAR(exact.product_accept(regs), 1.0, 1e-9);
+  EXPECT_NEAR(exact.worst_case_accept(), 1.0, 1e-7);
+}
+
+}  // namespace

@@ -1,0 +1,285 @@
+// Tests for the Sec. 6.2 extensions: l1-graph distances (Corollary 35),
+// LTF XOR functions (Corollary 39), F_2-rank (Corollary 41), and the LOCC
+// conversion accounting (Lemma 20 / Corollary 21).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/fq_rank.hpp"
+#include "comm/l1_graph.hpp"
+#include "dqma/forall_f.hpp"
+#include "dqma/locc.hpp"
+#include "network/graph.hpp"
+#include "util/gf2.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dqma::comm::FqRankOneWayProtocol;
+using dqma::comm::HypercubeMetric;
+using dqma::comm::JohnsonMetric;
+using dqma::comm::L1DistanceOneWayProtocol;
+using dqma::protocol::corollary21_eq_costs;
+using dqma::protocol::locc_conversion_costs;
+using dqma::util::Bitstring;
+using dqma::util::Gf2Matrix;
+using dqma::util::Rng;
+
+// --- GF(2) linear algebra ----------------------------------------------------
+
+TEST(Gf2Test, IdentityHasFullRank) {
+  EXPECT_EQ(Gf2Matrix::identity(7).rank(), 7);
+}
+
+TEST(Gf2Test, ZeroHasRankZero) {
+  EXPECT_EQ(Gf2Matrix(5, 5).rank(), 0);
+}
+
+TEST(Gf2Test, RandomOfRankIsExact) {
+  Rng rng(1);
+  for (int r : {1, 3, 6, 10}) {
+    const Gf2Matrix m = Gf2Matrix::random_of_rank(10, r, rng);
+    EXPECT_EQ(m.rank(), r);
+  }
+}
+
+TEST(Gf2Test, RankIsSubadditiveUnderXor) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Gf2Matrix a = Gf2Matrix::random(8, 8, rng);
+    const Gf2Matrix b = Gf2Matrix::random(8, 8, rng);
+    EXPECT_LE((a ^ b).rank(), a.rank() + b.rank());
+  }
+}
+
+TEST(Gf2Test, ProductRankBoundedByFactors) {
+  Rng rng(3);
+  const Gf2Matrix a = Gf2Matrix::random(8, 3, rng);
+  const Gf2Matrix b = Gf2Matrix::random(3, 8, rng);
+  EXPECT_LE((a * b).rank(), 3);
+}
+
+TEST(Gf2Test, BitsRoundTrip) {
+  Rng rng(4);
+  const Gf2Matrix m = Gf2Matrix::random(6, 9, rng);
+  EXPECT_EQ(Gf2Matrix::from_bits(m.to_bits(), 6, 9), m);
+}
+
+TEST(Gf2Test, MultiplicationMatchesManual) {
+  // [[1,1],[0,1]] * [[1,0],[1,1]] = [[0,1],[1,1]] over GF(2).
+  Gf2Matrix a(2, 2);
+  a.set(0, 0, true);
+  a.set(0, 1, true);
+  a.set(1, 1, true);
+  Gf2Matrix b(2, 2);
+  b.set(0, 0, true);
+  b.set(1, 0, true);
+  b.set(1, 1, true);
+  const Gf2Matrix c = a * b;
+  EXPECT_FALSE(c.get(0, 0));
+  EXPECT_TRUE(c.get(0, 1));
+  EXPECT_TRUE(c.get(1, 0));
+  EXPECT_TRUE(c.get(1, 1));
+}
+
+// --- l1 graphs ----------------------------------------------------------------
+
+TEST(L1GraphTest, JohnsonDistanceMatchesSubsetIntersection) {
+  Rng rng(5);
+  const JohnsonMetric metric(10, 4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Bitstring u = metric.random_vertex(rng);
+    const Bitstring v = metric.random_vertex(rng);
+    EXPECT_EQ(u.weight(), 4);
+    // dist = k - |intersection|.
+    int inter = 0;
+    for (int i = 0; i < 10; ++i) {
+      inter += (u.get(i) && v.get(i)) ? 1 : 0;
+    }
+    EXPECT_EQ(metric.distance(u, v), 4 - inter);
+    // 2-scale embedding.
+    EXPECT_EQ(metric.embed(u).distance(metric.embed(v)),
+              2 * metric.distance(u, v));
+  }
+}
+
+TEST(L1GraphTest, HypercubeProtocolCompleteAndSound) {
+  Rng rng(6);
+  const HypercubeMetric metric(24);
+  const L1DistanceOneWayProtocol protocol(metric, 2, 0.35);
+  const Bitstring u = metric.random_vertex(rng);
+  const Bitstring close = Bitstring::random_at_distance(u, 2, rng);
+  EXPECT_TRUE(protocol.predicate(u, close));
+  EXPECT_NEAR(protocol.honest_accept(u, close), 1.0, 1e-9);
+  const Bitstring far = Bitstring::random_at_distance(u, 10, rng);
+  EXPECT_FALSE(protocol.predicate(u, far));
+  EXPECT_LT(protocol.honest_accept(u, far), 1.0 / 3.0);
+}
+
+TEST(L1GraphTest, JohnsonProtocolCompleteAndSound) {
+  Rng rng(7);
+  const JohnsonMetric metric(16, 5);
+  const L1DistanceOneWayProtocol protocol(metric, 1, 0.35);
+  // Close pair: swap one element (distance 1).
+  Bitstring u = metric.random_vertex(rng);
+  Bitstring v = u;
+  int in_pos = -1;
+  int out_pos = -1;
+  for (int i = 0; i < 16; ++i) {
+    if (v.get(i) && in_pos < 0) in_pos = i;
+    if (!v.get(i) && out_pos < 0) out_pos = i;
+  }
+  v.flip(in_pos);
+  v.flip(out_pos);
+  ASSERT_EQ(metric.distance(u, v), 1);
+  EXPECT_NEAR(protocol.honest_accept(u, v), 1.0, 1e-9);
+  // Far pair: disjoint support if possible.
+  Bitstring w(16);
+  int placed = 0;
+  for (int i = 0; i < 16 && placed < 5; ++i) {
+    if (!u.get(i)) {
+      w.set(i, true);
+      ++placed;
+    }
+  }
+  ASSERT_EQ(metric.distance(u, w), 5);
+  EXPECT_LT(protocol.honest_accept(u, w), 1.0 / 3.0);
+}
+
+TEST(L1GraphTest, Corollary35EndToEndOnStar) {
+  // dist^{<=d}_{t,H} over a network: forall_t of the l1 protocol.
+  Rng rng(8);
+  const HypercubeMetric metric(16);
+  const L1DistanceOneWayProtocol one_way(metric, 2, 0.35);
+  const dqma::network::Graph g = dqma::network::Graph::star(3);
+  const dqma::protocol::ForallFProtocol protocol(g, {1, 2, 3}, one_way, 20);
+  const Bitstring base = metric.random_vertex(rng);
+  const std::vector<Bitstring> yes{
+      base, Bitstring::random_at_distance(base, 1, rng),
+      Bitstring::random_at_distance(base, 1, rng)};
+  ASSERT_TRUE(protocol.predicate(yes));
+  EXPECT_NEAR(protocol.completeness(yes), 1.0, 1e-9);
+  std::vector<Bitstring> no = yes;
+  no[1] = Bitstring::random_at_distance(base, 9, rng);
+  ASSERT_FALSE(protocol.predicate(no));
+  const auto attack = protocol.best_attack_accept(no, rng, 150);
+  EXPECT_LE(attack.mean - attack.half_width_95, 1.0 / 3.0);
+}
+
+// --- F_2 rank -----------------------------------------------------------------
+
+TEST(FqRankTest, PredicateMatchesRank) {
+  Rng rng(9);
+  const FqRankOneWayProtocol protocol(6, 3, 4);
+  const Gf2Matrix low = Gf2Matrix::random_of_rank(6, 2, rng);
+  const Gf2Matrix high = Gf2Matrix::random_of_rank(6, 4, rng);
+  const Bitstring zero = Gf2Matrix(6, 6).to_bits();
+  EXPECT_TRUE(protocol.predicate(low.to_bits(), zero));
+  EXPECT_FALSE(protocol.predicate(high.to_bits(), zero));
+}
+
+TEST(FqRankTest, OneSidedCompleteness) {
+  Rng rng(10);
+  const FqRankOneWayProtocol protocol(6, 3, 4);
+  // rank(X ^ Y) = 2 < 3: accepted with certainty (sketch rank can only
+  // shrink).
+  const Gf2Matrix y = Gf2Matrix::random(6, 6, rng);
+  const Gf2Matrix diff = Gf2Matrix::random_of_rank(6, 2, rng);
+  const Gf2Matrix x = y ^ diff;
+  EXPECT_NEAR(protocol.honest_accept(x.to_bits(), y.to_bits()), 1.0, 1e-12);
+}
+
+TEST(FqRankTest, HighRankIsDetected) {
+  // The soundness guarantee is per instance, so testing the max over many
+  // instances requires a sketch count tuned for the union: target error
+  // 1/50 per instance keeps the max over 10 trials below 1/3 w.h.p.
+  Rng rng(11);
+  const int k = FqRankOneWayProtocol::recommended_sketches(1.0 / 50);
+  const FqRankOneWayProtocol protocol(6, 3, k);
+  double worst = 0.0;
+  double mean = 0.0;
+  const int trials = 10;
+  for (int trial = 0; trial < trials; ++trial) {
+    const Gf2Matrix y = Gf2Matrix::random(6, 6, rng);
+    const Gf2Matrix diff = Gf2Matrix::random_of_rank(6, 5, rng);
+    const Gf2Matrix x = y ^ diff;
+    const double accept = protocol.honest_accept(x.to_bits(), y.to_bits());
+    worst = std::max(worst, accept);
+    mean += accept / trials;
+  }
+  EXPECT_LE(worst, 1.0 / 3.0);
+  EXPECT_LE(mean, 1.0 / 10.0);
+}
+
+TEST(FqRankTest, DetectionImprovesWithSketches) {
+  Rng rng(13);
+  const FqRankOneWayProtocol weak(6, 3, 1, 555);
+  const FqRankOneWayProtocol strong(6, 3, 12, 555);
+  double weak_mean = 0.0;
+  double strong_mean = 0.0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    const Gf2Matrix y = Gf2Matrix::random(6, 6, rng);
+    const Gf2Matrix diff = Gf2Matrix::random_of_rank(6, 5, rng);
+    const Gf2Matrix x = y ^ diff;
+    weak_mean += weak.honest_accept(x.to_bits(), y.to_bits()) / trials;
+    strong_mean += strong.honest_accept(x.to_bits(), y.to_bits()) / trials;
+  }
+  EXPECT_LT(strong_mean, weak_mean);
+  EXPECT_LE(strong_mean, 0.1);
+}
+
+TEST(FqRankTest, MessageCostIsSketchBits) {
+  const FqRankOneWayProtocol protocol(8, 3, 5);
+  EXPECT_EQ(protocol.message_qubits(), 5 * 3 * 3);
+}
+
+TEST(FqRankTest, SuperposedMessagesAreSampled) {
+  // A |+> register triggers the sampling path; acceptance must stay a
+  // valid probability and be deterministic.
+  Rng rng(12);
+  const FqRankOneWayProtocol protocol(4, 2, 2);
+  const Gf2Matrix y = Gf2Matrix::random(4, 4, rng);
+  const Gf2Matrix x = y;  // rank 0 difference: honest accepts
+  auto message = protocol.honest_message(x.to_bits());
+  dqma::linalg::CVec plus(2);
+  plus[0] = dqma::linalg::Complex{1.0 / std::sqrt(2.0), 0.0};
+  plus[1] = plus[0];
+  message[0] = plus;
+  const double a1 = protocol.accept_product(y.to_bits(), message);
+  const double a2 = protocol.accept_product(y.to_bits(), message);
+  EXPECT_EQ(a1, a2);
+  EXPECT_GE(a1, 0.0);
+  EXPECT_LE(a1, 1.0);
+}
+
+// --- LOCC conversion -----------------------------------------------------------
+
+TEST(LoccTest, Lemma20OverheadFormulas) {
+  dqma::protocol::CostProfile source;
+  source.local_proof_qubits = 10;
+  source.local_message_qubits = 5;
+  source.total_message_qubits = 40;
+  const auto out = locc_conversion_costs(source, 3);
+  EXPECT_EQ(out.local_proof_qubits, 10 + 3 * 5 * 40);
+  EXPECT_EQ(out.local_message_bits, 5 * 40);
+}
+
+TEST(LoccTest, Corollary21GrowsWithNetworkSize) {
+  const auto small = corollary21_eq_costs(64, 4, 10, 3);
+  const auto large = corollary21_eq_costs(64, 4, 40, 3);
+  EXPECT_GT(large.local_proof_qubits, small.local_proof_qubits);
+  EXPECT_GT(large.local_message_bits, small.local_message_bits);
+}
+
+TEST(LoccTest, Corollary21ScalesAsR4Log2N) {
+  // Doubling r multiplies the message term by ~16 (r^2 from each of the
+  // local and total message factors).
+  const auto r4 = corollary21_eq_costs(64, 4, 20, 3);
+  const auto r8 = corollary21_eq_costs(64, 8, 20, 3);
+  const double ratio = static_cast<double>(r8.local_message_bits) /
+                       static_cast<double>(r4.local_message_bits);
+  EXPECT_NEAR(ratio, 16.0, 2.0);
+}
+
+}  // namespace

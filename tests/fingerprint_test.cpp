@@ -1,0 +1,157 @@
+// Tests for linear codes and quantum fingerprints.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "code/linear_code.hpp"
+#include "fingerprint/fingerprint.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dqma::code::LinearCode;
+using dqma::code::recommended_block_length;
+using dqma::fingerprint::FingerprintScheme;
+using dqma::util::Bitstring;
+using dqma::util::Rng;
+
+TEST(BitstringTest, FromIntegerBigEndian) {
+  const Bitstring b = Bitstring::from_integer(5, 4);  // 0101
+  EXPECT_EQ(b.to_string(), "0101");
+  EXPECT_EQ(b.to_integer(), 5u);
+}
+
+TEST(BitstringTest, CompareMatchesIntegerOrder) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x = rng.next_below(1 << 12);
+    const auto y = rng.next_below(1 << 12);
+    const Bitstring bx = Bitstring::from_integer(x, 12);
+    const Bitstring by = Bitstring::from_integer(y, 12);
+    EXPECT_EQ(bx < by, x < y);
+    EXPECT_EQ(bx == by, x == y);
+  }
+}
+
+TEST(BitstringTest, XorAndDistance) {
+  const Bitstring a = Bitstring::from_string("1100");
+  const Bitstring b = Bitstring::from_string("1010");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ(a.distance(b), 2);
+  EXPECT_EQ(a.weight(), 2);
+}
+
+TEST(BitstringTest, PrefixExtraction) {
+  const Bitstring a = Bitstring::from_string("10110");
+  EXPECT_EQ(a.prefix(0).size(), 0);
+  EXPECT_EQ(a.prefix(3).to_string(), "101");
+  EXPECT_EQ(a.prefix(5).to_string(), "10110");
+}
+
+TEST(BitstringTest, RandomAtDistanceIsExact) {
+  Rng rng(2);
+  const Bitstring base = Bitstring::random(100, rng);
+  for (int d : {0, 1, 5, 50, 100}) {
+    const Bitstring other = Bitstring::random_at_distance(base, d, rng);
+    EXPECT_EQ(base.distance(other), d);
+  }
+}
+
+TEST(BitstringTest, HashDiffersOnDifferentStrings) {
+  const Bitstring a = Bitstring::from_string("1100");
+  const Bitstring b = Bitstring::from_string("1010");
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(LinearCodeTest, EncodeIsLinear) {
+  Rng rng(3);
+  const LinearCode code(16, 64, /*seed=*/7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Bitstring x = Bitstring::random(16, rng);
+    const Bitstring y = Bitstring::random(16, rng);
+    EXPECT_EQ(code.encode(x ^ y), code.encode(x) ^ code.encode(y));
+  }
+}
+
+TEST(LinearCodeTest, SameSeedSameCode) {
+  const LinearCode a(12, 32, 99);
+  const LinearCode b(12, 32, 99);
+  Rng rng(4);
+  const Bitstring x = Bitstring::random(12, rng);
+  EXPECT_EQ(a.encode(x), b.encode(x));
+}
+
+TEST(LinearCodeTest, ExhaustiveDistanceIsReasonable) {
+  // Random [128, 10] code: expected min distance near 64, and certainly a
+  // constant fraction of the block length.
+  const LinearCode code(10, 128, 5);
+  const int d = code.min_distance_exhaustive();
+  EXPECT_GT(d, 32);
+  EXPECT_LT(d, 96);
+}
+
+TEST(LinearCodeTest, RecommendedBlockLengthIsPowerOfTwoAndMonotone) {
+  const int m1 = recommended_block_length(32, 0.3);
+  const int m2 = recommended_block_length(64, 0.3);
+  EXPECT_EQ(m1 & (m1 - 1), 0);
+  EXPECT_LE(m1, m2);
+  // Smaller delta needs longer blocks.
+  EXPECT_LT(m1, recommended_block_length(32, 0.1));
+}
+
+TEST(FingerprintTest, OverlapClosedFormMatchesStateDot) {
+  Rng rng(6);
+  const FingerprintScheme scheme(12, /*delta=*/0.35, /*seed=*/11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Bitstring x = Bitstring::random(12, rng);
+    const Bitstring y = Bitstring::random(12, rng);
+    const double closed = scheme.overlap(x, y);
+    const double direct = scheme.state(x).dot(scheme.state(y)).real();
+    EXPECT_NEAR(closed, direct, 1e-10);
+  }
+}
+
+TEST(FingerprintTest, SelfOverlapIsOne) {
+  Rng rng(7);
+  const FingerprintScheme scheme(20, 0.3);
+  const Bitstring x = Bitstring::random(20, rng);
+  EXPECT_NEAR(scheme.overlap(x, x), 1.0, 1e-12);
+  EXPECT_NEAR(scheme.state(x).norm(), 1.0, 1e-12);
+}
+
+TEST(FingerprintTest, ExhaustiveOverlapBoundHolds) {
+  // For a small input length, check *every* pair satisfies the delta bound
+  // (equivalently: every nonzero message has near-balanced codeword).
+  const FingerprintScheme scheme(10, /*delta=*/0.35, /*seed=*/13);
+  const double worst = scheme.code().max_overlap_exhaustive();
+  EXPECT_LE(worst, scheme.delta());
+}
+
+TEST(FingerprintTest, QubitCountIsLogOfDim) {
+  const FingerprintScheme scheme(64, 0.3);
+  EXPECT_EQ(1 << scheme.qubits(), scheme.dim());
+}
+
+TEST(FingerprintTest, QubitCountGrowsLogarithmically) {
+  const FingerprintScheme s1(64, 0.3);
+  const FingerprintScheme s2(4096, 0.3);
+  // n grew 64x; qubits should grow by ~log2(64) = 6.
+  EXPECT_LE(s2.qubits() - s1.qubits(), 8);
+  EXPECT_GE(s2.qubits() - s1.qubits(), 4);
+}
+
+TEST(FingerprintTest, BottomStateIsNormalizedUniform) {
+  const FingerprintScheme scheme(8, 0.3);
+  const auto bot = scheme.bottom_state();
+  EXPECT_NEAR(bot.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(bot[0].real(), bot[scheme.dim() - 1].real(), 1e-12);
+}
+
+TEST(FingerprintTest, SampledOverlapBoundOnLargeInputs) {
+  Rng rng(8);
+  const FingerprintScheme scheme(256, 0.3, 17);
+  EXPECT_LE(scheme.code().max_overlap_sampled(500, rng), scheme.delta());
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Tests for the greater-than protocol (Theorem 26 / Algorithm 7), its
+// variants (Corollary 28), and ranking verification (Theorem 29 /
+// Algorithm 8).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dqma/gt.hpp"
+#include "dqma/rv.hpp"
+#include "network/graph.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dqma::network::Graph;
+using dqma::protocol::gt_predicate;
+using dqma::protocol::GtProtocol;
+using dqma::protocol::GtVariant;
+using dqma::protocol::rv_predicate;
+using dqma::protocol::RvProtocol;
+using dqma::util::Bitstring;
+using dqma::util::Rng;
+
+TEST(GtPredicateTest, MatchesIntegerComparison) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = rng.next_below(1 << 10);
+    const auto b = rng.next_below(1 << 10);
+    const Bitstring x = Bitstring::from_integer(a, 10);
+    const Bitstring y = Bitstring::from_integer(b, 10);
+    EXPECT_EQ(gt_predicate(GtVariant::kGreater, x, y), a > b);
+    EXPECT_EQ(gt_predicate(GtVariant::kLess, x, y), a < b);
+    EXPECT_EQ(gt_predicate(GtVariant::kGeq, x, y), a >= b);
+    EXPECT_EQ(gt_predicate(GtVariant::kLeq, x, y), a <= b);
+  }
+}
+
+TEST(GtProtocolTest, FingerprintInputPadsPrefixes) {
+  const GtProtocol protocol(8, 3, 0.3, 1);
+  const Bitstring x = Bitstring::from_string("10110010");
+  EXPECT_EQ(protocol.fingerprint_input(x, 0).to_string(), "00000000");
+  EXPECT_EQ(protocol.fingerprint_input(x, 3).to_string(), "10100000");
+  EXPECT_EQ(protocol.fingerprint_input(x, 8).to_string(), "10110010");
+}
+
+class GtCompletenessTest
+    : public ::testing::TestWithParam<GtVariant> {};
+
+TEST_P(GtCompletenessTest, PerfectCompletenessOnYesInstances) {
+  const GtVariant variant = GetParam();
+  Rng rng(2);
+  const int n = 12;
+  int found = 0;
+  while (found < 10) {
+    const Bitstring x = Bitstring::random(n, rng);
+    const Bitstring y = Bitstring::random(n, rng);
+    if (!gt_predicate(variant, x, y)) {
+      continue;
+    }
+    ++found;
+    const GtProtocol protocol(n, 4, 0.3, 3, variant);
+    EXPECT_NEAR(protocol.completeness(x, y), 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, GtCompletenessTest,
+                         ::testing::Values(GtVariant::kGreater,
+                                           GtVariant::kLess, GtVariant::kGeq,
+                                           GtVariant::kLeq));
+
+TEST(GtProtocolTest, EqualInputsUseTheSentinel) {
+  Rng rng(3);
+  const Bitstring x = Bitstring::random(12, rng);
+  const GtProtocol geq(12, 3, 0.3, 2, GtVariant::kGeq);
+  EXPECT_NEAR(geq.completeness(x, x), 1.0, 1e-9);
+  const auto s = geq.honest_strategy(x, x);
+  EXPECT_EQ(s.index, 12);
+  // The strict variant has no honest strategy on equal inputs.
+  const GtProtocol strict(12, 3, 0.3, 2, GtVariant::kGreater);
+  EXPECT_THROW(strict.honest_strategy(x, x), std::invalid_argument);
+}
+
+TEST(GtProtocolTest, SoundnessWithPaperRepetitions) {
+  Rng rng(4);
+  const int n = 10;
+  for (int r : {2, 4}) {
+    const GtProtocol protocol(n, r, 0.3, 2 * 81 * r * r / 4 + 1,
+                              GtVariant::kGreater);
+    int checked = 0;
+    while (checked < 5) {
+      const Bitstring x = Bitstring::random(n, rng);
+      const Bitstring y = Bitstring::random(n, rng);
+      if (gt_predicate(GtVariant::kGreater, x, y)) {
+        continue;  // need a no instance
+      }
+      ++checked;
+      EXPECT_LE(protocol.best_attack_accept(x, y), 1.0 / 3.0)
+          << x.to_string() << " vs " << y.to_string();
+    }
+  }
+}
+
+TEST(GtProtocolTest, NoAdmissibleIndexMeansZeroAcceptance) {
+  // x = 0000, y = 1111: no index has x_i = 1, so every strategy is
+  // rejected deterministically by v_0.
+  const GtProtocol protocol(4, 3, 0.3, 2, GtVariant::kGreater);
+  const Bitstring x = Bitstring::from_string("0000");
+  const Bitstring y = Bitstring::from_string("1111");
+  EXPECT_EQ(protocol.best_attack_accept(x, y), 0.0);
+}
+
+TEST(GtProtocolTest, LyingIndexIsCaughtByPrefixFingerprints) {
+  // x = 0110, y = 1001 (x < y): index 1 has x_1 = 1, y_1 = 0 but prefixes
+  // x[1] = 0, y[1] = 1 differ, so the EQ chain must be cheated.
+  const int r = 3;
+  const GtProtocol protocol(4, r, 0.3, 2 * 81 * r * r / 4, GtVariant::kGreater);
+  const Bitstring x = Bitstring::from_string("0110");
+  const Bitstring y = Bitstring::from_string("1001");
+  const double attack = protocol.best_attack_accept(x, y);
+  EXPECT_GT(attack, 0.0);       // an admissible lying index exists
+  EXPECT_LE(attack, 1.0 / 3.0); // but the prefix chain catches it
+}
+
+TEST(GtProtocolTest, CostsIncludeIndexRegisters) {
+  const GtProtocol protocol(64, 5, 0.3, 10);
+  const auto c = protocol.costs();
+  // Index register of ceil(log2(65)) = 7 qubits at each of r+1 nodes.
+  EXPECT_GE(c.total_proof_qubits, 7 * 6);
+  EXPECT_GT(c.local_message_qubits, 10 * 7);
+}
+
+// --- ranking verification ---------------------------------------------------
+
+TEST(RvPredicateTest, RanksDistinctInputs) {
+  // inputs: 5, 9, 1 -> ranks: 9 is 1st, 5 is 2nd, 1 is 3rd.
+  const std::vector<Bitstring> inputs{Bitstring::from_integer(5, 6),
+                                      Bitstring::from_integer(9, 6),
+                                      Bitstring::from_integer(1, 6)};
+  EXPECT_TRUE(rv_predicate(inputs, 1, 1));
+  EXPECT_TRUE(rv_predicate(inputs, 0, 2));
+  EXPECT_TRUE(rv_predicate(inputs, 2, 3));
+  EXPECT_FALSE(rv_predicate(inputs, 0, 1));
+  EXPECT_FALSE(rv_predicate(inputs, 2, 1));
+}
+
+TEST(RvProtocolTest, PerfectCompletenessOnYesInstances) {
+  Rng rng(5);
+  const Graph g = Graph::star(3);
+  const std::vector<int> terminals{1, 2, 3};
+  const std::vector<Bitstring> inputs{Bitstring::from_integer(12, 8),
+                                      Bitstring::from_integer(40, 8),
+                                      Bitstring::from_integer(3, 8)};
+  // Terminal 1 (value 40) is rank 1.
+  const RvProtocol protocol(g, terminals, 1, 1, 8, 0.3, 3);
+  EXPECT_NEAR(protocol.completeness(inputs), 1.0, 1e-9);
+  // Terminal 0 (value 12) is rank 2.
+  const RvProtocol p2(g, terminals, 0, 2, 8, 0.3, 3);
+  EXPECT_NEAR(p2.completeness(inputs), 1.0, 1e-9);
+}
+
+TEST(RvProtocolTest, HonestProverFailsCountCheckOnNoInstances) {
+  const Graph g = Graph::star(3);
+  const std::vector<int> terminals{1, 2, 3};
+  const std::vector<Bitstring> inputs{Bitstring::from_integer(12, 8),
+                                      Bitstring::from_integer(40, 8),
+                                      Bitstring::from_integer(3, 8)};
+  const RvProtocol protocol(g, terminals, 0, 1, 8, 0.3, 3);  // 12 is not max
+  EXPECT_EQ(protocol.completeness(inputs), 0.0);
+}
+
+TEST(RvProtocolTest, LyingDirectionsAreCaught) {
+  const Graph g = Graph::star(3);
+  const std::vector<int> terminals{1, 2, 3};
+  const std::vector<Bitstring> inputs{Bitstring::from_integer(12, 8),
+                                      Bitstring::from_integer(40, 8),
+                                      Bitstring::from_integer(3, 8)};
+  // Claim terminal 0 (value 12) is rank 1: the prover must lie about the
+  // pair (12, 40) and cheat a GT>= sub-protocol.
+  const int reps = 2 * 81 * 2 * 2;  // paths in this tree have length <= 2
+  const RvProtocol protocol(g, terminals, 0, 1, 8, 0.3, reps);
+  EXPECT_LE(protocol.best_attack_accept(inputs), 1.0 / 3.0);
+}
+
+TEST(RvProtocolTest, AttackOnYesInstanceIsPerfect) {
+  // On yes instances the "attack" needs no lies: acceptance 1.
+  const Graph g = Graph::star(3);
+  const std::vector<int> terminals{1, 2, 3};
+  const std::vector<Bitstring> inputs{Bitstring::from_integer(12, 8),
+                                      Bitstring::from_integer(40, 8),
+                                      Bitstring::from_integer(3, 8)};
+  const RvProtocol protocol(g, terminals, 1, 1, 8, 0.3, 5);
+  EXPECT_NEAR(protocol.best_attack_accept(inputs), 1.0, 1e-9);
+}
+
+TEST(RvProtocolTest, CostsScaleWithTerminals) {
+  const Graph g5 = Graph::star(5);
+  const Graph g3 = Graph::star(3);
+  const RvProtocol p5(g5, {1, 2, 3, 4, 5}, 0, 1, 16, 0.3, 4);
+  const RvProtocol p3(g3, {1, 2, 3}, 0, 1, 16, 0.3, 4);
+  EXPECT_GT(p5.costs().total_proof_qubits, p3.costs().total_proof_qubits);
+}
+
+}  // namespace

@@ -1,0 +1,230 @@
+// Parameterized property suites: invariants that must hold across sweeps of
+// protocol and primitive parameters (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dqma/attacks.hpp"
+#include "dqma/eq_path.hpp"
+#include "dqma/exact_runner.hpp"
+#include "dqma/gt.hpp"
+#include "qtest/permutation_test.hpp"
+#include "qtest/swap_test.hpp"
+#include "quantum/distance.hpp"
+#include "quantum/partial_trace.hpp"
+#include "quantum/random.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dqma::linalg::CMat;
+using dqma::linalg::Complex;
+using dqma::linalg::CVec;
+using dqma::protocol::EqPathProtocol;
+using dqma::protocol::ExactEqPathAnalyzer;
+using dqma::protocol::gt_predicate;
+using dqma::protocol::GtProtocol;
+using dqma::protocol::GtVariant;
+using dqma::protocol::PathProof;
+using dqma::protocol::rotation_attack;
+using dqma::util::Bitstring;
+using dqma::util::Rng;
+
+// ---------------------------------------------------------------------------
+// Exact-engine certification sweep: for every endpoint overlap delta and
+// path length r, the exact worst case over all proofs dominates the best
+// product proof, which dominates the rotation attack; all are bounded by
+// the paper's Lemma 17 soundness whenever delta^2 <= 1/3.
+class ExactCertification
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(ExactCertification, AttackHierarchyAndSoundnessBound) {
+  const auto [delta, r] = GetParam();
+  Rng rng(77);
+  CVec a = CVec::basis(2, 0);
+  CVec b(2);
+  b[0] = Complex{delta, 0.0};
+  b[1] = Complex{std::sqrt(1.0 - delta * delta), 0.0};
+  const ExactEqPathAnalyzer exact(a, b, r);
+
+  const double worst = exact.worst_case_accept();
+  const double product = exact.best_product_accept(rng, 6, 50);
+  // Rotation attack as explicit product registers.
+  const auto rot = rotation_attack(a, b, r - 1);
+  std::vector<CVec> regs;
+  for (int j = 0; j < r - 1; ++j) {
+    regs.push_back(rot.reg0[static_cast<std::size_t>(j)]);
+    regs.push_back(rot.reg1[static_cast<std::size_t>(j)]);
+  }
+  const double rotation = exact.product_accept(regs);
+
+  EXPECT_LE(rotation, product + 1e-6);
+  EXPECT_LE(product, worst + 1e-7);
+  EXPECT_LE(worst, 1.0 + 1e-9);
+  // Lemma 17: the final POVM rejects the far state with probability
+  // 1 - delta^2 >= 2/3, so acceptance <= 1 - 4/(81 r^2).
+  if (delta * delta <= 1.0 / 3.0) {
+    EXPECT_LE(worst, 1.0 - 4.0 / (81.0 * r * r) + 1e-9)
+        << "delta=" << delta << " r=" << r;
+  }
+  // The rotation attack is within a modest gap of the true product optimum
+  // (at r = 2 the step attack beats it: one SWAP test, accept 1/2); the
+  // protocols' best_attack_accept searches both families.
+  EXPECT_GE(rotation, product - 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactCertification,
+    ::testing::Combine(::testing::Values(0.0, 0.2, 0.5),
+                       ::testing::Values(2, 3, 4)));
+
+// ---------------------------------------------------------------------------
+// Random product proofs never exceed probability bounds, and the honest
+// proof is optimal on yes instances.
+class EqPathInvariants
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EqPathInvariants, RandomProofsAreValidAndSuboptimal) {
+  const auto [r, reps] = GetParam();
+  Rng rng(101);
+  const int n = 12;
+  const EqPathProtocol protocol(n, r, 0.3, reps);
+  const Bitstring x = Bitstring::random(n, rng);
+  const int dim = protocol.scheme().dim();
+  for (int trial = 0; trial < 5; ++trial) {
+    dqma::protocol::PathProofReps proof;
+    for (int k = 0; k < reps; ++k) {
+      PathProof one;
+      for (int j = 0; j < r - 1; ++j) {
+        one.reg0.push_back(dqma::quantum::haar_state(dim, rng));
+        one.reg1.push_back(dqma::quantum::haar_state(dim, rng));
+      }
+      proof.push_back(std::move(one));
+    }
+    const double accept = protocol.accept_probability(x, x, proof);
+    EXPECT_GE(accept, -1e-12);
+    EXPECT_LE(accept, 1.0 + 1e-12);
+    // The honest proof is optimal on the yes instance.
+    EXPECT_LE(accept, protocol.completeness(x) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EqPathInvariants,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Values(1, 3)));
+
+// ---------------------------------------------------------------------------
+// GT variant duality: GT<(x, y) <-> GT>(y, x), GT<= <-> GT>=.
+class GtDuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(GtDuality, PredicateAndProtocolDuality) {
+  const int n = GetParam();
+  Rng rng(202);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Bitstring x = Bitstring::random(n, rng);
+    const Bitstring y = Bitstring::random(n, rng);
+    EXPECT_EQ(gt_predicate(GtVariant::kLess, x, y),
+              gt_predicate(GtVariant::kGreater, y, x));
+    EXPECT_EQ(gt_predicate(GtVariant::kLeq, x, y),
+              gt_predicate(GtVariant::kGeq, y, x));
+    EXPECT_EQ(gt_predicate(GtVariant::kGeq, x, y),
+              !gt_predicate(GtVariant::kLess, x, y));
+  }
+  // Protocol-level: both dual variants have perfect completeness on the
+  // same instance.
+  const Bitstring lo = Bitstring::from_integer(3, n);
+  const Bitstring hi = Bitstring::from_integer((1ULL << (n - 1)) + 2, n);
+  const GtProtocol less(n, 3, 0.3, 2, GtVariant::kLess);
+  const GtProtocol greater(n, 3, 0.3, 2, GtVariant::kGreater);
+  EXPECT_NEAR(less.completeness(lo, hi), 1.0, 1e-9);
+  EXPECT_NEAR(greater.completeness(hi, lo), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GtDuality, ::testing::Values(8, 12, 20));
+
+// ---------------------------------------------------------------------------
+// Permutation test acceptance is permutation-invariant in its inputs and
+// monotone under repetition of a deviant factor.
+class PermutationInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(PermutationInvariance, InputOrderIrrelevant) {
+  const int k = GetParam();
+  Rng rng(303);
+  std::vector<CVec> factors;
+  for (int i = 0; i < k; ++i) {
+    factors.push_back(dqma::quantum::haar_state(4, rng));
+  }
+  const double base = dqma::qtest::permutation_test_accept(factors);
+  for (int shuffle = 0; shuffle < 4; ++shuffle) {
+    for (int i = k - 1; i > 0; --i) {
+      const int j =
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(i) + 1));
+      std::swap(factors[static_cast<std::size_t>(i)],
+                factors[static_cast<std::size_t>(j)]);
+    }
+    EXPECT_NEAR(dqma::qtest::permutation_test_accept(factors), base, 1e-9);
+  }
+}
+
+TEST_P(PermutationInvariance, OneDeviantAmongCopies) {
+  // k-1 copies of |psi> plus one deviant |phi>: acceptance decreases as the
+  // deviant's overlap with |psi> shrinks.
+  const int k = GetParam();
+  Rng rng(304);
+  const CVec psi = dqma::quantum::haar_state(4, rng);
+  double prev = 1.1;
+  for (const double overlap : {0.9, 0.5, 0.1}) {
+    // Build phi with the prescribed overlap.
+    CVec perp = dqma::quantum::haar_state(4, rng);
+    const Complex coeff = psi.dot(perp);
+    for (int i = 0; i < 4; ++i) {
+      perp[i] -= coeff * psi[i];
+    }
+    perp.normalize();
+    CVec phi(4);
+    for (int i = 0; i < 4; ++i) {
+      phi[i] = overlap * psi[i] +
+               std::sqrt(1.0 - overlap * overlap) * perp[i];
+    }
+    std::vector<CVec> factors(static_cast<std::size_t>(k - 1), psi);
+    factors.push_back(phi);
+    const double accept = dqma::qtest::permutation_test_accept(factors);
+    EXPECT_LT(accept, prev);
+    prev = accept;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, PermutationInvariance,
+                         ::testing::Values(2, 3, 5, 8));
+
+// ---------------------------------------------------------------------------
+// Data-processing property sweep: partial trace never increases trace
+// distance (Fact 4 specialized to tracing out), across register layouts.
+class DataProcessing : public ::testing::TestWithParam<int> {};
+
+TEST_P(DataProcessing, PartialTraceIsContractive) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  using dqma::quantum::Density;
+  using dqma::quantum::PureState;
+  using dqma::quantum::reduce_to;
+  using dqma::quantum::RegisterShape;
+  const RegisterShape shape({2, 3, 2});
+  const PureState psi(shape, dqma::quantum::haar_state(12, rng));
+  const PureState phi(shape, dqma::quantum::haar_state(12, rng));
+  const Density rho = Density::from_pure(psi);
+  const Density sigma = Density::from_pure(phi);
+  const double full = trace_distance(rho, sigma);
+  for (const std::vector<int>& kept :
+       {std::vector<int>{0}, std::vector<int>{1}, std::vector<int>{0, 2}}) {
+    const double reduced =
+        trace_distance(reduce_to(rho, kept), reduce_to(sigma, kept));
+    EXPECT_LE(reduced, full + 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataProcessing,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace

@@ -1,0 +1,195 @@
+// Tests for the SWAP test and the permutation test, including the paper's
+// Lemma 13-16 properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qtest/permutation_test.hpp"
+#include "qtest/swap_test.hpp"
+#include "quantum/distance.hpp"
+#include "quantum/partial_trace.hpp"
+#include "quantum/unitary.hpp"
+#include "quantum/random.hpp"
+#include "quantum/state.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dqma::linalg::CMat;
+using dqma::linalg::Complex;
+using dqma::linalg::CVec;
+using dqma::quantum::Density;
+using dqma::quantum::haar_state;
+using dqma::quantum::PureState;
+using dqma::quantum::reduce_to;
+using dqma::quantum::RegisterShape;
+using dqma::quantum::trace_distance;
+using dqma::util::Rng;
+namespace qtest = dqma::qtest;
+
+TEST(SwapTest, IdenticalStatesAcceptWithCertainty) {
+  Rng rng(1);
+  const CVec psi = haar_state(5, rng);
+  EXPECT_NEAR(qtest::swap_test_accept(psi, psi), 1.0, 1e-12);
+}
+
+TEST(SwapTest, OrthogonalStatesAcceptWithHalf) {
+  const CVec a = CVec::basis(4, 0);
+  const CVec b = CVec::basis(4, 3);
+  EXPECT_NEAR(qtest::swap_test_accept(a, b), 0.5, 1e-12);
+}
+
+TEST(SwapTest, ClosedFormMatchesPovmOnProducts) {
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const CVec a = haar_state(3, rng);
+    const CVec b = haar_state(3, rng);
+    const PureState prod = PureState::single(a).tensor(PureState::single(b));
+    const double closed = qtest::swap_test_accept(a, b);
+    const double povm = qtest::swap_test_accept(Density::from_pure(prod));
+    EXPECT_NEAR(closed, povm, 1e-10);
+  }
+}
+
+TEST(SwapTest, CircuitFormMatchesClosedForm) {
+  Rng rng(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    const CVec a = haar_state(3, rng);
+    const CVec b = haar_state(3, rng);
+    EXPECT_NEAR(qtest::swap_test_accept_circuit(a, b),
+                qtest::swap_test_accept(a, b), 1e-10);
+  }
+}
+
+TEST(SwapTest, Lemma13SuperpositionDecomposition) {
+  // For |psi> = alpha |sym> + beta |antisym>, acceptance = |alpha|^2.
+  // Use the singlet (antisymmetric) and a triplet (symmetric) component.
+  CVec singlet(4);
+  singlet[1] = Complex{1.0 / std::sqrt(2.0), 0.0};
+  singlet[2] = Complex{-1.0 / std::sqrt(2.0), 0.0};
+  CVec triplet(4);
+  triplet[1] = Complex{1.0 / std::sqrt(2.0), 0.0};
+  triplet[2] = Complex{1.0 / std::sqrt(2.0), 0.0};
+  const double alpha = 0.6;
+  const double beta = std::sqrt(1.0 - alpha * alpha);
+  CVec mixed = triplet * Complex{alpha, 0.0} + singlet * Complex{beta, 0.0};
+  const PureState psi(RegisterShape({2, 2}), mixed);
+  EXPECT_NEAR(qtest::swap_test_accept(Density::from_pure(psi)), alpha * alpha,
+              1e-10);
+}
+
+TEST(SwapTest, Lemma14BoundHoldsOnEntangledStates) {
+  Rng rng(4);
+  for (int trial = 0; trial < 6; ++trial) {
+    const CVec amps = haar_state(9, rng);
+    const PureState psi(RegisterShape({3, 3}), amps);
+    const Density rho = Density::from_pure(psi);
+    const double accept = qtest::swap_test_accept(rho);
+    const double eps = 1.0 - accept;
+    const Density r1 = reduce_to(rho, {0});
+    const Density r2 = reduce_to(rho, {1});
+    const double dist = trace_distance(r1, r2);
+    EXPECT_LE(dist, qtest::lemma14_distance_bound(eps) + 1e-7);
+  }
+}
+
+TEST(PermutationTest, KEqualsTwoReducesToSwapTest) {
+  Rng rng(5);
+  const CVec a = haar_state(4, rng);
+  const CVec b = haar_state(4, rng);
+  EXPECT_NEAR(qtest::permutation_test_accept({a, b}),
+              qtest::swap_test_accept(a, b), 1e-10);
+  // Projector form too.
+  const CMat proj = qtest::symmetric_projector(4, 2);
+  const CMat swap_form =
+      (CMat::identity(16) + dqma::quantum::swap_unitary(4)) * Complex{0.5, 0.0};
+  EXPECT_LT(proj.linf_distance(swap_form), 1e-12);
+}
+
+TEST(PermutationTest, SymmetricProjectorIsIdempotent) {
+  for (int k : {2, 3, 4}) {
+    const CMat p = qtest::symmetric_projector(2, k);
+    EXPECT_LT((p * p).linf_distance(p), 1e-10);
+    EXPECT_TRUE(p.is_hermitian(1e-12));
+  }
+}
+
+TEST(PermutationTest, SymmetricSubspaceDimension) {
+  // dim of symmetric subspace of (C^d)^k is C(d+k-1, k).
+  const auto binom = [](int n, int k) {
+    double v = 1.0;
+    for (int i = 0; i < k; ++i) {
+      v = v * (n - i) / (i + 1);
+    }
+    return v;
+  };
+  for (int d : {2, 3}) {
+    for (int k : {2, 3}) {
+      const CMat p = qtest::symmetric_projector(d, k);
+      EXPECT_NEAR(p.trace().real(), binom(d + k - 1, k), 1e-8)
+          << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(PermutationTest, Lemma15IdenticalProductAcceptsWithCertainty) {
+  Rng rng(6);
+  const CVec psi = haar_state(3, rng);
+  for (int k : {2, 3, 4, 5}) {
+    std::vector<CVec> factors(static_cast<std::size_t>(k), psi);
+    EXPECT_NEAR(qtest::permutation_test_accept(factors), 1.0, 1e-9) << k;
+  }
+}
+
+TEST(PermutationTest, GramPermanentMatchesProjectorOnProducts) {
+  Rng rng(7);
+  for (int k : {2, 3}) {
+    std::vector<CVec> factors;
+    PureState prod = PureState::single(haar_state(2, rng));
+    factors.push_back(prod.amplitudes());
+    for (int i = 1; i < k; ++i) {
+      const CVec f = haar_state(2, rng);
+      factors.push_back(f);
+      prod = prod.tensor(PureState::single(f));
+    }
+    const double closed = qtest::permutation_test_accept(factors);
+    const double povm =
+        qtest::permutation_test_accept(Density::from_pure(prod));
+    EXPECT_NEAR(closed, povm, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(PermutationTest, OrthogonalPairLowersAcceptance) {
+  // k orthogonal states: acceptance = k!/k! * (1/k!) * perm(I) = 1/k! ... =
+  // perm(identity Gram)/k! = 1/k!.
+  for (int k : {2, 3, 4}) {
+    std::vector<CVec> factors;
+    for (int i = 0; i < k; ++i) {
+      factors.push_back(CVec::basis(8, i));
+    }
+    double kfact = 1.0;
+    for (int s = 2; s <= k; ++s) kfact *= s;
+    EXPECT_NEAR(qtest::permutation_test_accept(factors), 1.0 / kfact, 1e-10);
+  }
+}
+
+TEST(PermutationTest, Lemma16BoundHoldsOnEntangledStates) {
+  Rng rng(8);
+  for (int trial = 0; trial < 4; ++trial) {
+    const CVec amps = haar_state(8, rng);
+    const PureState psi(RegisterShape({2, 2, 2}), amps);
+    const Density rho = Density::from_pure(psi);
+    const double accept = qtest::permutation_test_accept(rho);
+    const double eps = 1.0 - accept;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        const Density ri = reduce_to(rho, {i});
+        const Density rj = reduce_to(rho, {j});
+        EXPECT_LE(trace_distance(ri, rj),
+                  qtest::lemma16_distance_bound(eps) + 1e-7);
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,259 @@
+// Tests for the relay-point EQ protocol (Theorem 22 / Algorithm 6), the
+// forall_t f construction (Theorem 32 / Algorithm 9) with the Hamming
+// instantiation (Theorem 30), and the QMAcc -> dQMA conversion
+// (Theorem 42 / Algorithm 10, Theorem 46).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/eq_protocol.hpp"
+#include "comm/history_state.hpp"
+#include "comm/lsd.hpp"
+#include "dqma/forall_f.hpp"
+#include "dqma/from_qma_cc.hpp"
+#include "dqma/hamming.hpp"
+#include "dqma/relay_eq.hpp"
+#include "network/graph.hpp"
+#include "qtest/swap_test.hpp"
+#include "quantum/random.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dqma::comm::EqOneWayProtocol;
+using dqma::comm::lsd_qma_instance;
+using dqma::comm::LsdInstance;
+using dqma::network::Graph;
+using dqma::protocol::ForallFProtocol;
+using dqma::protocol::HammingGraphProtocol;
+using dqma::protocol::message_swap_accept;
+using dqma::protocol::QmaCcPathProtocol;
+using dqma::protocol::RelayEqProtocol;
+using dqma::protocol::theorem46_costs;
+using dqma::util::Bitstring;
+using dqma::util::Rng;
+
+// --- relay points ------------------------------------------------------------
+
+TEST(RelayEqTest, PaperParameters) {
+  EXPECT_EQ(RelayEqProtocol::paper_spacing(27), 3);
+  EXPECT_EQ(RelayEqProtocol::paper_seg_reps(27), 42 * 9);
+  EXPECT_EQ(RelayEqProtocol::paper_spacing(64), 4);
+}
+
+TEST(RelayEqTest, PerfectCompleteness) {
+  Rng rng(1);
+  const RelayEqProtocol protocol(16, 9, 0.3, 3, 10);
+  const Bitstring x = Bitstring::random(16, rng);
+  EXPECT_NEAR(protocol.completeness(x), 1.0, 1e-9);
+}
+
+TEST(RelayEqTest, SegmentLayoutCoversThePath) {
+  const RelayEqProtocol protocol(27, 10, 0.3, 3, 5);
+  EXPECT_EQ(protocol.relay_count(), 3);   // positions 3, 6, 9
+  EXPECT_EQ(protocol.segment_count(), 4); // 0-3, 3-6, 6-9, 9-10
+}
+
+TEST(RelayEqTest, AttackIsCaughtWithPaperRepetitions) {
+  Rng rng(2);
+  const int n = 8;
+  const int spacing = RelayEqProtocol::paper_spacing(n);
+  const RelayEqProtocol protocol(n, 8, 0.3, spacing,
+                                 RelayEqProtocol::paper_seg_reps(n));
+  const Bitstring x = Bitstring::random(n, rng);
+  Bitstring y = Bitstring::random(n, rng);
+  if (x == y) y.flip(0);
+  EXPECT_LE(protocol.best_attack_accept(x, y), 1.0 / 3.0);
+}
+
+TEST(RelayEqTest, CostFormulaMatchesConstructedProtocol) {
+  const RelayEqProtocol protocol(27, 10, 0.3, 3, 5);
+  const auto built = protocol.costs();
+  const auto formula = RelayEqProtocol::costs_for(27, 10, 0.3, 3, 5);
+  EXPECT_EQ(built.total_proof_qubits, formula.total_proof_qubits);
+  EXPECT_EQ(built.local_proof_qubits, formula.local_proof_qubits);
+  EXPECT_EQ(built.total_message_qubits, formula.total_message_qubits);
+}
+
+TEST(RelayEqTest, TotalProofScalesAsNToTwoThirds) {
+  // Quantum total ~ r n^{2/3} polylog vs classical r n: growing n by 64x
+  // must grow the quantum total by roughly 64^{2/3} = 16 (up to the log
+  // factor), far below the classical factor 64. Formula-level accounting:
+  // construction at n = 2^18 would allocate a multi-hundred-MB code.
+  const int r = 4096;  // long path: the relay regime r >> n^{1/3}
+  const auto total = [&](int n) {
+    return static_cast<double>(
+        RelayEqProtocol::costs_for(n, r, 0.3, RelayEqProtocol::paper_spacing(n),
+                                   RelayEqProtocol::paper_seg_reps(n))
+            .total_proof_qubits);
+  };
+  const double t1 = total(1 << 12);
+  const double t2 = total(1 << 18);
+  const double growth = t2 / t1;
+  EXPECT_LT(growth, 64.0);  // strictly beats the classical scaling
+  EXPECT_GT(growth, 8.0);   // and is consistent with the 2/3 exponent
+  // Crossover against the classical Omega(rn) total: at large n the
+  // quantum total must be smaller.
+  EXPECT_LT(t2, static_cast<double>(r) * (1 << 18) * 64.0)
+      << "within the polylog factor of the crossover";
+}
+
+// --- forall_t f / Hamming ----------------------------------------------------
+
+TEST(MessageSwapTest, ProductOverlapFormula) {
+  Rng rng(3);
+  const dqma::linalg::CVec a = dqma::quantum::haar_state(3, rng);
+  const dqma::linalg::CVec b = dqma::quantum::haar_state(3, rng);
+  // Single-register messages: matches the plain SWAP test.
+  EXPECT_NEAR(message_swap_accept({a}, {b}),
+              dqma::qtest::swap_test_accept(a, b), 1e-10);
+  // Identical multi-register messages accept with certainty.
+  EXPECT_NEAR(message_swap_accept({a, b}, {a, b}), 1.0, 1e-10);
+}
+
+TEST(HammingGraphTest, PerfectCompletenessOnYesInstances) {
+  Rng rng(4);
+  const Graph g = Graph::star(3);
+  const int n = 24;
+  const int d = 2;
+  const HammingGraphProtocol protocol(g, {1, 2, 3}, n, d, 0.3, 2);
+  const Bitstring base = Bitstring::random(n, rng);
+  const std::vector<Bitstring> inputs{
+      base, Bitstring::random_at_distance(base, 1, rng),
+      Bitstring::random_at_distance(base, 1, rng)};
+  ASSERT_TRUE(protocol.predicate(inputs));
+  EXPECT_NEAR(protocol.completeness(inputs), 1.0, 1e-9);
+}
+
+TEST(HammingGraphTest, ViolatedPairIsDetected) {
+  Rng rng(5);
+  const Graph g = Graph::path(2);
+  const int n = 16;
+  const int d = 1;
+  // r = 2 paths: modest repetitions suffice for the Monte-Carlo check.
+  const HammingGraphProtocol protocol(g, {0, 2}, n, d, 0.35, 40);
+  const Bitstring x = Bitstring::random(n, rng);
+  const std::vector<Bitstring> inputs{
+      x, Bitstring::random_at_distance(x, d + 6, rng)};
+  ASSERT_FALSE(protocol.predicate(inputs));
+  const auto est = protocol.best_attack_accept(inputs, rng, 150);
+  EXPECT_LE(est.mean - est.half_width_95, 1.0 / 3.0);
+}
+
+TEST(ForallFTest, EqInstantiationIsCompleteAndSound) {
+  Rng rng(6);
+  const Graph g = Graph::star(3);
+  const EqOneWayProtocol eq(16, 0.3);
+  const ForallFProtocol protocol(g, {1, 2, 3}, eq, 40);
+  const Bitstring x = Bitstring::random(16, rng);
+  const std::vector<Bitstring> yes(3, x);
+  EXPECT_TRUE(protocol.predicate(yes));
+  EXPECT_NEAR(protocol.completeness(yes), 1.0, 1e-9);
+
+  std::vector<Bitstring> no = yes;
+  no[1] = Bitstring::random(16, rng);
+  if (no[1] == x) no[1].flip(0);
+  ASSERT_FALSE(protocol.predicate(no));
+  const auto est = protocol.accept_probability(no, protocol.honest_proof(no),
+                                               rng, 300);
+  // Honest messages on a no instance: some leaf rejects whp across 40 reps.
+  EXPECT_LE(est.mean, 0.05);
+  const auto attack = protocol.best_attack_accept(no, rng, 300);
+  EXPECT_LE(attack.mean - attack.half_width_95, 1.0 / 3.0);
+}
+
+TEST(ForallFTest, CostsScaleWithTreesAndDegree) {
+  const Graph star = Graph::star(4);
+  const EqOneWayProtocol eq(16, 0.3);
+  const ForallFProtocol p4(star, {1, 2, 3, 4}, eq, 2);
+  const ForallFProtocol p2(star, {1, 2}, eq, 2);
+  EXPECT_GT(p4.costs().total_proof_qubits, p2.costs().total_proof_qubits);
+}
+
+// --- QMAcc -> dQMA -----------------------------------------------------------
+
+TEST(QmaCcPathTest, EqInstanceCompleteness) {
+  Rng rng(7);
+  const EqOneWayProtocol eq(12, 64, 0.3, 0x0ddba11);
+  const Bitstring x = Bitstring::random(12, rng);
+  const auto inst = dqma::comm::eq_as_qma_instance(eq, x, x);
+  const QmaCcPathProtocol protocol(inst, 4, 3);
+  EXPECT_NEAR(protocol.completeness(), 1.0, 1e-9);
+}
+
+TEST(QmaCcPathTest, EqNoInstanceAttackBounded) {
+  Rng rng(8);
+  const EqOneWayProtocol eq(12, 64, 0.3, 0x0ddba11);
+  const Bitstring x = Bitstring::random(12, rng);
+  Bitstring y = Bitstring::random(12, rng);
+  if (x == y) y.flip(0);
+  const auto inst = dqma::comm::eq_as_qma_instance(eq, x, y);
+  const int r = 3;
+  const QmaCcPathProtocol protocol(inst, r, 2 * 81 * r * r / 4);
+  EXPECT_LE(protocol.best_attack_accept(), 1.0 / 3.0);
+}
+
+TEST(QmaCcPathTest, LsdYesInstanceHasHighCompleteness) {
+  Rng rng(9);
+  const auto lsd = LsdInstance::close_pair(24, 3, 0.05, rng);
+  const auto inst = lsd_qma_instance(lsd);
+  const QmaCcPathProtocol protocol(inst, 3, 1);
+  EXPECT_GE(protocol.completeness(), 0.95);
+}
+
+TEST(QmaCcPathTest, LsdNoInstanceAttackBounded) {
+  Rng rng(10);
+  const auto lsd = LsdInstance::far_pair(24, 3, rng);
+  const auto inst = lsd_qma_instance(lsd);
+  // Per-repetition soundness is already ~0.05 end-to-end but the chain can
+  // hide the discrepancy only at 1 - O(1/r) rate; a handful of repetitions
+  // suffices.
+  const QmaCcPathProtocol protocol(inst, 3, 40);
+  EXPECT_LE(protocol.best_attack_accept(), 1.0 / 3.0);
+}
+
+TEST(QmaCcPathTest, CostsMatchAlgorithm10) {
+  Rng rng(11);
+  const auto lsd = LsdInstance::far_pair(32, 3, rng);
+  const auto inst = lsd_qma_instance(lsd);
+  const QmaCcPathProtocol protocol(inst, 5, 7);
+  const auto c = protocol.costs();
+  const long long mu = dqma::comm::qubits_for_dim(inst.message_dim());
+  EXPECT_EQ(c.local_message_qubits, 7 * mu);
+  EXPECT_EQ(c.total_proof_qubits, 7LL * inst.gamma_qubits + 2 * 7 * mu * 4);
+}
+
+TEST(Theorem46Test, CostReportShapes) {
+  const auto rep = theorem46_costs(8, 4);
+  EXPECT_EQ(rep.qmacc_cost, 16);
+  EXPECT_EQ(rep.lsd_ambient_dim, 1LL << 16);
+  EXPECT_GT(rep.per_node_proof_qubits, 4 * 4 * 16);
+  // Quadratic growth in C at fixed r (up to the log factor).
+  const auto rep2 = theorem46_costs(16, 4);
+  EXPECT_GT(rep2.per_node_proof_qubits, rep.per_node_proof_qubits);
+}
+
+TEST(Theorem46Test, EndToEndPipelineOnEqInstance) {
+  // dQMA -> QMA* (cost C) -> LSD -> QMA one-way -> dQMA_sep: exercised on
+  // an EQ no-instance. The final protocol must still reject.
+  Rng rng(12);
+  const EqOneWayProtocol eq(10, 32, 0.3, 0x0ddba11);
+  const Bitstring x = Bitstring::random(10, rng);
+  Bitstring y = Bitstring::random(10, rng);
+  if (x == y) y.flip(0);
+  const auto base = dqma::comm::eq_as_qma_instance(eq, x, y);
+  const auto lsd = dqma::comm::lsd_from_qma_instance(base, 0.5);
+  const auto final_inst = lsd_qma_instance(lsd);
+  const QmaCcPathProtocol protocol(final_inst, 3, 30);
+  EXPECT_LE(protocol.best_attack_accept(), 1.0 / 3.0);
+
+  // And the yes side stays complete.
+  const auto base_yes = dqma::comm::eq_as_qma_instance(eq, x, x);
+  const auto lsd_yes = dqma::comm::lsd_from_qma_instance(base_yes, 0.5);
+  const auto yes_inst = lsd_qma_instance(lsd_yes);
+  const QmaCcPathProtocol yes_protocol(yes_inst, 3, 1);
+  EXPECT_GE(yes_protocol.completeness(), 0.9);
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Tests for the execution engines (chain DP, Monte-Carlo estimation) and
+// the util layer (RNG, Table).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "dqma/model.hpp"
+#include "dqma/runner.hpp"
+#include "qtest/swap_test.hpp"
+#include "quantum/random.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using dqma::linalg::CVec;
+using dqma::protocol::chain_accept;
+using dqma::protocol::chain_accept_reps;
+using dqma::protocol::estimate;
+using dqma::protocol::PathProof;
+using dqma::util::Rng;
+using dqma::util::Table;
+
+double swap_test(const CVec& a, const CVec& b) {
+  return dqma::qtest::swap_test_accept(a, b);
+}
+
+TEST(ChainAcceptTest, ZeroIntermediateNodesIsFinalTestOnly) {
+  Rng rng(1);
+  const CVec src = dqma::quantum::haar_state(4, rng);
+  PathProof empty;
+  const double accept =
+      chain_accept(src, empty, swap_test,
+                   [](const CVec& v) { return std::norm(v[0]); });
+  EXPECT_NEAR(accept, std::norm(src[0]), 1e-12);
+}
+
+TEST(ChainAcceptTest, AllIdenticalRegistersAcceptFully) {
+  Rng rng(2);
+  const CVec psi = dqma::quantum::haar_state(5, rng);
+  PathProof proof;
+  proof.reg0.assign(6, psi);
+  proof.reg1 = proof.reg0;
+  const double accept = chain_accept(
+      psi, proof, swap_test, [&psi](const CVec& v) {
+        const double amp = std::abs(psi.dot(v));
+        return amp * amp;
+      });
+  EXPECT_NEAR(accept, 1.0, 1e-12);
+}
+
+TEST(ChainAcceptTest, ResultIsAProbability) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int inner = 1 + static_cast<int>(rng.next_below(5));
+    const CVec src = dqma::quantum::haar_state(3, rng);
+    const CVec target = dqma::quantum::haar_state(3, rng);
+    PathProof proof;
+    for (int j = 0; j < inner; ++j) {
+      proof.reg0.push_back(dqma::quantum::haar_state(3, rng));
+      proof.reg1.push_back(dqma::quantum::haar_state(3, rng));
+    }
+    const double accept = chain_accept(
+        src, proof, swap_test, [&target](const CVec& v) {
+          const double amp = std::abs(target.dot(v));
+          return amp * amp;
+        });
+    EXPECT_GE(accept, 0.0);
+    EXPECT_LE(accept, 1.0);
+  }
+}
+
+TEST(ChainAcceptTest, SymmetrizationAveragesTheTwoRegisters) {
+  // With one intermediate node, the DP must average the two coin branches
+  // explicitly: accept = 1/2 [ t(src, r0) f(r1) + t(src, r1) f(r0) ].
+  Rng rng(4);
+  const CVec src = dqma::quantum::haar_state(3, rng);
+  const CVec r0 = dqma::quantum::haar_state(3, rng);
+  const CVec r1 = dqma::quantum::haar_state(3, rng);
+  const CVec target = dqma::quantum::haar_state(3, rng);
+  PathProof proof;
+  proof.reg0.push_back(r0);
+  proof.reg1.push_back(r1);
+  const auto final_test = [&target](const CVec& v) {
+    const double amp = std::abs(target.dot(v));
+    return amp * amp;
+  };
+  const double expected = 0.5 * (swap_test(src, r0) * final_test(r1) +
+                                 swap_test(src, r1) * final_test(r0));
+  EXPECT_NEAR(chain_accept(src, proof, swap_test, final_test), expected, 1e-12);
+}
+
+TEST(ChainAcceptTest, RepetitionsMultiply) {
+  Rng rng(5);
+  const CVec src = dqma::quantum::haar_state(3, rng);
+  const CVec target = dqma::quantum::haar_state(3, rng);
+  PathProof proof;
+  proof.reg0.push_back(dqma::quantum::haar_state(3, rng));
+  proof.reg1.push_back(dqma::quantum::haar_state(3, rng));
+  const auto final_test = [&target](const CVec& v) {
+    const double amp = std::abs(target.dot(v));
+    return amp * amp;
+  };
+  const double one = chain_accept(src, proof, swap_test, final_test);
+  const double three = chain_accept_reps({src, src, src}, {proof, proof, proof},
+                                         swap_test, final_test);
+  EXPECT_NEAR(three, one * one * one, 1e-12);
+}
+
+TEST(EstimateTest, MeanAndConfidenceInterval) {
+  Rng rng(6);
+  const auto est = estimate([&]() { return rng.next_bool(0.3) ? 1.0 : 0.0; },
+                            20000);
+  EXPECT_NEAR(est.mean, 0.3, 0.02);
+  EXPECT_LT(est.half_width_95, 0.01);
+  EXPECT_EQ(est.samples, 20000);
+}
+
+TEST(EstimateTest, DeterministicSampleHasZeroWidth) {
+  const auto est = estimate([]() { return 0.75; }, 100);
+  EXPECT_DOUBLE_EQ(est.mean, 0.75);
+  EXPECT_NEAR(est.half_width_95, 0.0, 1e-9);
+}
+
+// --- RNG ----------------------------------------------------------------------
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(7);
+  Rng child = parent.split();
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 64; ++i) {
+    values.insert(parent.next_u64());
+    values.insert(child.next_u64());
+  }
+  EXPECT_EQ(values.size(), 128u);
+}
+
+TEST(RngTest, NextBelowIsInRangeAndRoughlyUniform) {
+  Rng rng(8);
+  std::vector<int> counts(10, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    counts[static_cast<std::size_t>(v)]++;
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / draws, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(9);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / draws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / draws, 1.0, 0.03);
+}
+
+TEST(RngTest, NextIntBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+// --- Table ----------------------------------------------------------------------
+
+TEST(TableTest, AlignsColumnsAndSeparators) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2);
+}
+
+TEST(TableTest, RejectsMismatchedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+}  // namespace
