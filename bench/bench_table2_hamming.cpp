@@ -7,16 +7,18 @@
 // of our block-isolation substitution (d^2 log d, vs the paper's d via
 // [LZ13] — documented in EXPERIMENTS.md).
 #include <iostream>
+#include <vector>
 
 #include "comm/fq_rank.hpp"
 #include "comm/hamming_protocol.hpp"
 #include "comm/l1_graph.hpp"
 #include "comm/ltf_protocol.hpp"
 #include "dqma/hamming.hpp"
-#include "util/gf2.hpp"
 #include "network/graph.hpp"
 #include "util/bitstring.hpp"
+#include "util/gf2.hpp"
 #include "util/rng.hpp"
+#include "util/smoke.hpp"
 #include "util/table.hpp"
 
 using namespace dqma;
@@ -38,8 +40,11 @@ int main() {
         "scales as d log n; ours as d^2 log d log n (substitution, see\n"
         "DESIGN.md): the n-scaling shape is preserved, the d-exponent is 2.");
     Table table({"n", "d", "message qubits"});
-    for (int n : {32, 128, 512}) {
-      for (int d : {1, 2, 4}) {
+    const auto sizes =
+        util::smoke_select(std::vector<int>{32, 128, 512}, {32, 128});
+    const auto dists = util::smoke_select(std::vector<int>{1, 2, 4}, {1, 2});
+    for (int n : sizes) {
+      for (int d : dists) {
         const HammingOneWayProtocol p(
             n, d, 0.3, HammingOneWayProtocol::recommended_copies(d, 0.3));
         table.add_row({Table::fmt(n), Table::fmt(d),
@@ -81,11 +86,12 @@ int main() {
                  "<= 1/3?"});
     const network::Graph g = network::Graph::path(2);
     const HammingGraphProtocol protocol(g, {0, 2}, 16, 1, 0.35, 40);
+    const int samples = util::smoke_select(150, 30);
     for (int dist : {4, 7}) {
       const Bitstring x = Bitstring::random(16, rng);
       const std::vector<Bitstring> inputs{
           x, Bitstring::random_at_distance(x, dist, rng)};
-      const auto est = protocol.best_attack_accept(inputs, rng, 150);
+      const auto est = protocol.best_attack_accept(inputs, rng, samples);
       table.add_row({Table::fmt(dist), Table::fmt(est.mean),
                      Table::fmt(est.half_width_95),
                      est.mean - est.half_width_95 <= 1.0 / 3.0 ? "yes" : "NO"});

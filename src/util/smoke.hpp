@@ -1,0 +1,24 @@
+// Smoke-mode switch for the bench/ table harnesses.
+//
+// The CTest `bench-smoke` label runs every harness with DQMA_BENCH_SMOKE=1
+// in the environment; harnesses shrink their heaviest parameter sweeps so
+// the smoke run exercises every code path cheaply, while a direct
+// invocation still reproduces the full table.
+#pragma once
+
+#include <cstdlib>
+
+namespace dqma::util {
+
+/// True when the DQMA_BENCH_SMOKE environment variable is set.
+inline bool bench_smoke() {
+  return std::getenv("DQMA_BENCH_SMOKE") != nullptr;
+}
+
+/// Picks the full or the smoke-reduced variant of a parameter set.
+template <typename T>
+T smoke_select(T full, T smoke) {
+  return bench_smoke() ? smoke : full;
+}
+
+}  // namespace dqma::util

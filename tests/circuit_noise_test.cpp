@@ -11,15 +11,14 @@
 #include "dqma/exact_runner.hpp"
 #include "dqma/noise.hpp"
 #include "dqma/runner.hpp"
-#include "qtest/swap_test.hpp"
 #include "quantum/random.hpp"
+#include "support/test_support.hpp"
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using dqma::linalg::CVec;
-using dqma::protocol::chain_accept;
 using dqma::protocol::circuit_eq_path_accept;
 using dqma::protocol::EqPathProtocol;
 using dqma::protocol::noise_threshold;
@@ -27,29 +26,18 @@ using dqma::protocol::noisy_attack_accept;
 using dqma::protocol::noisy_completeness;
 using dqma::protocol::PathProof;
 using dqma::protocol::rotation_attack;
+using dqma::test::chain_swap_overlap_accept;
+using dqma::test::haar_states;
+using dqma::test::random_unequal_pair;
+using dqma::test::uniform_proof;
 using dqma::util::Bitstring;
 using dqma::util::Rng;
-
-double dp_accept(const CVec& source, const CVec& target,
-                 const PathProof& proof) {
-  return chain_accept(
-      source, proof,
-      [](const CVec& a, const CVec& b) {
-        return dqma::qtest::swap_test_accept(a, b);
-      },
-      [&target](const CVec& v) {
-        const double amp = std::abs(target.dot(v));
-        return amp * amp;
-      });
-}
 
 TEST(CircuitSimTest, HonestRunAcceptsAlways) {
   Rng rng(1);
   const CVec psi = dqma::quantum::haar_state(4, rng);
-  PathProof proof;
-  proof.reg0.assign(3, psi);
-  proof.reg1 = proof.reg0;
-  const auto est = circuit_eq_path_accept(psi, psi, proof, rng, 300);
+  const auto est =
+      circuit_eq_path_accept(psi, psi, uniform_proof(psi, 3), rng, 300);
   EXPECT_DOUBLE_EQ(est.mean, 1.0);
 }
 
@@ -62,11 +50,9 @@ TEST(CircuitSimTest, MatchesChainDpOnRandomProducts) {
     const CVec target = dqma::quantum::haar_state(4, rng);
     PathProof proof;
     const int inner = 2 + trial % 2;
-    for (int j = 0; j < inner; ++j) {
-      proof.reg0.push_back(dqma::quantum::haar_state(4, rng));
-      proof.reg1.push_back(dqma::quantum::haar_state(4, rng));
-    }
-    const double exact = dp_accept(source, target, proof);
+    proof.reg0 = haar_states(4, inner, rng);
+    proof.reg1 = haar_states(4, inner, rng);
+    const double exact = chain_swap_overlap_accept(source, target, proof);
     const auto est = circuit_eq_path_accept(source, target, proof, rng, 4000);
     EXPECT_NEAR(est.mean, exact, 4.0 * est.half_width_95 + 0.01)
         << "trial " << trial;
@@ -79,7 +65,7 @@ TEST(CircuitSimTest, MatchesExactEngineOnRotationAttack) {
   const CVec b = CVec::basis(3, 1);
   const int r = 3;
   const auto attack = rotation_attack(a, b, r - 1);
-  const double dp = dp_accept(a, b, attack);
+  const double dp = chain_swap_overlap_accept(a, b, attack);
   // Exact engine.
   const dqma::protocol::ExactEqPathAnalyzer exact(a, b, r);
   std::vector<CVec> regs;
@@ -98,11 +84,9 @@ TEST(CircuitSimTest, MatchesExactEngineOnRotationAttack) {
 TEST(NoiseTest, ZeroNoiseMatchesNoiselessProtocol) {
   Rng rng(4);
   const EqPathProtocol protocol(12, 4, 0.3, 10);
-  const Bitstring x = Bitstring::random(12, rng);
+  const auto [x, y] = random_unequal_pair(12, rng);
   EXPECT_NEAR(noisy_completeness(protocol, x, 0.0), protocol.completeness(x),
               1e-12);
-  Bitstring y = Bitstring::random(12, rng);
-  if (x == y) y.flip(0);
   EXPECT_NEAR(noisy_attack_accept(protocol, x, y, 0.0),
               protocol.best_attack_accept(x, y), 1e-9);
 }
@@ -144,9 +128,7 @@ TEST(NoiseTest, NoiseDampsTheAttackToo) {
   // the soundness side is robust; completeness is the fragile side.
   Rng rng(7);
   const EqPathProtocol protocol(12, 4, 0.3, 20);
-  const Bitstring x = Bitstring::random(12, rng);
-  Bitstring y = Bitstring::random(12, rng);
-  if (x == y) y.flip(0);
+  const auto [x, y] = random_unequal_pair(12, rng);
   EXPECT_LT(noisy_attack_accept(protocol, x, y, 0.3),
             noisy_attack_accept(protocol, x, y, 0.0));
 }
@@ -157,9 +139,7 @@ TEST(NoiseTest, ThresholdIsPositiveAndBelowBreakdown) {
   // 64 repetitions: enough for soundness 1/3 at r = 4 (ablation D4) while
   // keeping the completeness decay, and hence the threshold, measurable.
   const EqPathProtocol protocol(12, r, 0.3, 64);
-  const Bitstring x = Bitstring::random(12, rng);
-  Bitstring y = Bitstring::random(12, rng);
-  if (x == y) y.flip(1);
+  const auto [x, y] = random_unequal_pair(12, rng);
   const double threshold = noise_threshold(protocol, x, y, 1e-6);
   EXPECT_GT(threshold, 0.0);
   EXPECT_LT(threshold, 0.5);
@@ -173,9 +153,7 @@ TEST(NoiseTest, MoreRepetitionsLowerTheNoiseTolerance) {
   // per-channel noise shrinks as repetitions grow: the robustness price of
   // the soundness amplification.
   Rng rng(9);
-  const Bitstring x = Bitstring::random(12, rng);
-  Bitstring y = Bitstring::random(12, rng);
-  if (x == y) y.flip(1);
+  const auto [x, y] = random_unequal_pair(12, rng);
   const EqPathProtocol few(12, 4, 0.3, 100);
   const EqPathProtocol many(12, 4, 0.3, 1000);
   EXPECT_GT(noise_threshold(few, x, y), noise_threshold(many, x, y));

@@ -12,6 +12,7 @@
 #include "comm/ltf_protocol.hpp"
 #include "comm/qma_one_way.hpp"
 #include "quantum/random.hpp"
+#include "support/test_support.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -28,6 +29,8 @@ using dqma::comm::no_instance_distance_bound;
 using dqma::comm::qubits_for_dim;
 using dqma::comm::QmaOneWayInstance;
 using dqma::linalg::CVec;
+using dqma::test::random_unequal_pair;
+using dqma::test::random_unequal_to;
 using dqma::util::Bitstring;
 using dqma::util::Rng;
 
@@ -49,9 +52,7 @@ TEST(EqProtocolTest, SoundnessBelowDeltaSquared) {
   Rng rng(2);
   const EqOneWayProtocol eq(24, 0.3);
   for (int trial = 0; trial < 30; ++trial) {
-    const Bitstring x = Bitstring::random(24, rng);
-    Bitstring y = Bitstring::random(24, rng);
-    if (x == y) y.flip(0);
+    const auto [x, y] = random_unequal_pair(24, rng);
     EXPECT_LE(eq.honest_accept(x, y), 0.3 * 0.3 + 1e-10);
   }
 }
@@ -157,8 +158,7 @@ TEST(QmaOneWayTest, EqInstanceRoundTrip) {
   EXPECT_TRUE(yes.yes_instance);
   EXPECT_NEAR(yes.accept(yes.honest_proof), 1.0, 1e-9);
 
-  Bitstring y = Bitstring::random(16, rng);
-  if (x == y) y.flip(3);
+  const Bitstring y = random_unequal_to(x, rng);
   const auto no = eq_as_qma_instance(eq, x, y);
   no.validate();
   EXPECT_FALSE(no.yes_instance);
@@ -170,9 +170,7 @@ TEST(QmaOneWayTest, EqInstanceRoundTrip) {
 TEST(QmaOneWayTest, AndAmplifyPowersSoundness) {
   Rng rng(7);
   const EqOneWayProtocol eq(12, 64, 0.3, 0x0ddba11);
-  const Bitstring x = Bitstring::random(12, rng);
-  Bitstring y = Bitstring::random(12, rng);
-  if (x == y) y.flip(1);
+  const auto [x, y] = random_unequal_pair(12, rng);
   const auto base = eq_as_qma_instance(eq, x, y);
   const double single = base.max_accept();
   // Amplifying EQ squares the message dimension: keep k = 2 and compare.
@@ -238,9 +236,7 @@ TEST(HistoryStateTest, YesInstanceReducesToCloseSubspaces) {
 TEST(HistoryStateTest, NoInstanceReducesToFarSubspaces) {
   Rng rng(14);
   const EqOneWayProtocol eq(10, 128, 0.3, 0x0ddba11);
-  const Bitstring x = Bitstring::random(10, rng);
-  Bitstring y = Bitstring::random(10, rng);
-  if (x == y) y.flip(2);
+  const auto [x, y] = random_unequal_pair(10, rng);
   const auto no = eq_as_qma_instance(eq, x, y);
   const auto lsd = lsd_from_qma_instance(no, 0.5);
   // Soundness delta^2 = 0.09, tau = 0.5: distance >= sqrt(2 - 2 sqrt(0.18)).

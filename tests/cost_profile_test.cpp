@@ -1,0 +1,114 @@
+// Definition 6 cost accounting (model.hpp CostProfile as produced by the
+// path protocols): hand-computed values on the 3-node path v_0 - v_1 - v_2
+// (r = 2, one intermediate node).
+//
+// Hand computation for n = 8, delta = 0.3:
+//   recommended_block_length = smallest power of two >=
+//     2 (n ln 2 + 8) / delta^2 = 2 (5.54518 + 8) / 0.09 = 301.004  =>  512,
+//   so one fingerprint register is q = log2(512) = 9 qubits.
+// Algorithm 4 with k repetitions on r = 2:
+//   local proof  c(v_1)       = 2 k q   (two registers per repetition)
+//   total proof  sum_u c(u)   = 2 k q   (v_1 is the only prover target)
+//   local message m(v,w)      = k q     (one fingerprint per edge per rep)
+//   total message             = 2 k q   (edges v_0 v_1 and v_1 v_2)
+#include <gtest/gtest.h>
+
+#include "code/linear_code.hpp"
+#include "dqma/eq_path.hpp"
+#include "support/test_support.hpp"
+
+namespace {
+
+using dqma::protocol::CostProfile;
+using dqma::protocol::EqPathMode;
+using dqma::protocol::EqPathProtocol;
+using dqma::protocol::PathProofReps;
+using dqma::test::SeededTest;
+using dqma::util::Bitstring;
+
+constexpr int kN = 8;
+constexpr double kDelta = 0.3;
+constexpr int kQubits = 9;  // hand-computed above
+
+TEST(CostProfileTest, FingerprintRegisterIsNineQubitsAtN8) {
+  EXPECT_EQ(dqma::code::recommended_block_length(kN, kDelta), 512);
+  EXPECT_EQ(EqPathProtocol::fingerprint_qubits(kN, kDelta), kQubits);
+}
+
+TEST(CostProfileTest, ThreeNodePathSingleRepetition) {
+  const EqPathProtocol protocol(kN, /*r=*/2, kDelta, /*reps=*/1);
+  const CostProfile c = protocol.costs();
+  EXPECT_EQ(c.local_proof_qubits, 2 * kQubits);    // 18
+  EXPECT_EQ(c.total_proof_qubits, 2 * kQubits);    // 18
+  EXPECT_EQ(c.local_message_qubits, kQubits);      // 9
+  EXPECT_EQ(c.total_message_qubits, 2 * kQubits);  // 18
+}
+
+TEST(CostProfileTest, ThreeNodePathThreeRepetitions) {
+  const int k = 3;
+  const EqPathProtocol protocol(kN, /*r=*/2, kDelta, k);
+  const CostProfile c = protocol.costs();
+  EXPECT_EQ(c.local_proof_qubits, 2 * k * kQubits);    // 54
+  EXPECT_EQ(c.total_proof_qubits, 2 * k * kQubits);    // 54
+  EXPECT_EQ(c.local_message_qubits, k * kQubits);      // 27
+  EXPECT_EQ(c.total_message_qubits, 2 * k * kQubits);  // 54
+}
+
+TEST(CostProfileTest, FgnpForwardingHalvesTheProofRegisters) {
+  // The FGNP21 baseline keeps ONE register per intermediate node, so proof
+  // costs halve while message costs are unchanged.
+  const int k = 3;
+  const CostProfile c =
+      EqPathProtocol::costs_for(kN, 2, kDelta, k, EqPathMode::kFgnpForwarding);
+  EXPECT_EQ(c.local_proof_qubits, k * kQubits);        // 27
+  EXPECT_EQ(c.total_proof_qubits, k * kQubits);        // 27
+  EXPECT_EQ(c.local_message_qubits, k * kQubits);      // 27
+  EXPECT_EQ(c.total_message_qubits, 2 * k * kQubits);  // 54
+}
+
+TEST(CostProfileTest, CostsForMatchesConstructedInstance) {
+  // The formula-level accounting (no code construction) agrees with the
+  // instance-level accounting for every mode on the 3-node path.
+  for (const auto mode :
+       {EqPathMode::kSymmetrized, EqPathMode::kNoSymmetrization,
+        EqPathMode::kFgnpForwarding}) {
+    const EqPathProtocol protocol(kN, 2, kDelta, 5, mode);
+    const CostProfile a = protocol.costs();
+    const CostProfile b = EqPathProtocol::costs_for(kN, 2, kDelta, 5, mode);
+    EXPECT_EQ(a.local_proof_qubits, b.local_proof_qubits);
+    EXPECT_EQ(a.total_proof_qubits, b.total_proof_qubits);
+    EXPECT_EQ(a.local_message_qubits, b.local_message_qubits);
+    EXPECT_EQ(a.total_message_qubits, b.total_message_qubits);
+  }
+}
+
+TEST(CostProfileTest, PaperRepetitionCountOnThreeNodePath) {
+  // k = ceil(2 * 81 r^2 / 4) = ceil(81 r^2 / 2); r = 2 gives 162.
+  EXPECT_EQ(EqPathProtocol::paper_reps(2), 162);
+}
+
+class CostProfileProofShapeTest : public SeededTest {};
+
+TEST_F(CostProfileProofShapeTest, HonestProofMatchesAccountedRegisters) {
+  // The honest proof must physically contain exactly the registers the
+  // CostProfile charges for: per repetition, r - 1 = 1 pair of
+  // fingerprint-dimension registers at v_1.
+  const int k = 3;
+  const EqPathProtocol protocol(kN, 2, kDelta, k);
+  const Bitstring x = Bitstring::random(kN, rng());
+  const PathProofReps proof = protocol.honest_proof(x);
+  ASSERT_EQ(proof.size(), static_cast<std::size_t>(k));
+  long long total_qubits = 0;
+  for (const auto& rep : proof) {
+    ASSERT_EQ(rep.intermediate_nodes(), 1);
+    ASSERT_EQ(rep.reg0.size(), rep.reg1.size());
+    for (const auto& reg : {rep.reg0[0], rep.reg1[0]}) {
+      EXPECT_EQ(reg.dim(), 1 << kQubits);
+      EXPECT_NORMALIZED(reg);
+      total_qubits += kQubits;
+    }
+  }
+  EXPECT_EQ(total_qubits, protocol.costs().total_proof_qubits);
+}
+
+}  // namespace

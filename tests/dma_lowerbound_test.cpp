@@ -9,6 +9,7 @@
 #include "lowerbound/accounting.hpp"
 #include "lowerbound/counting.hpp"
 #include "lowerbound/fooling.hpp"
+#include "support/test_support.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -19,6 +20,8 @@ using dqma::dma::HashDmaEq;
 using dqma::dma::PrefixDmaEq;
 using dqma::dma::TrivialDmaEq;
 using dqma::dma::ZeroWindowDmaEq;
+using dqma::test::random_unequal_pair;
+using dqma::test::random_unequal_to;
 using dqma::util::Bitstring;
 using dqma::util::Rng;
 namespace lb = dqma::lowerbound;
@@ -28,8 +31,7 @@ TEST(DmaProtocolTest, TrivialProtocolIsCompleteAndSound) {
   const TrivialDmaEq protocol(12, 5);
   const Bitstring x = Bitstring::random(12, rng);
   EXPECT_TRUE(protocol.accepts(x, x, protocol.honest_proof(x)));
-  Bitstring y = Bitstring::random(12, rng);
-  if (x == y) y.flip(0);
+  const Bitstring y = random_unequal_to(x, rng);
   // Any proof is rejected on a no instance: the tag chain must match both
   // x and y.
   EXPECT_FALSE(protocol.accepts(x, y, protocol.honest_proof(x)));
@@ -93,9 +95,7 @@ TEST(DmaGapTest, ZeroWindowSpliceIsAcceptedEverywhere) {
   // soundness completely, regardless of how many bits the other nodes get.
   Rng rng(7);
   const ZeroWindowDmaEq protocol(16, 8, 4);
-  const Bitstring x = Bitstring::random(16, rng);
-  Bitstring y = Bitstring::random(16, rng);
-  if (x == y) y.flip(0);
+  const auto [x, y] = random_unequal_pair(16, rng);
   EXPECT_TRUE(protocol.accepts(x, x, protocol.honest_proof(x)));
   EXPECT_TRUE(protocol.accepts(x, y, protocol.splice_attack(x, y)));
 }

@@ -5,6 +5,7 @@
 
 #include "dqma/eq_graph.hpp"
 #include "network/graph.hpp"
+#include "support/test_support.hpp"
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
 
@@ -13,6 +14,8 @@ namespace {
 using dqma::network::Graph;
 using dqma::protocol::EqGraphProtocol;
 using dqma::protocol::GraphTestMode;
+using dqma::test::random_unequal_pair;
+using dqma::test::random_unequal_to;
 using dqma::util::Bitstring;
 using dqma::util::Rng;
 
@@ -74,8 +77,7 @@ TEST(EqGraphTest, DeviantLeafIsDetectedWithPaperRepetitions) {
   const EqGraphProtocol protocol(g, {1, 2, 3, 4}, 16, 0.3,
                                  /*reps=*/2 * 81 * 3 * 3 / 2);
   const Bitstring x = Bitstring::random(16, rng);
-  Bitstring z = Bitstring::random(16, rng);
-  if (z == x) z.flip(0);
+  const Bitstring z = random_unequal_to(x, rng);
   std::vector<Bitstring> inputs = equal_inputs(x, 4);
   inputs[2] = z;
   EXPECT_LE(protocol.best_attack_accept(inputs), 1.0 / 3.0);
@@ -85,9 +87,7 @@ TEST(EqGraphTest, SingleRepetitionAttackSurvivesOnDeepTrees) {
   Rng rng(6);
   const Graph g = Graph::path(10);
   const EqGraphProtocol protocol(g, {0, 10}, 16, 0.3, 1);
-  const Bitstring x = Bitstring::random(16, rng);
-  Bitstring y = Bitstring::random(16, rng);
-  if (x == y) y.flip(1);
+  const auto [x, y] = random_unequal_pair(16, rng);
   EXPECT_GE(protocol.best_attack_accept({x, y}), 0.6);
 }
 
@@ -118,8 +118,7 @@ TEST(EqGraphAblationTest, PermutationTestCatchesBetterThanRandomPair) {
                              GraphTestMode::kRandomPairSwap);
   const Bitstring x = Bitstring::random(16, rng);
   std::vector<Bitstring> inputs = equal_inputs(x, t);
-  Bitstring z = Bitstring::random(16, rng);
-  if (z == x) z.flip(0);
+  const Bitstring z = random_unequal_to(x, rng);
   inputs[3] = z;
   EXPECT_LT(perm.best_attack_accept(inputs),
             pair.best_attack_accept(inputs) + 1e-9);
@@ -141,9 +140,7 @@ TEST(EqGraphTest, TwoTerminalAcceptIsSymmetricInDeviation) {
   Rng rng(9);
   const Graph g = Graph::path(5);
   const EqGraphProtocol protocol(g, {0, 5}, 16, 0.3, 1);
-  const Bitstring x = Bitstring::random(16, rng);
-  Bitstring y = Bitstring::random(16, rng);
-  if (x == y) y.flip(2);
+  const auto [x, y] = random_unequal_pair(16, rng);
   const double a = protocol.best_attack_accept({x, y});
   const double b = protocol.best_attack_accept({y, x});
   EXPECT_NEAR(a, b, 0.05);

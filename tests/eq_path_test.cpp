@@ -10,8 +10,8 @@
 #include "dqma/eq_path.hpp"
 #include "dqma/exact_runner.hpp"
 #include "dqma/runner.hpp"
-#include "qtest/swap_test.hpp"
 #include "quantum/random.hpp"
+#include "support/test_support.hpp"
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
 
@@ -26,6 +26,8 @@ using dqma::protocol::geodesic_states;
 using dqma::protocol::PathProof;
 using dqma::protocol::rotation_attack;
 using dqma::protocol::step_attack;
+using dqma::test::chain_swap_overlap_accept;
+using dqma::test::random_unequal_pair;
 using dqma::util::Bitstring;
 using dqma::util::Rng;
 
@@ -45,7 +47,7 @@ TEST(GeodesicTest, EndpointsAndMonotonicity) {
     EXPECT_GE(ob, prev_b - 1e-9);
     prev_a = oa;
     prev_b = ob;
-    EXPECT_NEAR(s.norm(), 1.0, 1e-9);
+    EXPECT_NORMALIZED(s);
   }
 }
 
@@ -83,9 +85,7 @@ TEST(EqPathTest, HonestProofOnUnequalInputsIsCaughtByFinalTest) {
   Rng rng(4);
   const int n = 24;
   const EqPathProtocol protocol(n, 4, 0.3, 1);
-  const Bitstring x = Bitstring::random(n, rng);
-  Bitstring y = Bitstring::random(n, rng);
-  if (x == y) y.flip(0);
+  const auto [x, y] = random_unequal_pair(n, rng);
   // All SWAP tests accept (identical registers); only v_r's POVM rejects.
   const double accept =
       protocol.accept_probability(x, y, protocol.honest_proof(x));
@@ -98,9 +98,7 @@ TEST(EqPathTest, PaperRepetitionsReachSoundnessOneThird) {
   const int n = 16;
   for (int r : {2, 3, 5, 8}) {
     const EqPathProtocol protocol(n, r, 0.3, EqPathProtocol::paper_reps(r));
-    const Bitstring x = Bitstring::random(n, rng);
-    Bitstring y = Bitstring::random(n, rng);
-    if (x == y) y.flip(1);
+    const auto [x, y] = random_unequal_pair(n, rng);
     EXPECT_LE(protocol.best_attack_accept(x, y), 1.0 / 3.0) << "r=" << r;
   }
 }
@@ -111,9 +109,7 @@ TEST(EqPathTest, SingleRepetitionIsNotSoundForLongPaths) {
   Rng rng(6);
   const int n = 16;
   const EqPathProtocol protocol(n, 10, 0.3, 1);
-  const Bitstring x = Bitstring::random(n, rng);
-  Bitstring y = Bitstring::random(n, rng);
-  if (x == y) y.flip(2);
+  const auto [x, y] = random_unequal_pair(n, rng);
   EXPECT_GE(protocol.best_attack_accept(x, y), 0.7);
 }
 
@@ -121,9 +117,7 @@ TEST(EqPathTest, RotationAttackBeatsStepAttack) {
   Rng rng(7);
   const int n = 16;
   const EqPathProtocol protocol(n, 8, 0.3, 1);
-  const Bitstring x = Bitstring::random(n, rng);
-  Bitstring y = Bitstring::random(n, rng);
-  if (x == y) y.flip(3);
+  const auto [x, y] = random_unequal_pair(n, rng);
   const CVec hx = protocol.scheme().state(x);
   const CVec hy = protocol.scheme().state(y);
   const double rot = protocol.single_rep_accept(x, y, rotation_attack(hx, hy, 7));
@@ -136,9 +130,7 @@ TEST(EqPathTest, RotationAttackBeatsStepAttack) {
 TEST(EqPathTest, AttackAcceptanceDecaysWithRepetitions) {
   Rng rng(8);
   const int n = 16;
-  const Bitstring x = Bitstring::random(n, rng);
-  Bitstring y = Bitstring::random(n, rng);
-  if (x == y) y.flip(0);
+  const auto [x, y] = random_unequal_pair(n, rng);
   double prev = 1.0;
   for (int reps : {1, 10, 50}) {
     const EqPathProtocol protocol(n, 4, 0.3, reps);
@@ -155,9 +147,7 @@ TEST(EqPathTest, SoundnessErrorMatchesLemma17Shape) {
   const int n = 16;
   for (int r : {2, 4, 8}) {
     const EqPathProtocol protocol(n, r, 0.3, 1);
-    const Bitstring x = Bitstring::random(n, rng);
-    Bitstring y = Bitstring::random(n, rng);
-    if (x == y) y.flip(1);
+    const auto [x, y] = random_unequal_pair(n, rng);
     const double accept = protocol.best_attack_accept(x, y);
     EXPECT_LE(accept, 1.0 - 4.0 / (81.0 * r * r) + 1e-9) << "r=" << r;
   }
@@ -171,9 +161,7 @@ TEST(EqPathAblationTest, NoSymmetrizationIsCompletelyBroken) {
   const int n = 16;
   const int r = 5;
   const EqPathProtocol protocol(n, r, 0.3, 7, EqPathMode::kNoSymmetrization);
-  const Bitstring x = Bitstring::random(n, rng);
-  Bitstring y = Bitstring::random(n, rng);
-  if (x == y) y.flip(0);
+  const auto [x, y] = random_unequal_pair(n, rng);
   const CVec hx = protocol.scheme().state(x);
   const CVec hy = protocol.scheme().state(y);
   PathProof cheat;
@@ -193,9 +181,7 @@ TEST(EqPathAblationTest, SymmetrizationDefeatsTheChainCheat) {
   const int n = 16;
   const int r = 5;
   const EqPathProtocol protocol(n, r, 0.3, 1);
-  const Bitstring x = Bitstring::random(n, rng);
-  Bitstring y = Bitstring::random(n, rng);
-  if (x == y) y.flip(0);
+  const auto [x, y] = random_unequal_pair(n, rng);
   const CVec hx = protocol.scheme().state(x);
   const CVec hy = protocol.scheme().state(y);
   PathProof cheat;
@@ -222,9 +208,7 @@ TEST(EqPathAblationTest, SymmetrizedBeatsFgnpPerRepetition) {
   const int r = 6;
   const EqPathProtocol ours(n, r, 0.3, 1, EqPathMode::kSymmetrized);
   const EqPathProtocol fgnp(n, r, 0.3, 1, EqPathMode::kFgnpForwarding);
-  const Bitstring x = Bitstring::random(n, rng);
-  Bitstring y = Bitstring::random(n, rng);
-  if (x == y) y.flip(0);
+  const auto [x, y] = random_unequal_pair(n, rng);
   const CVec hx = ours.scheme().state(x);
   const CVec hy = ours.scheme().state(y);
   const auto attack = rotation_attack(hx, hy, r - 1);
@@ -282,15 +266,7 @@ TEST(ExactEqPathTest, ChainDpMatchesExactEngineOnProducts) {
       regs.push_back(a);
       regs.push_back(b);
     }
-    const double dp = dqma::protocol::chain_accept(
-        hx, proof,
-        [](const CVec& a, const CVec& b) {
-          return dqma::qtest::swap_test_accept(a, b);
-        },
-        [&hy](const CVec& received) {
-          const double amp = std::abs(hy.dot(received));
-          return amp * amp;
-        });
+    const double dp = chain_swap_overlap_accept(hx, hy, proof);
     EXPECT_NEAR(dp, exact.product_accept(regs), 1e-9) << "trial " << trial;
   }
 }

@@ -10,6 +10,7 @@
 #include "dqma/forall_f.hpp"
 #include "dqma/locc.hpp"
 #include "network/graph.hpp"
+#include "support/test_support.hpp"
 #include "util/gf2.hpp"
 #include "util/rng.hpp"
 
@@ -249,8 +250,7 @@ TEST(FqRankTest, SuperposedMessagesAreSampled) {
   const double a1 = protocol.accept_product(y.to_bits(), message);
   const double a2 = protocol.accept_product(y.to_bits(), message);
   EXPECT_EQ(a1, a2);
-  EXPECT_GE(a1, 0.0);
-  EXPECT_LE(a1, 1.0);
+  EXPECT_PROBABILITY(a1);
 }
 
 // --- LOCC conversion -----------------------------------------------------------

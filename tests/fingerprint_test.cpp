@@ -5,6 +5,7 @@
 
 #include "code/linear_code.hpp"
 #include "fingerprint/fingerprint.hpp"
+#include "support/test_support.hpp"
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
 
@@ -117,7 +118,7 @@ TEST(FingerprintTest, SelfOverlapIsOne) {
   const FingerprintScheme scheme(20, 0.3);
   const Bitstring x = Bitstring::random(20, rng);
   EXPECT_NEAR(scheme.overlap(x, x), 1.0, 1e-12);
-  EXPECT_NEAR(scheme.state(x).norm(), 1.0, 1e-12);
+  EXPECT_NORMALIZED(scheme.state(x));
 }
 
 TEST(FingerprintTest, ExhaustiveOverlapBoundHolds) {
@@ -144,7 +145,7 @@ TEST(FingerprintTest, QubitCountGrowsLogarithmically) {
 TEST(FingerprintTest, BottomStateIsNormalizedUniform) {
   const FingerprintScheme scheme(8, 0.3);
   const auto bot = scheme.bottom_state();
-  EXPECT_NEAR(bot.norm(), 1.0, 1e-12);
+  EXPECT_NORMALIZED(bot);
   EXPECT_NEAR(bot[0].real(), bot[scheme.dim() - 1].real(), 1e-12);
 }
 

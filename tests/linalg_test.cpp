@@ -8,6 +8,7 @@
 #include "linalg/permanent.hpp"
 #include "linalg/vector.hpp"
 #include "quantum/random.hpp"
+#include "support/test_support.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -130,7 +131,7 @@ TEST(EigenTest, ReconstructionPropertyOnRandomHermitian) {
       lambda(i, i) = Complex{es.values[static_cast<std::size_t>(i)], 0.0};
     }
     const CMat rebuilt = es.vectors * lambda * es.vectors.adjoint();
-    EXPECT_LT(rebuilt.linf_distance(a), 1e-8);
+    EXPECT_DENSITY_NEAR_TOL(rebuilt, a, 1e-8);
     EXPECT_TRUE(es.vectors.is_unitary(1e-8));
   }
 }
@@ -158,7 +159,7 @@ TEST(EigenTest, SqrtPsdSquaresBack) {
   Rng rng(5);
   const CMat rho = dqma::quantum::random_density(6, rng);
   const CMat root = sqrt_psd(rho);
-  EXPECT_LT((root * root).linf_distance(rho), 1e-8);
+  EXPECT_DENSITY_NEAR_TOL(root * root, rho, 1e-8);
 }
 
 TEST(EigenTest, TraceNormOfHermitianIsSumAbsEigenvalues) {

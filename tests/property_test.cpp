@@ -13,6 +13,7 @@
 #include "quantum/distance.hpp"
 #include "quantum/partial_trace.hpp"
 #include "quantum/random.hpp"
+#include "support/test_support.hpp"
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
 
@@ -28,6 +29,7 @@ using dqma::protocol::GtProtocol;
 using dqma::protocol::GtVariant;
 using dqma::protocol::PathProof;
 using dqma::protocol::rotation_attack;
+using dqma::test::haar_states;
 using dqma::util::Bitstring;
 using dqma::util::Rng;
 
@@ -96,15 +98,12 @@ TEST_P(EqPathInvariants, RandomProofsAreValidAndSuboptimal) {
     dqma::protocol::PathProofReps proof;
     for (int k = 0; k < reps; ++k) {
       PathProof one;
-      for (int j = 0; j < r - 1; ++j) {
-        one.reg0.push_back(dqma::quantum::haar_state(dim, rng));
-        one.reg1.push_back(dqma::quantum::haar_state(dim, rng));
-      }
+      one.reg0 = haar_states(dim, r - 1, rng);
+      one.reg1 = haar_states(dim, r - 1, rng);
       proof.push_back(std::move(one));
     }
     const double accept = protocol.accept_probability(x, x, proof);
-    EXPECT_GE(accept, -1e-12);
-    EXPECT_LE(accept, 1.0 + 1e-12);
+    EXPECT_PROBABILITY(accept);
     // The honest proof is optimal on the yes instance.
     EXPECT_LE(accept, protocol.completeness(x) + 1e-9);
   }
@@ -151,10 +150,7 @@ class PermutationInvariance : public ::testing::TestWithParam<int> {};
 TEST_P(PermutationInvariance, InputOrderIrrelevant) {
   const int k = GetParam();
   Rng rng(303);
-  std::vector<CVec> factors;
-  for (int i = 0; i < k; ++i) {
-    factors.push_back(dqma::quantum::haar_state(4, rng));
-  }
+  std::vector<CVec> factors = haar_states(4, k, rng);
   const double base = dqma::qtest::permutation_test_accept(factors);
   for (int shuffle = 0; shuffle < 4; ++shuffle) {
     for (int i = k - 1; i > 0; --i) {

@@ -11,6 +11,7 @@
 #include "quantum/unitary.hpp"
 #include "quantum/random.hpp"
 #include "quantum/state.hpp"
+#include "support/test_support.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -103,13 +104,13 @@ TEST(PermutationTest, KEqualsTwoReducesToSwapTest) {
   const CMat proj = qtest::symmetric_projector(4, 2);
   const CMat swap_form =
       (CMat::identity(16) + dqma::quantum::swap_unitary(4)) * Complex{0.5, 0.0};
-  EXPECT_LT(proj.linf_distance(swap_form), 1e-12);
+  EXPECT_DENSITY_NEAR_TOL(proj, swap_form, 1e-12);
 }
 
 TEST(PermutationTest, SymmetricProjectorIsIdempotent) {
   for (int k : {2, 3, 4}) {
     const CMat p = qtest::symmetric_projector(2, k);
-    EXPECT_LT((p * p).linf_distance(p), 1e-10);
+    EXPECT_DENSITY_NEAR_TOL(p * p, p, 1e-10);
     EXPECT_TRUE(p.is_hermitian(1e-12));
   }
 }

@@ -10,6 +10,7 @@
 #include "quantum/random.hpp"
 #include "quantum/state.hpp"
 #include "quantum/unitary.hpp"
+#include "support/test_support.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -69,7 +70,7 @@ TEST(PureStateTest, ApplyMatchesGlobalKronecker) {
   PureState applied = psi;
   applied.apply(u, {0});
   const CVec expected = u.kron(CMat::identity(3)) * amps;
-  EXPECT_LT(applied.amplitudes().linf_distance(expected), 1e-10);
+  EXPECT_STATE_NEAR(applied.amplitudes(), expected);
 }
 
 TEST(PureStateTest, ApplyOnRegisterPairMatchesKronecker) {
@@ -80,7 +81,7 @@ TEST(PureStateTest, ApplyOnRegisterPairMatchesKronecker) {
   PureState applied = psi;
   applied.apply(u, {0, 1});
   const CVec expected = u.kron(CMat::identity(2)) * amps;
-  EXPECT_LT(applied.amplitudes().linf_distance(expected), 1e-10);
+  EXPECT_STATE_NEAR(applied.amplitudes(), expected);
 }
 
 TEST(PureStateTest, MeasurementCollapsesAndOutcomesFollowBornRule) {
@@ -118,7 +119,7 @@ TEST(DensityTest, PartialTraceOfProductIsFactor) {
       PureState::single(a).tensor(PureState::single(b));
   const Density left = partial_trace(Density::from_pure(psi), {1});
   const CMat expected = CMat::projector(a);
-  EXPECT_LT(left.matrix().linf_distance(expected), 1e-10);
+  EXPECT_DENSITY_NEAR_TOL(left.matrix(), expected, dqma::util::kAlgebraTol);
 }
 
 TEST(DensityTest, PartialTracePreservesTrace) {
@@ -194,7 +195,7 @@ TEST(UnitaryTest, SwapActsCorrectly) {
   const CVec a = CVec::basis(3, 0);
   const CVec b = CVec::basis(3, 2);
   const CVec swapped = swap * a.tensor(b);
-  EXPECT_LT(swapped.linf_distance(b.tensor(a)), 1e-12);
+  EXPECT_STATE_NEAR_TOL(swapped, b.tensor(a), 1e-12);
   EXPECT_TRUE(swap.is_unitary(1e-12));
 }
 
@@ -209,7 +210,7 @@ TEST(UnitaryTest, PermutationUnitaryMatchesDefinition) {
   const CVec out = u * in;
   const CVec expected = CVec::basis(2, 0).tensor(CVec::basis(2, 1)).tensor(
       CVec::basis(2, 0));  // |010>
-  EXPECT_LT(out.linf_distance(expected), 1e-12);
+  EXPECT_STATE_NEAR_TOL(out, expected, 1e-12);
 }
 
 TEST(UnitaryTest, SelectUnitaryBlocks) {
@@ -220,7 +221,7 @@ TEST(UnitaryTest, SelectUnitaryBlocks) {
   const CVec in = CVec::basis(2, 1).tensor(CVec::basis(4, 1));
   const CVec out = cswap * in;
   const CVec expected = CVec::basis(2, 1).tensor(CVec::basis(4, 2));
-  EXPECT_LT(out.linf_distance(expected), 1e-12);
+  EXPECT_STATE_NEAR_TOL(out, expected, 1e-12);
 }
 
 TEST(UnitaryTest, AllPermutationsCount) {

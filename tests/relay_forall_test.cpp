@@ -16,6 +16,7 @@
 #include "network/graph.hpp"
 #include "qtest/swap_test.hpp"
 #include "quantum/random.hpp"
+#include "support/test_support.hpp"
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
 
@@ -31,6 +32,8 @@ using dqma::protocol::message_swap_accept;
 using dqma::protocol::QmaCcPathProtocol;
 using dqma::protocol::RelayEqProtocol;
 using dqma::protocol::theorem46_costs;
+using dqma::test::random_unequal_pair;
+using dqma::test::random_unequal_to;
 using dqma::util::Bitstring;
 using dqma::util::Rng;
 
@@ -61,9 +64,7 @@ TEST(RelayEqTest, AttackIsCaughtWithPaperRepetitions) {
   const int spacing = RelayEqProtocol::paper_spacing(n);
   const RelayEqProtocol protocol(n, 8, 0.3, spacing,
                                  RelayEqProtocol::paper_seg_reps(n));
-  const Bitstring x = Bitstring::random(n, rng);
-  Bitstring y = Bitstring::random(n, rng);
-  if (x == y) y.flip(0);
+  const auto [x, y] = random_unequal_pair(n, rng);
   EXPECT_LE(protocol.best_attack_accept(x, y), 1.0 / 3.0);
 }
 
@@ -152,8 +153,7 @@ TEST(ForallFTest, EqInstantiationIsCompleteAndSound) {
   EXPECT_NEAR(protocol.completeness(yes), 1.0, 1e-9);
 
   std::vector<Bitstring> no = yes;
-  no[1] = Bitstring::random(16, rng);
-  if (no[1] == x) no[1].flip(0);
+  no[1] = random_unequal_to(x, rng);
   ASSERT_FALSE(protocol.predicate(no));
   const auto est = protocol.accept_probability(no, protocol.honest_proof(no),
                                                rng, 300);
@@ -185,9 +185,7 @@ TEST(QmaCcPathTest, EqInstanceCompleteness) {
 TEST(QmaCcPathTest, EqNoInstanceAttackBounded) {
   Rng rng(8);
   const EqOneWayProtocol eq(12, 64, 0.3, 0x0ddba11);
-  const Bitstring x = Bitstring::random(12, rng);
-  Bitstring y = Bitstring::random(12, rng);
-  if (x == y) y.flip(0);
+  const auto [x, y] = random_unequal_pair(12, rng);
   const auto inst = dqma::comm::eq_as_qma_instance(eq, x, y);
   const int r = 3;
   const QmaCcPathProtocol protocol(inst, r, 2 * 81 * r * r / 4);
@@ -239,9 +237,7 @@ TEST(Theorem46Test, EndToEndPipelineOnEqInstance) {
   // an EQ no-instance. The final protocol must still reject.
   Rng rng(12);
   const EqOneWayProtocol eq(10, 32, 0.3, 0x0ddba11);
-  const Bitstring x = Bitstring::random(10, rng);
-  Bitstring y = Bitstring::random(10, rng);
-  if (x == y) y.flip(0);
+  const auto [x, y] = random_unequal_pair(10, rng);
   const auto base = dqma::comm::eq_as_qma_instance(eq, x, y);
   const auto lsd = dqma::comm::lsd_from_qma_instance(base, 0.5);
   const auto final_inst = lsd_qma_instance(lsd);

@@ -8,8 +8,8 @@
 
 #include "dqma/model.hpp"
 #include "dqma/runner.hpp"
-#include "qtest/swap_test.hpp"
 #include "quantum/random.hpp"
+#include "support/test_support.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -20,19 +20,19 @@ using dqma::protocol::chain_accept;
 using dqma::protocol::chain_accept_reps;
 using dqma::protocol::estimate;
 using dqma::protocol::PathProof;
+using dqma::test::chain_swap_overlap_accept;
+using dqma::test::haar_states;
+using dqma::test::overlap_final_test;
+using dqma::test::swap_pair_test;
+using dqma::test::uniform_proof;
 using dqma::util::Rng;
 using dqma::util::Table;
-
-double swap_test(const CVec& a, const CVec& b) {
-  return dqma::qtest::swap_test_accept(a, b);
-}
 
 TEST(ChainAcceptTest, ZeroIntermediateNodesIsFinalTestOnly) {
   Rng rng(1);
   const CVec src = dqma::quantum::haar_state(4, rng);
-  PathProof empty;
   const double accept =
-      chain_accept(src, empty, swap_test,
+      chain_accept(src, PathProof{}, swap_pair_test(),
                    [](const CVec& v) { return std::norm(v[0]); });
   EXPECT_NEAR(accept, std::norm(src[0]), 1e-12);
 }
@@ -40,14 +40,8 @@ TEST(ChainAcceptTest, ZeroIntermediateNodesIsFinalTestOnly) {
 TEST(ChainAcceptTest, AllIdenticalRegistersAcceptFully) {
   Rng rng(2);
   const CVec psi = dqma::quantum::haar_state(5, rng);
-  PathProof proof;
-  proof.reg0.assign(6, psi);
-  proof.reg1 = proof.reg0;
-  const double accept = chain_accept(
-      psi, proof, swap_test, [&psi](const CVec& v) {
-        const double amp = std::abs(psi.dot(v));
-        return amp * amp;
-      });
+  const double accept =
+      chain_swap_overlap_accept(psi, psi, uniform_proof(psi, 6));
   EXPECT_NEAR(accept, 1.0, 1e-12);
 }
 
@@ -58,17 +52,9 @@ TEST(ChainAcceptTest, ResultIsAProbability) {
     const CVec src = dqma::quantum::haar_state(3, rng);
     const CVec target = dqma::quantum::haar_state(3, rng);
     PathProof proof;
-    for (int j = 0; j < inner; ++j) {
-      proof.reg0.push_back(dqma::quantum::haar_state(3, rng));
-      proof.reg1.push_back(dqma::quantum::haar_state(3, rng));
-    }
-    const double accept = chain_accept(
-        src, proof, swap_test, [&target](const CVec& v) {
-          const double amp = std::abs(target.dot(v));
-          return amp * amp;
-        });
-    EXPECT_GE(accept, 0.0);
-    EXPECT_LE(accept, 1.0);
+    proof.reg0 = haar_states(3, inner, rng);
+    proof.reg1 = haar_states(3, inner, rng);
+    EXPECT_PROBABILITY(chain_swap_overlap_accept(src, target, proof));
   }
 }
 
@@ -83,13 +69,11 @@ TEST(ChainAcceptTest, SymmetrizationAveragesTheTwoRegisters) {
   PathProof proof;
   proof.reg0.push_back(r0);
   proof.reg1.push_back(r1);
-  const auto final_test = [&target](const CVec& v) {
-    const double amp = std::abs(target.dot(v));
-    return amp * amp;
-  };
-  const double expected = 0.5 * (swap_test(src, r0) * final_test(r1) +
-                                 swap_test(src, r1) * final_test(r0));
-  EXPECT_NEAR(chain_accept(src, proof, swap_test, final_test), expected, 1e-12);
+  const auto pair_test = swap_pair_test();
+  const auto final_test = overlap_final_test(target);
+  const double expected = 0.5 * (pair_test(src, r0) * final_test(r1) +
+                                 pair_test(src, r1) * final_test(r0));
+  EXPECT_NEAR(chain_swap_overlap_accept(src, target, proof), expected, 1e-12);
 }
 
 TEST(ChainAcceptTest, RepetitionsMultiply) {
@@ -99,13 +83,10 @@ TEST(ChainAcceptTest, RepetitionsMultiply) {
   PathProof proof;
   proof.reg0.push_back(dqma::quantum::haar_state(3, rng));
   proof.reg1.push_back(dqma::quantum::haar_state(3, rng));
-  const auto final_test = [&target](const CVec& v) {
-    const double amp = std::abs(target.dot(v));
-    return amp * amp;
-  };
-  const double one = chain_accept(src, proof, swap_test, final_test);
-  const double three = chain_accept_reps({src, src, src}, {proof, proof, proof},
-                                         swap_test, final_test);
+  const double one = chain_swap_overlap_accept(src, target, proof);
+  const double three =
+      chain_accept_reps({src, src, src}, {proof, proof, proof},
+                        swap_pair_test(), overlap_final_test(target));
   EXPECT_NEAR(three, one * one * one, 1e-12);
 }
 
@@ -125,24 +106,8 @@ TEST(EstimateTest, DeterministicSampleHasZeroWidth) {
 }
 
 // --- RNG ----------------------------------------------------------------------
-
-TEST(RngTest, SameSeedSameStream) {
-  Rng a(123);
-  Rng b(123);
-  for (int i = 0; i < 100; ++i) {
-    EXPECT_EQ(a.next_u64(), b.next_u64());
-  }
-}
-
-TEST(RngTest, DifferentSeedsDiverge) {
-  Rng a(1);
-  Rng b(2);
-  int equal = 0;
-  for (int i = 0; i < 64; ++i) {
-    equal += a.next_u64() == b.next_u64() ? 1 : 0;
-  }
-  EXPECT_LT(equal, 2);
-}
+// (Seed-determinism guarantees live in determinism_test.cpp; these cover
+// the distributional properties.)
 
 TEST(RngTest, SplitProducesIndependentStream) {
   Rng parent(7);
