@@ -3,19 +3,25 @@
 //   D2 permutation test vs random-pair SWAP at internal tree nodes;
 //   D3 relay spacing (Algorithm 6's ceil(n^{1/3}) is the sweet spot);
 //   D4 repetition count k = Theta(r^2) is necessary and sufficient.
+#include <algorithm>
 #include <cmath>
-#include <iostream>
+#include <cstdint>
+#include <vector>
 
 #include "dqma/attacks.hpp"
 #include "dqma/eq_graph.hpp"
 #include "dqma/eq_path.hpp"
 #include "dqma/relay_eq.hpp"
+#include "experiments.hpp"
 #include "network/graph.hpp"
+#include "sweep/registry.hpp"
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-using namespace dqma;
+namespace dqma::bench {
+namespace {
+
 using protocol::EqGraphProtocol;
 using protocol::EqPathMode;
 using protocol::EqPathProtocol;
@@ -25,108 +31,184 @@ using util::Bitstring;
 using util::Rng;
 using util::Table;
 
-int main() {
-  Rng rng(42);
-  std::cout << "Ablations of the paper's design choices\n";
+void run(sweep::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out();
 
   {
     util::print_banner(
-        std::cout, "D1: the symmetrization step",
+        out, "D1: the symmetrization step",
         "Acceptance of the forward-chain cheat on a no instance (r = 6,\n"
-        "n = 16, 1 repetition). Without symmetrization the cheat is perfect.");
+        "n = 16, 1 repetition). Without symmetrization the cheat is "
+        "perfect.");
+    sweep::ParamGrid grid;
+    grid.axis("mode",
+              std::vector<std::string>{"no symmetrization",
+                                       "symmetrized (paper)"});
+    const auto points = grid.enumerate();
+    // Both modes must be attacked on the SAME no-instance — the ablation
+    // isolates the symmetrization step, not input variation — so the pair
+    // comes from a shared stream rather than the per-job one.
+    const std::uint64_t input_seed = util::derive_seed(
+        ctx.base_seed(), sweep::fnv1a64("d1_symmetrization/inputs"));
+    const auto results = ctx.sweep(
+        "d1_symmetrization", points,
+        [input_seed](const sweep::ParamPoint& p, Rng&) {
+          const int n = 16;
+          const int r = 6;
+          const EqPathMode mode = p.get_string("mode") == "no symmetrization"
+                                      ? EqPathMode::kNoSymmetrization
+                                      : EqPathMode::kSymmetrized;
+          Rng input_rng(input_seed);
+          const Bitstring x = Bitstring::random(n, input_rng);
+          Bitstring y = Bitstring::random(n, input_rng);
+          if (x == y) y.flip(0);
+          const EqPathProtocol protocol(n, r, 0.3, 1, mode);
+          const auto hx = protocol.scheme().state(x);
+          const auto hy = protocol.scheme().state(y);
+          protocol::PathProof cheat;
+          for (int j = 0; j < r - 1; ++j) {
+            cheat.reg0.push_back(hx);
+            cheat.reg1.push_back(j + 1 < r - 1 ? hx : hy);
+          }
+          return sweep::Metrics()
+              .set("chain_cheat_accept",
+                   protocol.single_rep_accept(x, y, cheat))
+              .set("best_attack_accept", protocol.best_attack_accept(x, y));
+        });
     Table table({"mode", "chain-cheat accept", "best attack accept"});
-    const int n = 16;
-    const int r = 6;
-    const Bitstring x = Bitstring::random(n, rng);
-    Bitstring y = Bitstring::random(n, rng);
-    if (x == y) y.flip(0);
-    for (const auto& [mode, name] :
-         {std::pair{EqPathMode::kNoSymmetrization, "no symmetrization"},
-          std::pair{EqPathMode::kSymmetrized, "symmetrized (paper)"}}) {
-      const EqPathProtocol protocol(n, r, 0.3, 1, mode);
-      const auto hx = protocol.scheme().state(x);
-      const auto hy = protocol.scheme().state(y);
-      protocol::PathProof cheat;
-      for (int j = 0; j < r - 1; ++j) {
-        cheat.reg0.push_back(hx);
-        cheat.reg1.push_back(j + 1 < r - 1 ? hx : hy);
-      }
-      table.add_row({name,
-                     Table::fmt(protocol.single_rep_accept(x, y, cheat)),
-                     Table::fmt(protocol.best_attack_accept(x, y))});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& m = results[i].metrics;
+      table.add_row({points[i].get_string("mode"),
+                     Table::fmt(m.get_double("chain_cheat_accept")),
+                     Table::fmt(m.get_double("best_attack_accept"))});
     }
-    table.print(std::cout);
+    table.print(out);
   }
 
   {
     util::print_banner(
-        std::cout, "D2: permutation test vs random-pair SWAP (stars, 1 rep)",
+        out, "D2: permutation test vs random-pair SWAP (stars, 1 rep)",
         "Per-repetition soundness error against the interpolation attack;\n"
         "higher is better for the verifier. n = 16.");
+    sweep::ParamGrid grid;
+    grid.axis("t", ctx.smoke_select(std::vector<int>{3, 4, 5, 6, 7},
+                                    {3, 4}));
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "d2_test_modes", points, [](const sweep::ParamPoint& p, Rng& rng) {
+          const int n = 16;
+          const int t = static_cast<int>(p.get_int("t"));
+          const network::Graph g = network::Graph::star(t);
+          std::vector<int> terminals;
+          for (int i = 1; i <= t; ++i) terminals.push_back(i);
+          const EqGraphProtocol perm(g, terminals, n, 0.3, 1,
+                                     GraphTestMode::kPermutationTest);
+          const EqGraphProtocol pair(g, terminals, n, 0.3, 1,
+                                     GraphTestMode::kRandomPairSwap);
+          const Bitstring x = Bitstring::random(n, rng);
+          std::vector<Bitstring> inputs(static_cast<std::size_t>(t), x);
+          inputs.back() = Bitstring::random(n, rng);
+          if (inputs.back() == x) inputs.back().flip(0);
+          const double perm_err = 1.0 - perm.best_attack_accept(inputs);
+          const double pair_err = 1.0 - pair.best_attack_accept(inputs);
+          return sweep::Metrics()
+              .set("permutation_test_err", perm_err)
+              .set("random_pair_err", pair_err)
+              .set("advantage_factor",
+                   perm_err / std::max(1e-12, pair_err));
+        });
     Table table({"t", "permutation test err", "random-pair err",
                  "advantage factor"});
-    const int n = 16;
-    for (int t : {3, 4, 5, 6, 7}) {
-      const network::Graph g = network::Graph::star(t);
-      std::vector<int> terminals;
-      for (int i = 1; i <= t; ++i) terminals.push_back(i);
-      const EqGraphProtocol perm(g, terminals, n, 0.3, 1,
-                                 GraphTestMode::kPermutationTest);
-      const EqGraphProtocol pair(g, terminals, n, 0.3, 1,
-                                 GraphTestMode::kRandomPairSwap);
-      const Bitstring x = Bitstring::random(n, rng);
-      std::vector<Bitstring> inputs(static_cast<std::size_t>(t), x);
-      inputs.back() = Bitstring::random(n, rng);
-      if (inputs.back() == x) inputs.back().flip(0);
-      const double perm_err = 1.0 - perm.best_attack_accept(inputs);
-      const double pair_err = 1.0 - pair.best_attack_accept(inputs);
-      table.add_row({Table::fmt(t), Table::fmt(perm_err),
-                     Table::fmt(pair_err),
-                     Table::fmt(perm_err / std::max(1e-12, pair_err))});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& m = results[i].metrics;
+      table.add_row({Table::fmt(points[i].get_int("t")),
+                     Table::fmt(m.get_double("permutation_test_err")),
+                     Table::fmt(m.get_double("random_pair_err")),
+                     Table::fmt(m.get_double("advantage_factor"))});
     }
-    table.print(std::cout);
+    table.print(out);
   }
 
   {
     util::print_banner(
-        std::cout, "D3: relay spacing sweep (Algorithm 6)",
+        out, "D3: relay spacing sweep (Algorithm 6)",
         "Total proof qubits vs spacing s (segment repetitions k = 42 s^2),\n"
-        "r = 4096, n = 2^15. Balancing (r/s) n against 84 r s^2 q places the\n"
+        "r = 4096, n = 2^15. Balancing (r/s) n against 84 r s^2 q places "
+        "the\n"
         "constant-optimal spacing at (n / 168 q)^{1/3} ~ 2-3 here: the SAME\n"
         "n-exponent as the paper's ceil(n^{1/3}) (both give total\n"
         "~ r n^{2/3} up to log factors) but a (84 q)^{1/3}-fold smaller\n"
         "constant. Expected: minimum at s = 2-3, and every Theta(n^{1/3})\n"
         "spacing within a polylog factor of it.");
+    sweep::ParamGrid grid;
+    grid.axis("spacing", std::vector<int>{1, 2, 3, 4, 8, 16, 32, 64, 128});
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "d3_relay_spacing", points, [](const sweep::ParamPoint& p, Rng&) {
+          const int n = 1 << 15;
+          const int r = 4096;
+          const int spacing = static_cast<int>(p.get_int("spacing"));
+          const auto c = RelayEqProtocol::costs_for(n, r, 0.3, spacing,
+                                                    42 * spacing * spacing);
+          return sweep::Metrics().set("total_proof_qubits",
+                                      c.total_proof_qubits);
+        });
     Table table({"spacing", "total proof (qubits)"});
-    const int n = 1 << 15;
-    const int r = 4096;
-    for (int spacing : {1, 2, 3, 4, 8, 16, 32, 64, 128}) {
-      const auto c = RelayEqProtocol::costs_for(n, r, 0.3, spacing,
-                                                42 * spacing * spacing);
-      table.add_row({Table::fmt(spacing), Table::fmt(c.total_proof_qubits)});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      table.add_row(
+          {Table::fmt(points[i].get_int("spacing")),
+           Table::fmt(results[i].metrics.get_int("total_proof_qubits"))});
     }
-    table.print(std::cout);
+    table.print(out);
   }
 
   {
     util::print_banner(
-        std::cout, "D4: repetition count k",
+        out, "D4: repetition count k",
         "Attacked soundness error of the EQ path protocol vs k at r = 6,\n"
         "n = 16. Expected: error ~ (1 - Theta(1/r))^k, reaching 2/3 at\n"
         "k = Theta(r) and 1 - 1/3 at the paper's k = Theta(r^2).");
-    Table table({"k", "attack accept", "<= 1/3?"});
-    const int n = 16;
     const int r = 6;
-    const Bitstring x = Bitstring::random(n, rng);
-    Bitstring y = Bitstring::random(n, rng);
-    if (x == y) y.flip(0);
-    for (int k : {1, 8, 32, 128, EqPathProtocol::paper_reps(r)}) {
-      const EqPathProtocol protocol(n, r, 0.3, k);
-      const double attack = protocol.best_attack_accept(x, y);
-      table.add_row({Table::fmt(k), Table::fmt(attack),
-                     attack <= 1.0 / 3.0 ? "yes" : "no"});
+    std::vector<int> ks{1, 8, 32, 128, EqPathProtocol::paper_reps(r)};
+    if (ctx.smoke()) ks = {1, 32, EqPathProtocol::paper_reps(r)};
+    sweep::ParamGrid grid;
+    grid.axis("k", ks);
+    const auto points = grid.enumerate();
+    // One fixed no-instance across the whole k sweep, so the recorded
+    // decay curve is monotone in k by construction.
+    const std::uint64_t input_seed = util::derive_seed(
+        ctx.base_seed(), sweep::fnv1a64("d4_repetitions/inputs"));
+    const auto results = ctx.sweep(
+        "d4_repetitions", points,
+        [r, input_seed](const sweep::ParamPoint& p, Rng&) {
+          const int n = 16;
+          Rng input_rng(input_seed);
+          const Bitstring x = Bitstring::random(n, input_rng);
+          Bitstring y = Bitstring::random(n, input_rng);
+          if (x == y) y.flip(0);
+          const EqPathProtocol protocol(n, r, 0.3,
+                                        static_cast<int>(p.get_int("k")));
+          const double attack = protocol.best_attack_accept(x, y);
+          return sweep::Metrics()
+              .set("attack_accept", attack)
+              .set("sound", attack <= 1.0 / 3.0);
+        });
+    Table table({"k", "attack accept", "<= 1/3?"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& m = results[i].metrics;
+      table.add_row({Table::fmt(points[i].get_int("k")),
+                     Table::fmt(m.get_double("attack_accept")),
+                     m.get_bool("sound") ? "yes" : "no"});
     }
-    table.print(std::cout);
+    table.print(out);
   }
-  return 0;
 }
+
+}  // namespace
+
+void register_ablations() {
+  sweep::register_experiment(
+      {"ablations", "Ablations of the paper's design choices (D1-D4)", run});
+}
+
+}  // namespace dqma::bench

@@ -1,19 +1,22 @@
 // Failure injection: the EQ path protocol under depolarizing channel noise
 // (dqma/noise.hpp). Not a paper table — an extension experiment quantifying
 // how the paper's soundness-driven parameter choices trade off against
-// channel noise in any conceivable deployment.
-#include <iostream>
-
+// channel noise in any conceivable deployment. Both sections are chain-DP
+// heavy and run as parallel sweep jobs.
+#include <cstdint>
 #include <vector>
 
 #include "dqma/eq_path.hpp"
 #include "dqma/noise.hpp"
+#include "experiments.hpp"
+#include "sweep/registry.hpp"
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
-#include "util/smoke.hpp"
 #include "util/table.hpp"
 
-using namespace dqma;
+namespace dqma::bench {
+namespace {
+
 using protocol::EqPathProtocol;
 using protocol::noise_threshold;
 using protocol::noisy_attack_accept;
@@ -22,56 +25,112 @@ using util::Bitstring;
 using util::Rng;
 using util::Table;
 
-int main() {
-  Rng rng(55);
-  std::cout << "Robustness extension: depolarizing noise on verifier "
-               "channels\n";
-
+void run(sweep::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out();
   const int n = 16;
 
   {
     util::print_banner(
-        std::cout, "(a) completeness and attacked soundness vs noise",
+        out, "(a) completeness and attacked soundness vs noise",
         "r = 4, k = 64 repetitions. Expected: completeness decays\n"
         "~(1 - p/2)^{rk}; the attack acceptance decays too (noise damps all\n"
         "test statistics); the verifier's gap closes from the completeness\n"
         "side.");
+    sweep::ParamGrid grid;
+    grid.axis("noise",
+              ctx.smoke_select(
+                  std::vector<double>{0.0, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2},
+                  {0.0, 1e-3, 1e-2}));
+    const auto points = grid.enumerate();
+    // One fixed (x, y) across all noise levels: the table reads as a decay
+    // curve in p, so the instance must not vary along the axis.
+    const std::uint64_t gap_input_seed = util::derive_seed(
+        ctx.base_seed(), sweep::fnv1a64("gap_vs_noise/inputs"));
+    const auto results = ctx.sweep(
+        "gap_vs_noise", points,
+        [n, gap_input_seed](const sweep::ParamPoint& point, Rng&) {
+          const double p = point.get_double("noise");
+          const EqPathProtocol protocol(n, 4, 0.3, 64);
+          Rng input_rng(gap_input_seed);
+          const Bitstring x = Bitstring::random(n, input_rng);
+          Bitstring y = Bitstring::random(n, input_rng);
+          if (x == y) y.flip(0);
+          const double c = noisy_completeness(protocol, x, p);
+          const double s = noisy_attack_accept(protocol, x, y, p);
+          return sweep::Metrics()
+              .set("completeness", c)
+              .set("attack_accept", s)
+              .set("separated", c >= 2.0 / 3.0 && s <= 1.0 / 3.0);
+        });
     Table table({"noise p", "completeness", "attack accept", "separated?"});
-    const EqPathProtocol protocol(n, 4, 0.3, 64);
-    const Bitstring x = Bitstring::random(n, rng);
-    Bitstring y = Bitstring::random(n, rng);
-    if (x == y) y.flip(0);
-    for (const double p : {0.0, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2}) {
-      const double c = noisy_completeness(protocol, x, p);
-      const double s = noisy_attack_accept(protocol, x, y, p);
-      table.add_row({Table::fmt(p), Table::fmt(c), Table::fmt(s),
-                     (c >= 2.0 / 3.0 && s <= 1.0 / 3.0) ? "yes" : "NO"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      table.add_row(
+          {Table::fmt(points[i].get_double("noise")),
+           Table::fmt(results[i].metrics.get_double("completeness")),
+           Table::fmt(results[i].metrics.get_double("attack_accept")),
+           results[i].metrics.get_bool("separated") ? "yes" : "NO"});
     }
-    table.print(std::cout);
+    table.print(out);
   }
 
   {
     util::print_banner(
-        std::cout, "(b) noise threshold vs path length",
+        out, "(b) noise threshold vs path length",
         "Largest per-channel noise keeping completeness >= 2/3 and attack\n"
         "accept <= 1/3, at the minimal repetition count k that separates\n"
         "noiselessly (k = 4r) and at the paper's k = ceil(81 r^2 / 2).\n"
         "Expected: threshold ~ 1/(r k), so the conservative k costs ~r^2 in\n"
         "noise tolerance.");
-    Table table({"r", "threshold @ k = 4r", "threshold @ paper k"});
+    // The two threshold searches per r (each a bisection over full
+    // protocol evaluations) are independent chain-DP workloads, so they
+    // run as separate parallel jobs sharing one config-indexed input pair.
     const auto radii =
-        util::smoke_select(std::vector<int>{2, 4, 6, 8}, {2, 4});
-    for (int r : radii) {
-      const Bitstring x = Bitstring::random(n, rng);
-      Bitstring y = Bitstring::random(n, rng);
-      if (x == y) y.flip(0);
-      const EqPathProtocol lean(n, r, 0.3, 4 * r);
-      const EqPathProtocol paper(n, r, 0.3, EqPathProtocol::paper_reps(r));
-      table.add_row({Table::fmt(r),
-                     Table::fmt(noise_threshold(lean, x, y, 1e-6)),
-                     Table::fmt(noise_threshold(paper, x, y, 1e-7))});
+        ctx.smoke_select(std::vector<int>{2, 4, 6, 8}, {2, 4});
+    sweep::ParamGrid grid;
+    grid.axis("r", radii);
+    grid.axis("k_mode", std::vector<std::string>{"lean", "paper"});
+    const auto points = grid.enumerate();
+    const std::uint64_t input_seed = util::derive_seed(
+        ctx.base_seed(), sweep::fnv1a64("threshold_vs_r/inputs"));
+    const auto results = ctx.sweep(
+        "threshold_vs_r", points,
+        [n, input_seed](const sweep::ParamPoint& point, Rng&) {
+          const int r = static_cast<int>(point.get_int("r"));
+          Rng input_rng(
+              util::derive_seed(input_seed, static_cast<std::uint64_t>(r)));
+          const Bitstring x = Bitstring::random(n, input_rng);
+          Bitstring y = Bitstring::random(n, input_rng);
+          if (x == y) y.flip(0);
+          double threshold = 0.0;
+          if (point.get_string("k_mode") == "lean") {
+            const EqPathProtocol lean(n, r, 0.3, 4 * r);
+            threshold = noise_threshold(lean, x, y, 1e-6);
+          } else {
+            const EqPathProtocol paper(n, r, 0.3,
+                                       EqPathProtocol::paper_reps(r));
+            threshold = noise_threshold(paper, x, y, 1e-7);
+          }
+          return sweep::Metrics().set("threshold", threshold);
+        });
+    Table table({"r", "threshold @ k = 4r", "threshold @ paper k"});
+    for (std::size_t i = 0; i < points.size(); i += 2) {
+      // Points alternate lean/paper within each r (k_mode is the fast
+      // axis of the grid).
+      table.add_row(
+          {Table::fmt(points[i].get_int("r")),
+           Table::fmt(results[i].metrics.get_double("threshold")),
+           Table::fmt(results[i + 1].metrics.get_double("threshold"))});
     }
-    table.print(std::cout);
+    table.print(out);
   }
-  return 0;
 }
+
+}  // namespace
+
+void register_robustness() {
+  sweep::register_experiment(
+      {"robustness",
+       "Extension: EQ path protocol under depolarizing channel noise", run});
+}
+
+}  // namespace dqma::bench

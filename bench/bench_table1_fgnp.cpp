@@ -11,19 +11,23 @@
 // per-repetition soundness of FGNP probabilistic forwarding is weaker than
 // the symmetrized protocol's; classical protocols below the bit budget are
 // broken outright.
-#include <iostream>
+#include <vector>
 
 #include "dma/attacks.hpp"
 #include "dma/dma_protocols.hpp"
 #include "dqma/attacks.hpp"
 #include "dqma/eq_graph.hpp"
 #include "dqma/eq_path.hpp"
+#include "experiments.hpp"
 #include "network/graph.hpp"
+#include "sweep/registry.hpp"
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-using namespace dqma;
+namespace dqma::bench {
+namespace {
+
 using protocol::EqGraphProtocol;
 using protocol::EqPathMode;
 using protocol::EqPathProtocol;
@@ -32,89 +36,143 @@ using util::Bitstring;
 using util::Rng;
 using util::Table;
 
-int main() {
-  Rng rng(20240321);
-  std::cout << "Reproduction of Table 1 [FGNP21 baselines] "
-            << "(arXiv:2403.14108)\n";
+void run(sweep::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out();
 
   {
     util::print_banner(
-        std::cout, "Table 1, row 1 (quantum, EQ, t terminals)",
+        out, "Table 1, row 1 (quantum, EQ, t terminals)",
         "FGNP21 random-pair SWAP testing needs local proofs growing with t;\n"
         "the permutation test (this paper, Sec. 3) does not. Star networks,\n"
         "n = 32, single repetition; soundness = acceptance of the best\n"
         "product attack (lower is better).");
+    const int n = 32;
+    sweep::ParamGrid grid;
+    grid.axis("t", ctx.smoke_select(std::vector<int>{2, 3, 4, 5, 6, 7},
+                                    {2, 3, 4}));
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "stars_fgnp_vs_ours", points,
+        [n](const sweep::ParamPoint& p, Rng& rng) {
+          const int t = static_cast<int>(p.get_int("t"));
+          const network::Graph g = network::Graph::star(t);
+          std::vector<int> terminals;
+          for (int i = 1; i <= t; ++i) terminals.push_back(i);
+          const EqGraphProtocol fgnp(g, terminals, n, 0.3, 1,
+                                     GraphTestMode::kRandomPairSwap);
+          const EqGraphProtocol ours(g, terminals, n, 0.3, 1,
+                                     GraphTestMode::kPermutationTest);
+          const Bitstring x = Bitstring::random(n, rng);
+          std::vector<Bitstring> inputs(static_cast<std::size_t>(t), x);
+          inputs.back() = Bitstring::random(n, rng);
+          if (inputs.back() == x) inputs.back().flip(0);
+          // FGNP-style analysis needs O(t r^2) repetitions; report the
+          // per-rep proof sizes scaled by the repetition counts the
+          // respective analyses prescribe: t * 81r^2/2-ish vs 81r^2/2-ish.
+          // Here r = 2 on a star.
+          const long long q = fgnp.costs().local_proof_qubits;
+          return sweep::Metrics()
+              .set("fgnp_soundness_err", 1.0 - fgnp.best_attack_accept(inputs))
+              .set("ours_soundness_err", 1.0 - ours.best_attack_accept(inputs))
+              .set("fgnp_local_proof_qubits", q * t)
+              .set("ours_local_proof_qubits",
+                   ours.costs().local_proof_qubits);
+        });
     Table table({"t", "FGNP per-rep soundness err", "ours per-rep soundness err",
                  "FGNP local proof/rep (qubits)", "ours local proof/rep"});
-    const int n = 32;
-    for (int t : {2, 3, 4, 5, 6, 7}) {
-      const network::Graph g = network::Graph::star(t);
-      std::vector<int> terminals;
-      for (int i = 1; i <= t; ++i) terminals.push_back(i);
-      const EqGraphProtocol fgnp(g, terminals, n, 0.3, 1,
-                                 GraphTestMode::kRandomPairSwap);
-      const EqGraphProtocol ours(g, terminals, n, 0.3, 1,
-                                 GraphTestMode::kPermutationTest);
-      const Bitstring x = Bitstring::random(n, rng);
-      std::vector<Bitstring> inputs(static_cast<std::size_t>(t), x);
-      inputs.back() = Bitstring::random(n, rng);
-      if (inputs.back() == x) inputs.back().flip(0);
-      const double fgnp_err = 1.0 - fgnp.best_attack_accept(inputs);
-      const double ours_err = 1.0 - ours.best_attack_accept(inputs);
-      // FGNP-style analysis needs O(t r^2) repetitions; report the per-rep
-      // proof sizes scaled by the repetition counts the respective analyses
-      // prescribe: t * 81r^2/2-ish vs 81r^2/2-ish. Here r = 2 on a star.
-      const long long q = fgnp.costs().local_proof_qubits;
-      table.add_row({Table::fmt(t), Table::fmt(fgnp_err), Table::fmt(ours_err),
-                     Table::fmt(static_cast<long long>(q * t)),
-                     Table::fmt(ours.costs().local_proof_qubits)});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& m = results[i].metrics;
+      table.add_row({Table::fmt(points[i].get_int("t")),
+                     Table::fmt(m.get_double("fgnp_soundness_err")),
+                     Table::fmt(m.get_double("ours_soundness_err")),
+                     Table::fmt(m.get_int("fgnp_local_proof_qubits")),
+                     Table::fmt(m.get_int("ours_local_proof_qubits"))});
     }
-    table.print(std::cout);
-    std::cout << "\nExpected shape: detection probability of the permutation\n"
-                 "test exceeds the random-pair baseline as t grows, so the\n"
-                 "baseline needs ~t x more repetitions (factor t in Table 1).\n";
+    table.print(out);
+    out << "\nExpected shape: detection probability of the permutation\n"
+           "test exceeds the random-pair baseline as t grows, so the\n"
+           "baseline needs ~t x more repetitions (factor t in Table 1).\n";
   }
 
   {
     util::print_banner(
-        std::cout, "Table 1, row 1' (paths: probabilistic forwarding)",
+        out, "Table 1, row 1' (paths: probabilistic forwarding)",
         "FGNP21 forwarding on a path vs this paper's symmetrization, single\n"
         "repetition, rotation attack; n = 24.");
-    Table table({"r", "FGNP per-rep soundness err", "ours per-rep soundness err"});
     const int n = 24;
-    for (int r : {2, 4, 6, 8, 10}) {
-      const EqPathProtocol fgnp(n, r, 0.3, 1, EqPathMode::kFgnpForwarding);
-      const EqPathProtocol ours(n, r, 0.3, 1, EqPathMode::kSymmetrized);
-      const Bitstring x = Bitstring::random(n, rng);
-      Bitstring y = Bitstring::random(n, rng);
-      if (x == y) y.flip(0);
-      const auto hx = ours.scheme().state(x);
-      const auto hy = ours.scheme().state(y);
-      const auto attack = protocol::rotation_attack(hx, hy, r - 1);
-      table.add_row({Table::fmt(r),
-                     Table::fmt(1.0 - fgnp.single_rep_accept(x, y, attack)),
-                     Table::fmt(1.0 - ours.single_rep_accept(x, y, attack))});
+    sweep::ParamGrid grid;
+    grid.axis("r", ctx.smoke_select(std::vector<int>{2, 4, 6, 8, 10},
+                                    {2, 4}));
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "paths_forwarding_vs_symmetrized", points,
+        [n](const sweep::ParamPoint& p, Rng& rng) {
+          const int r = static_cast<int>(p.get_int("r"));
+          const EqPathProtocol fgnp(n, r, 0.3, 1, EqPathMode::kFgnpForwarding);
+          const EqPathProtocol ours(n, r, 0.3, 1, EqPathMode::kSymmetrized);
+          const Bitstring x = Bitstring::random(n, rng);
+          Bitstring y = Bitstring::random(n, rng);
+          if (x == y) y.flip(0);
+          const auto hx = ours.scheme().state(x);
+          const auto hy = ours.scheme().state(y);
+          const auto attack = protocol::rotation_attack(hx, hy, r - 1);
+          return sweep::Metrics()
+              .set("fgnp_soundness_err",
+                   1.0 - fgnp.single_rep_accept(x, y, attack))
+              .set("ours_soundness_err",
+                   1.0 - ours.single_rep_accept(x, y, attack));
+        });
+    Table table(
+        {"r", "FGNP per-rep soundness err", "ours per-rep soundness err"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      table.add_row(
+          {Table::fmt(points[i].get_int("r")),
+           Table::fmt(results[i].metrics.get_double("fgnp_soundness_err")),
+           Table::fmt(results[i].metrics.get_double("ours_soundness_err"))});
     }
-    table.print(std::cout);
+    table.print(out);
   }
 
   {
     util::print_banner(
-        std::cout, "Table 1, row 3 (classical dMA, EQ: Omega(n/nu) local proof)",
+        out, "Table 1, row 3 (classical dMA, EQ: Omega(n/nu) local proof)",
         "Budgeted classical protocols on a path (r = 5, n = 14): below n\n"
         "bits per node the collision attack achieves soundness error 1;\n"
         "at the trivial n-bit proof the protocol is sound.");
-    Table table({"proof bits/node", "soundness error (attacked)", "sound?"});
     const int n = 14;
-    for (int bits : {4, 7, 10, 14, 28, 48}) {
-      const dma::HashDmaEq protocol(n, 5, bits);
-      const double err = dma::collision_attack_soundness_error(protocol, 0, rng);
-      table.add_row({Table::fmt(bits), Table::fmt(err),
-                     err == 0.0 ? "yes" : "BROKEN"});
+    sweep::ParamGrid grid;
+    grid.axis("bits", ctx.smoke_select(std::vector<int>{4, 7, 10, 14, 28, 48},
+                                       {4, 14}));
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "classical_collision_attack", points,
+        [n](const sweep::ParamPoint& p, Rng& rng) {
+          const dma::HashDmaEq protocol(n, 5,
+                                        static_cast<int>(p.get_int("bits")));
+          const double err =
+              dma::collision_attack_soundness_error(protocol, 0, rng);
+          return sweep::Metrics()
+              .set("soundness_error", err)
+              .set("sound", err == 0.0);
+        });
+    Table table({"proof bits/node", "soundness error (attacked)", "sound?"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      table.add_row(
+          {Table::fmt(points[i].get_int("bits")),
+           Table::fmt(results[i].metrics.get_double("soundness_error")),
+           results[i].metrics.get_bool("sound") ? "yes" : "BROKEN"});
     }
-    table.print(std::cout);
-    std::cout << "\nExpected shape: broken strictly below ~n bits, sound at\n"
-                 "and above (the Omega(n) per-window bound of [FGNP21]).\n";
+    table.print(out);
+    out << "\nExpected shape: broken strictly below ~n bits, sound at\n"
+           "and above (the Omega(n) per-window bound of [FGNP21]).\n";
   }
-  return 0;
 }
+
+}  // namespace
+
+void register_table1_fgnp() {
+  sweep::register_experiment(
+      {"table1_fgnp", "Table 1 [FGNP21 baselines] (arXiv:2403.14108)", run});
+}
+
+}  // namespace dqma::bench

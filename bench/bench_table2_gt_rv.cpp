@@ -1,16 +1,21 @@
 // Table 2, rows 4-5 — Theorem 26 (greater-than, O(r^2 log n)) and
 // Theorem 29 (ranking verification, O(t r^2 log n)), plus the classical
 // Omega(rn) contrast for GT (Corollary 27).
-#include <iostream>
+#include <cstdint>
+#include <vector>
 
 #include "dqma/gt.hpp"
 #include "dqma/rv.hpp"
+#include "experiments.hpp"
 #include "network/graph.hpp"
+#include "sweep/registry.hpp"
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-using namespace dqma;
+namespace dqma::bench {
+namespace {
+
 using protocol::gt_predicate;
 using protocol::GtProtocol;
 using protocol::GtVariant;
@@ -19,89 +24,136 @@ using util::Bitstring;
 using util::Rng;
 using util::Table;
 
-int main() {
-  Rng rng(26);
-  std::cout << "Reproduction of Table 2, rows 4-5 (Theorems 26 and 29: GT and "
-               "ranking verification)\n";
+void run(sweep::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out();
 
   {
     util::print_banner(
-        std::cout, "(a) GT: completeness / soundness at paper parameters",
+        out, "(a) GT: completeness / soundness at paper parameters",
         "n = 12; soundness = best product attack over all admissible lying\n"
         "indices. Expected: completeness 1, attack accept <= 1/3.");
-    Table table({"r", "variant", "completeness", "attack accept", "<= 1/3?"});
     const int n = 12;
-    for (int r : {2, 4, 6}) {
-      const int reps = 2 * 81 * r * r / 4 + 1;
-      for (const auto& [variant, name] :
-           {std::pair{GtVariant::kGreater, "GT>"},
-            std::pair{GtVariant::kGeq, "GT>="}}) {
-        const GtProtocol protocol(n, r, 0.3, reps, variant);
-        // Sample a yes and a no instance.
-        Bitstring x = Bitstring::random(n, rng);
-        Bitstring y = Bitstring::random(n, rng);
-        while (!gt_predicate(variant, x, y)) {
-          x = Bitstring::random(n, rng);
-          y = Bitstring::random(n, rng);
-        }
-        const double comp = protocol.completeness(x, y);
-        Bitstring xn = Bitstring::random(n, rng);
-        Bitstring yn = Bitstring::random(n, rng);
-        while (gt_predicate(variant, xn, yn)) {
-          xn = Bitstring::random(n, rng);
-          yn = Bitstring::random(n, rng);
-        }
-        const double attack = protocol.best_attack_accept(xn, yn);
-        table.add_row({Table::fmt(r), name, Table::fmt(comp),
-                       Table::fmt(attack),
-                       attack <= 1.0 / 3.0 ? "yes" : "NO"});
-      }
+    sweep::ParamGrid grid;
+    grid.axis("r", ctx.smoke_select(std::vector<int>{2, 4, 6}, {2}));
+    grid.axis("variant", std::vector<std::string>{"GT>", "GT>="});
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "gt_soundness", points, [n](const sweep::ParamPoint& p, Rng& rng) {
+          const int r = static_cast<int>(p.get_int("r"));
+          const int reps = 2 * 81 * r * r / 4 + 1;
+          const GtVariant variant = p.get_string("variant") == "GT>"
+                                        ? GtVariant::kGreater
+                                        : GtVariant::kGeq;
+          const GtProtocol protocol(n, r, 0.3, reps, variant);
+          // Sample a yes and a no instance.
+          Bitstring x = Bitstring::random(n, rng);
+          Bitstring y = Bitstring::random(n, rng);
+          while (!gt_predicate(variant, x, y)) {
+            x = Bitstring::random(n, rng);
+            y = Bitstring::random(n, rng);
+          }
+          const double comp = protocol.completeness(x, y);
+          Bitstring xn = Bitstring::random(n, rng);
+          Bitstring yn = Bitstring::random(n, rng);
+          while (gt_predicate(variant, xn, yn)) {
+            xn = Bitstring::random(n, rng);
+            yn = Bitstring::random(n, rng);
+          }
+          const double attack = protocol.best_attack_accept(xn, yn);
+          return sweep::Metrics()
+              .set("completeness", comp)
+              .set("attack_accept", attack)
+              .set("sound", attack <= 1.0 / 3.0);
+        });
+    Table table({"r", "variant", "completeness", "attack accept", "<= 1/3?"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& m = results[i].metrics;
+      table.add_row({Table::fmt(points[i].get_int("r")),
+                     points[i].get_string("variant"),
+                     Table::fmt(m.get_double("completeness")),
+                     Table::fmt(m.get_double("attack_accept")),
+                     m.get_bool("sound") ? "yes" : "NO"});
     }
-    table.print(std::cout);
+    table.print(out);
   }
 
   {
-    util::print_banner(std::cout, "(b) GT local proof vs n  [r = 4]",
+    util::print_banner(out, "(b) GT local proof vs n  [r = 4]",
                        "Expected: growth ~ log n (index register + prefix "
                        "fingerprints).");
+    sweep::ParamGrid grid;
+    grid.axis("n", std::vector<int>{16, 64, 256, 1024});
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "gt_local_proof_vs_n", points,
+        [](const sweep::ParamPoint& p, Rng&) {
+          const GtProtocol protocol(static_cast<int>(p.get_int("n")), 4, 0.3,
+                                    2 * 81 * 16 / 4);
+          return sweep::Metrics().set("local_proof_qubits",
+                                      protocol.costs().local_proof_qubits);
+        });
     Table table({"n", "local proof (qubits)"});
-    for (int n : {16, 64, 256, 1024}) {
-      const GtProtocol protocol(n, 4, 0.3, 2 * 81 * 16 / 4);
-      table.add_row({Table::fmt(n),
-                     Table::fmt(protocol.costs().local_proof_qubits)});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      table.add_row(
+          {Table::fmt(points[i].get_int("n")),
+           Table::fmt(results[i].metrics.get_int("local_proof_qubits"))});
     }
-    table.print(std::cout);
+    table.print(out);
   }
 
   {
     util::print_banner(
-        std::cout, "(c) RV on stars: completeness / soundness / cost vs t",
+        out, "(c) RV on stars: completeness / soundness / cost vs t",
         "n = 8; terminal 0 claims rank 1..t. Expected: completeness 1 on\n"
         "the true rank, attack accept <= 1/3 on false ranks, total proof\n"
         "~ t * (r^2 log n).");
+    sweep::ParamGrid grid;
+    grid.axis("t", ctx.smoke_select(std::vector<int>{3, 4, 5}, {3}));
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "rv_stars", points, [](const sweep::ParamPoint& p, Rng&) {
+          const int t = static_cast<int>(p.get_int("t"));
+          const network::Graph g = network::Graph::star(t);
+          std::vector<int> terminals;
+          for (int i = 1; i <= t; ++i) terminals.push_back(i);
+          std::vector<Bitstring> inputs;
+          for (int i = 0; i < t; ++i) {
+            inputs.push_back(Bitstring::from_integer(
+                static_cast<std::uint64_t>(10 + 7 * i), 8));
+          }
+          // inputs ascending: terminal 0 holds the minimum -> true rank t.
+          const int reps = 2 * 81 * 2 * 2;
+          const RvProtocol truth(g, terminals, 0, t, 8, 0.3, reps);
+          const RvProtocol lie(g, terminals, 0, 1, 8, 0.3, reps);
+          return sweep::Metrics()
+              .set("true_rank", t)
+              .set("completeness", truth.completeness(inputs))
+              .set("attack_accept_false_rank", lie.best_attack_accept(inputs))
+              .set("total_proof_qubits", truth.costs().total_proof_qubits);
+        });
     Table table({"t", "true rank", "claimed", "completeness/attack", "value",
                  "total proof (qubits)"});
-    for (int t : {3, 4, 5}) {
-      const network::Graph g = network::Graph::star(t);
-      std::vector<int> terminals;
-      for (int i = 1; i <= t; ++i) terminals.push_back(i);
-      std::vector<Bitstring> inputs;
-      for (int i = 0; i < t; ++i) {
-        inputs.push_back(Bitstring::from_integer(
-            static_cast<std::uint64_t>(10 + 7 * i), 8));
-      }
-      // inputs ascending: terminal 0 holds the minimum -> true rank t.
-      const int reps = 2 * 81 * 2 * 2;
-      const RvProtocol truth(g, terminals, 0, t, 8, 0.3, reps);
-      table.add_row({Table::fmt(t), Table::fmt(t), Table::fmt(t),
-                     "completeness", Table::fmt(truth.completeness(inputs)),
-                     Table::fmt(truth.costs().total_proof_qubits)});
-      const RvProtocol lie(g, terminals, 0, 1, 8, 0.3, reps);
-      table.add_row({Table::fmt(t), Table::fmt(t), "1", "attack accept",
-                     Table::fmt(lie.best_attack_accept(inputs)),
-                     Table::fmt(lie.costs().total_proof_qubits)});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& m = results[i].metrics;
+      const std::string t_str = Table::fmt(points[i].get_int("t"));
+      table.add_row({t_str, t_str, t_str, "completeness",
+                     Table::fmt(m.get_double("completeness")),
+                     Table::fmt(m.get_int("total_proof_qubits"))});
+      table.add_row({t_str, t_str, "1", "attack accept",
+                     Table::fmt(m.get_double("attack_accept_false_rank")),
+                     Table::fmt(m.get_int("total_proof_qubits"))});
     }
-    table.print(std::cout);
+    table.print(out);
   }
-  return 0;
 }
+
+}  // namespace
+
+void register_table2_gt_rv() {
+  sweep::register_experiment(
+      {"table2_gt_rv",
+       "Table 2, rows 4-5 (Theorems 26 and 29: GT and ranking verification)",
+       run});
+}
+
+}  // namespace dqma::bench

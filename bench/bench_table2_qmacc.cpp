@@ -9,17 +9,22 @@
 //       measured completeness/soundness;
 //   (c) the Theorem 46 pipeline (dQMA -> QMA* -> LSD -> dQMA_sep) run
 //       executable on small EQ instances, plus the ~O(r^2 C^2) cost report.
-#include <iostream>
+#include <cstdint>
+#include <vector>
 
 #include "comm/eq_protocol.hpp"
 #include "comm/history_state.hpp"
 #include "comm/lsd.hpp"
 #include "dqma/from_qma_cc.hpp"
+#include "experiments.hpp"
+#include "sweep/registry.hpp"
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-using namespace dqma;
+namespace dqma::bench {
+namespace {
+
 using comm::eq_as_qma_instance;
 using comm::EqOneWayProtocol;
 using comm::lsd_from_qma_instance;
@@ -31,92 +36,164 @@ using util::Bitstring;
 using util::Rng;
 using util::Table;
 
-int main() {
-  Rng rng(34);
-  std::cout << "Reproduction of Table 2, rows 7-8 (Prop. 47 / Thm. 46: dQMA "
-               "from QMA communication)\n";
+void run(sweep::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out();
 
   {
     util::print_banner(
-        std::cout, "(a) the LSD QMA one-way protocol (Lemma 45)",
+        out, "(a) the LSD QMA one-way protocol (Lemma 45)",
         "Yes: Delta <= 0.1 sqrt(2); No: Delta >= 0.9 sqrt(2). Expected:\n"
         "honest acceptance >= 0.98 vs worst-case acceptance <= 0.04; cost\n"
         "2 ceil(log2 m) qubits.");
+    sweep::ParamGrid grid;
+    grid.axis("m", ctx.smoke_select(std::vector<int>{16, 32, 64, 128},
+                                    {16, 32}));
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "lsd_one_way", points, [](const sweep::ParamPoint& p, Rng& rng) {
+          const int m = static_cast<int>(p.get_int("m"));
+          const auto yes =
+              lsd_qma_instance(LsdInstance::close_pair(m, 3, 0.1, rng));
+          const auto no = lsd_qma_instance(LsdInstance::far_pair(m, 3, rng));
+          return sweep::Metrics()
+              .set("yes_accept", yes.accept(yes.honest_proof))
+              .set("no_accept", no.max_accept())
+              .set("cost_qubits", yes.cost_qubits());
+        });
     Table table({"ambient dim m", "yes accept (honest)", "no accept (worst)",
                  "cost (qubits)"});
-    for (int m : {16, 32, 64, 128}) {
-      const auto yes = lsd_qma_instance(LsdInstance::close_pair(m, 3, 0.1, rng));
-      const auto no = lsd_qma_instance(LsdInstance::far_pair(m, 3, rng));
-      table.add_row({Table::fmt(m), Table::fmt(yes.accept(yes.honest_proof)),
-                     Table::fmt(no.max_accept()),
-                     Table::fmt(yes.cost_qubits())});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& m = results[i].metrics;
+      table.add_row({Table::fmt(points[i].get_int("m")),
+                     Table::fmt(m.get_double("yes_accept")),
+                     Table::fmt(m.get_double("no_accept")),
+                     Table::fmt(m.get_int("cost_qubits"))});
     }
-    table.print(std::cout);
+    table.print(out);
   }
 
   {
     util::print_banner(
-        std::cout, "(b) Algorithm 10 on LSD instances over a path",
+        out, "(b) Algorithm 10 on LSD instances over a path",
         "m = 32, k = 3 subspaces. Expected: completeness ~0.98^reps on yes,\n"
         "attack accept <= 1/3 on no.");
+    sweep::ParamGrid grid;
+    grid.axis("r", ctx.smoke_select(std::vector<int>{2, 4, 6}, {2}));
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "algorithm10_paths", points,
+        [](const sweep::ParamPoint& p, Rng& rng) {
+          const int r = static_cast<int>(p.get_int("r"));
+          const auto yes =
+              lsd_qma_instance(LsdInstance::close_pair(32, 3, 0.05, rng));
+          const auto no = lsd_qma_instance(LsdInstance::far_pair(32, 3, rng));
+          const QmaCcPathProtocol pyes(yes, r, 1);
+          const QmaCcPathProtocol pno(no, r, 8 * r);
+          return sweep::Metrics()
+              .set("reps", 8 * r)
+              .set("completeness", pyes.completeness())
+              .set("attack_accept", pno.best_attack_accept())
+              .set("local_proof_qubits", pno.costs().local_proof_qubits);
+        });
     Table table({"r", "reps", "completeness (yes)", "attack accept (no)",
                  "local proof (qubits)"});
-    for (int r : {2, 4, 6}) {
-      const auto yes = lsd_qma_instance(LsdInstance::close_pair(32, 3, 0.05, rng));
-      const auto no = lsd_qma_instance(LsdInstance::far_pair(32, 3, rng));
-      const QmaCcPathProtocol pyes(yes, r, 1);
-      const QmaCcPathProtocol pno(no, r, 8 * r);
-      table.add_row({Table::fmt(r), Table::fmt(8 * r),
-                     Table::fmt(pyes.completeness()),
-                     Table::fmt(pno.best_attack_accept()),
-                     Table::fmt(pno.costs().local_proof_qubits)});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& m = results[i].metrics;
+      table.add_row({Table::fmt(points[i].get_int("r")),
+                     Table::fmt(m.get_int("reps")),
+                     Table::fmt(m.get_double("completeness")),
+                     Table::fmt(m.get_double("attack_accept")),
+                     Table::fmt(m.get_int("local_proof_qubits"))});
     }
-    table.print(std::cout);
+    table.print(out);
   }
 
   {
     util::print_banner(
-        std::cout, "(c) Theorem 46 pipeline on EQ instances (executable)",
+        out, "(c) Theorem 46 pipeline on EQ instances (executable)",
         "dQMA-for-EQ viewed as a QMA* protocol -> reduced to LSD -> back to\n"
         "a dQMA_sep path protocol. n = 10, fingerprint dim 32.");
+    sweep::ParamGrid grid;
+    grid.axis("instance", std::vector<std::string>{"yes (x = y)",
+                                                   "no (x != y)"});
+    const auto points = grid.enumerate();
+    // The yes and no rows demonstrate the pipeline on ONE EQ instance, so
+    // both jobs draw (x, y) from the same shared stream.
+    const std::uint64_t input_seed = util::derive_seed(
+        ctx.base_seed(), sweep::fnv1a64("theorem46_pipeline/inputs"));
+    const auto results = ctx.sweep(
+        "theorem46_pipeline", points,
+        [input_seed](const sweep::ParamPoint& p, Rng&) {
+          const EqOneWayProtocol eq(10, 32, 0.3, 0x0ddba11);
+          Rng input_rng(input_seed);
+          const Bitstring x = Bitstring::random(10, input_rng);
+          Bitstring y = Bitstring::random(10, input_rng);
+          if (x == y) y.flip(0);
+          const bool yes_instance = p.get_string("instance") == "yes (x = y)";
+          const auto lsd = lsd_from_qma_instance(
+              eq_as_qma_instance(eq, x, yes_instance ? x : y), 0.5);
+          const QmaCcPathProtocol protocol(lsd_qma_instance(lsd), 3,
+                                           yes_instance ? 1 : 30);
+          sweep::Metrics metrics;
+          metrics.set("lsd_distance_over_sqrt2",
+                      lsd.distance() / LsdInstance::kSqrt2);
+          if (yes_instance) {
+            metrics.set("completeness", protocol.completeness());
+          } else {
+            metrics.set("attack_accept", protocol.best_attack_accept());
+          }
+          return metrics;
+        });
     Table table({"instance", "LSD distance / sqrt2", "final completeness",
                  "final attack accept"});
-    const EqOneWayProtocol eq(10, 32, 0.3, 0x0ddba11);
-    const Bitstring x = Bitstring::random(10, rng);
-    Bitstring y = Bitstring::random(10, rng);
-    if (x == y) y.flip(0);
-    {
-      const auto lsd = lsd_from_qma_instance(eq_as_qma_instance(eq, x, x), 0.5);
-      const QmaCcPathProtocol p(lsd_qma_instance(lsd), 3, 1);
-      table.add_row({"yes (x = y)",
-                     Table::fmt(lsd.distance() / LsdInstance::kSqrt2),
-                     Table::fmt(p.completeness()), "-"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& m = results[i].metrics;
+      const bool yes_instance = m.find("completeness") != nullptr;
+      table.add_row(
+          {points[i].get_string("instance"),
+           Table::fmt(m.get_double("lsd_distance_over_sqrt2")),
+           yes_instance ? Table::fmt(m.get_double("completeness")) : "-",
+           yes_instance ? "-" : Table::fmt(m.get_double("attack_accept"))});
     }
-    {
-      const auto lsd = lsd_from_qma_instance(eq_as_qma_instance(eq, x, y), 0.5);
-      const QmaCcPathProtocol p(lsd_qma_instance(lsd), 3, 30);
-      table.add_row({"no (x != y)",
-                     Table::fmt(lsd.distance() / LsdInstance::kSqrt2), "-",
-                     Table::fmt(p.best_attack_accept())});
-    }
-    table.print(std::cout);
+    table.print(out);
   }
 
   {
     util::print_banner(
-        std::cout, "(d) Theorem 46 cost accounting ~O(r^2 C^2)",
+        out, "(d) Theorem 46 cost accounting ~O(r^2 C^2)",
         "Per-node proof qubits of the simulated dQMA_sep protocol as a\n"
         "function of the source protocol's QMA* cost C and path length r.");
+    sweep::ParamGrid grid;
+    grid.axis("C", std::vector<long long>{4, 8, 16, 32});
+    grid.axis("r", std::vector<int>{4, 16});
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "theorem46_costs", points, [](const sweep::ParamPoint& p, Rng&) {
+          const auto rep = theorem46_costs(
+              p.get_int("C"), static_cast<int>(p.get_int("r")));
+          return sweep::Metrics()
+              .set("lsd_ambient_dim", rep.lsd_ambient_dim)
+              .set("per_node_proof_qubits", rep.per_node_proof_qubits);
+        });
     Table table({"C", "r", "LSD dim m", "per-node proof (qubits)"});
-    for (long long c : {4, 8, 16, 32}) {
-      for (int r : {4, 16}) {
-        const auto rep = theorem46_costs(c, r);
-        table.add_row({Table::fmt(c), Table::fmt(r),
-                       Table::fmt(rep.lsd_ambient_dim),
-                       Table::fmt(rep.per_node_proof_qubits)});
-      }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& m = results[i].metrics;
+      table.add_row({Table::fmt(points[i].get_int("C")),
+                     Table::fmt(points[i].get_int("r")),
+                     Table::fmt(m.get_int("lsd_ambient_dim")),
+                     Table::fmt(m.get_int("per_node_proof_qubits"))});
     }
-    table.print(std::cout);
+    table.print(out);
   }
-  return 0;
 }
+
+}  // namespace
+
+void register_table2_qmacc() {
+  sweep::register_experiment(
+      {"table2_qmacc",
+       "Table 2, rows 7-8 (Prop. 47 / Thm. 46: dQMA from QMA communication)",
+       run});
+}
+
+}  // namespace dqma::bench

@@ -8,126 +8,194 @@
 //     for large n the quantum protocol wins — the paper's point that the
 //     advantage persists at ANY network size when measured in total proof.
 #include <cmath>
-#include <iostream>
+#include <vector>
 
 #include "dma/attacks.hpp"
 #include "dma/dma_protocols.hpp"
 #include "dqma/relay_eq.hpp"
+#include "experiments.hpp"
+#include "sweep/registry.hpp"
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-using namespace dqma;
+namespace dqma::bench {
+namespace {
+
 using protocol::RelayEqProtocol;
 using util::Bitstring;
 using util::Rng;
 using util::Table;
 
-int main() {
-  Rng rng(22);
-  std::cout << "Reproduction of Table 2, rows 2-3 (Theorem 22 + Corollary 25: "
-               "EQ totals on long paths)\n";
+void run(sweep::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out();
 
   {
     util::print_banner(
-        std::cout, "(a) total proof size: quantum ~O(r n^{2/3}) vs classical rn",
+        out, "(a) total proof size: quantum ~O(r n^{2/3}) vs classical rn",
         "r = 4096 (relay regime r >> n^{1/3}). Expected: the quantum total\n"
         "grows with exponent ~2/3 in n vs the classical exponent 1, so the\n"
         "ratio falls monotonically. Two quantum columns: the paper's\n"
         "worst-case constants (k = 42 s^2 repetitions, crossover beyond the\n"
         "sweep at ~2^40) and the constant-free protocol (k = 1), whose\n"
         "crossover is visible directly.");
+    const int r = 4096;
+    std::vector<int> exponents;
+    for (int e = 8; e <= 26; e += 3) exponents.push_back(e);
+    sweep::ParamGrid grid;
+    grid.axis("log2_n", exponents);
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "totals_vs_n", points, [r](const sweep::ParamPoint& p, Rng&) {
+          const int n = 1 << p.get_int("log2_n");
+          const int spacing = RelayEqProtocol::paper_spacing(n);
+          const auto c = RelayEqProtocol::costs_for(
+              n, r, 0.3, spacing, RelayEqProtocol::paper_seg_reps(n));
+          const auto c1 = RelayEqProtocol::costs_for(n, r, 0.3, spacing, 1);
+          return sweep::Metrics()
+              .set("quantum_total_paper_k", c.total_proof_qubits)
+              .set("quantum_total_k1", c1.total_proof_qubits)
+              .set("classical_total",
+                   static_cast<long long>(r) * static_cast<long long>(n));
+        });
     Table table({"n", "quantum total (paper k)", "quantum total (k=1)",
                  "classical total", "ratio (paper k)", "ratio (k=1)"});
-    const int r = 4096;
-    for (int e = 8; e <= 26; e += 3) {
-      const long long n = 1LL << e;
-      const int spacing = RelayEqProtocol::paper_spacing(static_cast<int>(n));
-      const auto c = RelayEqProtocol::costs_for(
-          static_cast<int>(n), r, 0.3, spacing,
-          RelayEqProtocol::paper_seg_reps(static_cast<int>(n)));
-      const auto c1 = RelayEqProtocol::costs_for(static_cast<int>(n), r, 0.3,
-                                                 spacing, 1);
-      const double classical = static_cast<double>(r) * static_cast<double>(n);
-      table.add_row({Table::fmt(static_cast<long long>(n)),
-                     Table::fmt(c.total_proof_qubits),
-                     Table::fmt(c1.total_proof_qubits),
-                     Table::fmt(static_cast<long long>(classical)),
-                     Table::fmt(static_cast<double>(c.total_proof_qubits) /
-                                classical),
-                     Table::fmt(static_cast<double>(c1.total_proof_qubits) /
-                                classical)});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& m = results[i].metrics;
+      const double classical =
+          static_cast<double>(m.get_int("classical_total"));
+      table.add_row(
+          {Table::fmt(1LL << points[i].get_int("log2_n")),
+           Table::fmt(m.get_int("quantum_total_paper_k")),
+           Table::fmt(m.get_int("quantum_total_k1")),
+           Table::fmt(m.get_int("classical_total")),
+           Table::fmt(static_cast<double>(m.get_int("quantum_total_paper_k")) /
+                      classical),
+           Table::fmt(static_cast<double>(m.get_int("quantum_total_k1")) /
+                      classical)});
     }
-    table.print(std::cout);
+    table.print(out);
   }
 
   {
     util::print_banner(
-        std::cout, "(b) measured n-exponent of the quantum total",
+        out, "(b) measured n-exponent of the quantum total",
         "log-log slope between successive n octaves; expected ~0.67 + o(1).");
-    Table table({"n range", "slope"});
     const int r = 4096;
-    double prev = 0.0;
-    long long prev_n = 0;
-    for (int e = 10; e <= 26; e += 4) {
-      const long long n = 1LL << e;
+    std::vector<int> exponents;
+    for (int e = 10; e <= 26; e += 4) exponents.push_back(e);
+    sweep::ParamGrid grid;
+    grid.axis("log2_n", exponents);
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "n_exponent_totals", points, [r](const sweep::ParamPoint& p, Rng&) {
+          const int n = 1 << p.get_int("log2_n");
+          return sweep::Metrics().set(
+              "total_proof_qubits",
+              RelayEqProtocol::costs_for(
+                  n, r, 0.3, RelayEqProtocol::paper_spacing(n),
+                  RelayEqProtocol::paper_seg_reps(n))
+                  .total_proof_qubits);
+        });
+    // Slopes are derived pairwise from the sweep results (ordered), so the
+    // serial dependency of the old loop disappears.
+    Table table({"n range", "slope"});
+    for (std::size_t i = 1; i < points.size(); ++i) {
       const double total = static_cast<double>(
-          RelayEqProtocol::costs_for(
-              static_cast<int>(n), r, 0.3,
-              RelayEqProtocol::paper_spacing(static_cast<int>(n)),
-              RelayEqProtocol::paper_seg_reps(static_cast<int>(n)))
-              .total_proof_qubits);
-      if (prev_n != 0) {
-        const double slope = (std::log2(total) - std::log2(prev)) /
-                             (std::log2(static_cast<double>(n)) -
-                              std::log2(static_cast<double>(prev_n)));
-        table.add_row({Table::fmt(prev_n) + " -> " + Table::fmt(n),
-                       Table::fmt(slope)});
-      }
-      prev = total;
-      prev_n = n;
+          results[i].metrics.get_int("total_proof_qubits"));
+      const double prev = static_cast<double>(
+          results[i - 1].metrics.get_int("total_proof_qubits"));
+      const double dlog_n = static_cast<double>(
+          points[i].get_int("log2_n") - points[i - 1].get_int("log2_n"));
+      const double slope = (std::log2(total) - std::log2(prev)) / dlog_n;
+      ctx.record("n_exponent_slopes",
+                 sweep::ParamPoint()
+                     .set("log2_n_from", points[i - 1].get_int("log2_n"))
+                     .set("log2_n_to", points[i].get_int("log2_n")),
+                 sweep::Metrics().set("slope", slope));
+      table.add_row({Table::fmt(1LL << points[i - 1].get_int("log2_n")) +
+                         " -> " + Table::fmt(1LL << points[i].get_int("log2_n")),
+                     Table::fmt(slope)});
     }
-    table.print(std::cout);
+    table.print(out);
   }
 
   {
     util::print_banner(
-        std::cout, "(c) executable protocol: completeness / soundness",
+        out, "(c) executable protocol: completeness / soundness",
         "Small instances run end-to-end (n = 8, paper parameters).");
-    Table table({"r", "relays", "completeness", "attack accept", "<= 1/3?"});
     const int n = 8;
-    for (int r : {4, 6, 8, 10}) {
-      const RelayEqProtocol protocol(n, r, 0.3,
-                                     RelayEqProtocol::paper_spacing(n),
-                                     RelayEqProtocol::paper_seg_reps(n));
-      const Bitstring x = Bitstring::random(n, rng);
-      Bitstring y = Bitstring::random(n, rng);
-      if (x == y) y.flip(0);
-      const double comp = protocol.completeness(x);
-      const double attack = protocol.best_attack_accept(x, y);
-      table.add_row({Table::fmt(r), Table::fmt(protocol.relay_count()),
-                     Table::fmt(comp), Table::fmt(attack),
-                     attack <= 1.0 / 3.0 ? "yes" : "NO"});
+    sweep::ParamGrid grid;
+    grid.axis("r", ctx.smoke_select(std::vector<int>{4, 6, 8, 10}, {4, 6}));
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "executable_relay", points, [n](const sweep::ParamPoint& p, Rng& rng) {
+          const int r = static_cast<int>(p.get_int("r"));
+          const RelayEqProtocol protocol(n, r, 0.3,
+                                         RelayEqProtocol::paper_spacing(n),
+                                         RelayEqProtocol::paper_seg_reps(n));
+          const Bitstring x = Bitstring::random(n, rng);
+          Bitstring y = Bitstring::random(n, rng);
+          if (x == y) y.flip(0);
+          const double attack = protocol.best_attack_accept(x, y);
+          return sweep::Metrics()
+              .set("relays", protocol.relay_count())
+              .set("completeness", protocol.completeness(x))
+              .set("attack_accept", attack)
+              .set("sound", attack <= 1.0 / 3.0);
+        });
+    Table table({"r", "relays", "completeness", "attack accept", "<= 1/3?"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& m = results[i].metrics;
+      table.add_row({Table::fmt(points[i].get_int("r")),
+                     Table::fmt(m.get_int("relays")),
+                     Table::fmt(m.get_double("completeness")),
+                     Table::fmt(m.get_double("attack_accept")),
+                     m.get_bool("sound") ? "yes" : "NO"});
     }
-    table.print(std::cout);
+    table.print(out);
   }
 
   {
     util::print_banner(
-        std::cout, "(d) classical side: Omega(rn) via per-window collision attacks",
+        out,
+        "(d) classical side: Omega(rn) via per-window collision attacks",
         "A dMA protocol whose per-node budget dips below ~n bits anywhere is\n"
         "broken by the fooling-pair splice (Lemma 23); n = 14, r = 6.");
-    Table table({"bits/node", "total bits", "attacked soundness error"});
     const int n = 14;
     const int r = 6;
-    for (int bits : {6, 10, 14, 48}) {
-      const dma::HashDmaEq protocol(n, r, bits);
-      const double err =
-          dma::collision_attack_soundness_error(protocol, 0, rng);
-      table.add_row({Table::fmt(bits), Table::fmt(protocol.total_proof_bits()),
-                     Table::fmt(err)});
+    sweep::ParamGrid grid;
+    grid.axis("bits", std::vector<int>{6, 10, 14, 48});
+    const auto points = grid.enumerate();
+    const auto results = ctx.sweep(
+        "classical_collision", points,
+        [n, r](const sweep::ParamPoint& p, Rng& rng) {
+          const dma::HashDmaEq protocol(n, r,
+                                        static_cast<int>(p.get_int("bits")));
+          return sweep::Metrics()
+              .set("total_proof_bits", protocol.total_proof_bits())
+              .set("soundness_error",
+                   dma::collision_attack_soundness_error(protocol, 0, rng));
+        });
+    Table table({"bits/node", "total bits", "attacked soundness error"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& m = results[i].metrics;
+      table.add_row({Table::fmt(points[i].get_int("bits")),
+                     Table::fmt(m.get_int("total_proof_bits")),
+                     Table::fmt(m.get_double("soundness_error"))});
     }
-    table.print(std::cout);
+    table.print(out);
   }
-  return 0;
 }
+
+}  // namespace
+
+void register_table2_relay() {
+  sweep::register_experiment(
+      {"table2_relay",
+       "Table 2, rows 2-3 (Theorem 22 + Corollary 25: EQ totals on long "
+       "paths)",
+       run});
+}
+
+}  // namespace dqma::bench

@@ -1,0 +1,14 @@
+// The unified benchmark driver: runs any registered experiment (or all of
+// them) over the parallel sweep engine and emits ASCII tables plus the
+// structured JSON trajectory document.
+//
+//   dqma_bench --list
+//   dqma_bench --experiment table2_eq --threads 8
+//   dqma_bench --experiment all --smoke --json bench-results.json
+#include "experiments.hpp"
+#include "sweep/registry.hpp"
+
+int main(int argc, char** argv) {
+  dqma::bench::register_all_experiments();
+  return dqma::sweep::cli_main(argc, argv);
+}

@@ -1,0 +1,25 @@
+// Registration entry points for every bench/ experiment. Each legacy
+// bench_<name>.cpp now defines register_<name>() (the table harness body
+// wrapped as a sweep::Experiment); the driver and the compatibility shims
+// call register_all_experiments() before dispatching through
+// sweep::cli_main.
+#pragma once
+
+namespace dqma::bench {
+
+void register_ablations();
+void register_micro();
+void register_robustness();
+void register_table1_fgnp();
+void register_table2_eq();
+void register_table2_gt_rv();
+void register_table2_hamming();
+void register_table2_qmacc();
+void register_table2_relay();
+void register_table3_lower();
+
+/// Registers every experiment exactly once, in the paper's table order.
+/// Safe to call repeatedly (later calls are no-ops).
+void register_all_experiments();
+
+}  // namespace dqma::bench

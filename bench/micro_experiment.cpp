@@ -1,0 +1,157 @@
+// Registry counterpart of bench_micro.cpp: the same simulation-primitive
+// kernels (the cost drivers behind every table harness), timed with plain
+// repetition loops so the experiment works without google-benchmark and
+// its wall times flow into the JSON trajectory (per-point wall_ms,
+// emitted under --timings).
+//
+// Deterministic metrics record the kernel configuration (dimension,
+// iterations) plus a checksum of the computed values — so the default
+// (timing-free) JSON still pins the kernels' numerical outputs.
+#include <vector>
+
+#include "dqma/attacks.hpp"
+#include "dqma/eq_path.hpp"
+#include "dqma/exact_runner.hpp"
+#include "experiments.hpp"
+#include "fingerprint/fingerprint.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/permanent.hpp"
+#include "qtest/permutation_test.hpp"
+#include "qtest/swap_test.hpp"
+#include "quantum/random.hpp"
+#include "sweep/registry.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace dqma::bench {
+namespace {
+
+using util::Bitstring;
+using util::Rng;
+using util::Table;
+
+void run(sweep::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out();
+  util::print_banner(
+      out, "microbenchmarks of the simulation primitives",
+      "Fixed-iteration kernels; wall times are recorded per point (JSON:\n"
+      "--timings). The checksum column pins each kernel's numerics.");
+
+  const int scale = ctx.smoke_select(1, 8);  // smoke: 8x fewer iterations
+  std::vector<sweep::ParamPoint> points;
+  const auto add = [&](const char* kernel, int size, int iters) {
+    points.push_back(sweep::ParamPoint()
+                         .set("kernel", kernel)
+                         .set("size", size)
+                         .set("iters", std::max(1, iters / scale)));
+  };
+  for (int n : {32, 256, 2048}) add("fingerprint_state", n, 400);
+  for (int n : {32, 256, 2048}) add("fingerprint_overlap", n, 4000);
+  for (int d : {64, 1024}) add("swap_test", d, 4000);
+  for (int k : {2, 4, 8, 12}) add("permutation_test_gram", k, 200);
+  for (int r : {4, 16, 64}) add("chain_accept_dp", r, 40);
+  for (int d : {8, 32, 64}) add("hermitian_eigh", d, 8);
+  for (int r : {2, 3, 4}) add("exact_acceptance_operator", r, 4);
+  for (int k : {4, 8, 12}) add("permanent", k, 40);
+
+  const auto results = ctx.sweep(
+      "kernels", points, [](const sweep::ParamPoint& p, Rng& rng) {
+        const auto& kernel = p.get_string("kernel");
+        const int size = static_cast<int>(p.get_int("size"));
+        const int iters = static_cast<int>(p.get_int("iters"));
+        double checksum = 0.0;
+        if (kernel == "fingerprint_state") {
+          const fingerprint::FingerprintScheme scheme(size, 0.3);
+          const Bitstring x = Bitstring::random(size, rng);
+          for (int i = 0; i < iters; ++i) {
+            checksum += scheme.state(x).norm();
+          }
+        } else if (kernel == "fingerprint_overlap") {
+          const fingerprint::FingerprintScheme scheme(size, 0.3);
+          const Bitstring x = Bitstring::random(size, rng);
+          const Bitstring y = Bitstring::random(size, rng);
+          for (int i = 0; i < iters; ++i) {
+            checksum += scheme.overlap(x, y);
+          }
+        } else if (kernel == "swap_test") {
+          const auto a = quantum::haar_state(size, rng);
+          const auto b = quantum::haar_state(size, rng);
+          for (int i = 0; i < iters; ++i) {
+            checksum += qtest::swap_test_accept(a, b);
+          }
+        } else if (kernel == "permutation_test_gram") {
+          std::vector<linalg::CVec> factors;
+          for (int i = 0; i < size; ++i) {
+            factors.push_back(quantum::haar_state(64, rng));
+          }
+          for (int i = 0; i < iters; ++i) {
+            checksum += qtest::permutation_test_accept(factors);
+          }
+        } else if (kernel == "chain_accept_dp") {
+          const int n = 64;
+          const protocol::EqPathProtocol protocol(n, size, 0.3, 1);
+          const Bitstring x = Bitstring::random(n, rng);
+          Bitstring y = Bitstring::random(n, rng);
+          if (x == y) y.flip(0);
+          const auto hx = protocol.scheme().state(x);
+          const auto hy = protocol.scheme().state(y);
+          const auto attack = protocol::rotation_attack(hx, hy, size - 1);
+          for (int i = 0; i < iters; ++i) {
+            checksum += protocol.single_rep_accept(x, y, attack);
+          }
+        } else if (kernel == "hermitian_eigh") {
+          const auto rho = quantum::random_density(size, rng);
+          for (int i = 0; i < iters; ++i) {
+            checksum += linalg::eigh(rho).values.back();
+          }
+        } else if (kernel == "exact_acceptance_operator") {
+          const linalg::CVec a = linalg::CVec::basis(2, 0);
+          const linalg::CVec b = linalg::CVec::basis(2, 1);
+          for (int i = 0; i < iters; ++i) {
+            const protocol::ExactEqPathAnalyzer exact(a, b, size);
+            checksum += exact.worst_case_accept();
+          }
+        } else {  // permanent
+          std::vector<linalg::CVec> factors;
+          for (int i = 0; i < size; ++i) {
+            factors.push_back(quantum::haar_state(16, rng));
+          }
+          linalg::CMat gram(size, size);
+          for (int i = 0; i < size; ++i) {
+            for (int j = 0; j < size; ++j) {
+              gram(i, j) = factors[static_cast<std::size_t>(i)].dot(
+                  factors[static_cast<std::size_t>(j)]);
+            }
+          }
+          for (int i = 0; i < iters; ++i) {
+            checksum += linalg::permanent(gram).real();
+          }
+        }
+        return sweep::Metrics().set("checksum", checksum);
+      });
+
+  Table table({"kernel", "size", "iters", "checksum", "us/iter"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double iters =
+        static_cast<double>(points[i].get_int("iters"));
+    table.add_row({points[i].get_string("kernel"),
+                   Table::fmt(points[i].get_int("size")),
+                   Table::fmt(points[i].get_int("iters")),
+                   Table::fmt(results[i].metrics.get_double("checksum")),
+                   Table::fmt(results[i].wall_ms * 1000.0 / iters, 2)});
+  }
+  table.print(out);
+}
+
+}  // namespace
+
+void register_micro() {
+  sweep::register_experiment(
+      {"micro",
+       "Microbenchmarks of the simulation primitives (wall times via "
+       "--timings)",
+       run});
+}
+
+}  // namespace dqma::bench

@@ -1,0 +1,16 @@
+// Compatibility shim: each legacy bench_<name> binary is dqma_bench pinned
+// to a single experiment, so existing workflows (CTest's bench-smoke label,
+// `./build/bench/bench_table2_eq`) keep working unchanged while the
+// experiment bodies live in the shared registry. The per-target experiment
+// is injected by CMake via DQMA_EXPERIMENT_NAME.
+#include "experiments.hpp"
+#include "sweep/registry.hpp"
+
+#ifndef DQMA_EXPERIMENT_NAME
+#error "standalone_shim.cpp must be compiled with -DDQMA_EXPERIMENT_NAME=..."
+#endif
+
+int main(int argc, char** argv) {
+  dqma::bench::register_all_experiments();
+  return dqma::sweep::cli_main(argc, argv, DQMA_EXPERIMENT_NAME);
+}

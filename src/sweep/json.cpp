@@ -1,0 +1,173 @@
+#include "sweep/json.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace dqma::sweep {
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          os << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void indent(std::ostream& os, int depth) {
+  for (int i = 0; i < depth; ++i) {
+    os << "  ";
+  }
+}
+
+}  // namespace
+
+Json::Json(const Value& value) {
+  switch (value.index()) {
+    case 0:
+      kind_ = Kind::kBool;
+      bool_ = std::get<bool>(value);
+      break;
+    case 1:
+      kind_ = Kind::kInt;
+      int_ = std::get<long long>(value);
+      break;
+    case 2:
+      kind_ = Kind::kDouble;
+      double_ = std::get<double>(value);
+      break;
+    default:
+      kind_ = Kind::kString;
+      string_ = std::get<std::string>(value);
+  }
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::from_named_values(const NamedValues& values) {
+  Json j = object();
+  for (const auto& [name, value] : values.entries()) {
+    j.add(name, Json(value));
+  }
+  return j;
+}
+
+Json& Json::push_back(Json value) {
+  util::require(kind_ == Kind::kArray, "Json::push_back: not an array");
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::add(std::string key, Json value) {
+  util::require(kind_ == Kind::kObject, "Json::add: not an object");
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+void Json::write(std::ostream& os) const {
+  write_indented(os, 0);
+  os << '\n';
+}
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+void Json::write_indented(std::ostream& os, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Kind::kInt:
+      os << int_;
+      break;
+    case Kind::kUint:
+      os << uint_;
+      break;
+    case Kind::kDouble:
+      // Non-finite doubles have no JSON representation; null keeps the
+      // document parseable (RFC 8259) instead of emitting bare inf/nan.
+      if (std::isfinite(double_)) {
+        os << value_to_string(Value(double_));
+      } else {
+        os << "null";
+      }
+      break;
+    case Kind::kString:
+      write_escaped(os, string_);
+      break;
+    case Kind::kArray:
+      if (array_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        indent(os, depth + 1);
+        array_[i].write_indented(os, depth + 1);
+        os << (i + 1 < array_.size() ? ",\n" : "\n");
+      }
+      indent(os, depth);
+      os << ']';
+      break;
+    case Kind::kObject:
+      if (members_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        indent(os, depth + 1);
+        write_escaped(os, members_[i].first);
+        os << ": ";
+        members_[i].second.write_indented(os, depth + 1);
+        os << (i + 1 < members_.size() ? ",\n" : "\n");
+      }
+      indent(os, depth);
+      os << '}';
+      break;
+  }
+}
+
+}  // namespace dqma::sweep

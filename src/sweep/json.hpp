@@ -1,0 +1,80 @@
+// A minimal JSON document builder for the sweep ResultSink. Zero external
+// dependencies (the container bans new packages); write-only — the repo
+// never parses JSON, CI tooling does.
+//
+// Serialization is fully deterministic: object keys keep insertion order,
+// doubles use shortest round-trip formatting, and the writer itself adds
+// no timestamps or environment data. This is what makes the determinism
+// acceptance check (`cmp` of --threads 1 vs --threads 8 output) possible.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sweep/sweep.hpp"
+
+namespace dqma::sweep {
+
+/// A JSON value: null, bool, integer, double, string, array, or object.
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(int value) : kind_(Kind::kInt), int_(value) {}
+  Json(long long value) : kind_(Kind::kInt), int_(value) {}
+  Json(std::uint64_t value) : kind_(Kind::kUint), uint_(value) {}
+  Json(double value) : kind_(Kind::kDouble), double_(value) {}
+  Json(const char* value) : kind_(Kind::kString), string_(value) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+  /// Converts a sweep Value (param or metric) to the matching JSON scalar.
+  Json(const Value& value);
+
+  static Json array();
+  static Json object();
+  /// An object with one member per NamedValues entry, in entry order.
+  static Json from_named_values(const NamedValues& values);
+
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Appends to an array (require()s array kind).
+  Json& push_back(Json value);
+  /// Appends a member to an object (require()s object kind; no dedup —
+  /// callers own key uniqueness).
+  Json& add(std::string key, Json value);
+
+  /// Pretty-prints with 2-space indentation and a trailing newline at the
+  /// top level, RFC 8259 string escaping.
+  void write(std::ostream& os) const;
+  std::string dump() const;
+
+ private:
+  enum class Kind {
+    kNull,
+    kBool,
+    kInt,
+    kUint,
+    kDouble,
+    kString,
+    kArray,
+    kObject
+  };
+
+  void write_indented(std::ostream& os, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  long long int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace dqma::sweep

@@ -1,0 +1,287 @@
+#include "sweep/registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <string>
+
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace dqma::sweep {
+namespace {
+
+std::vector<Experiment>& registry() {
+  static std::vector<Experiment> experiments;
+  return experiments;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+void register_experiment(Experiment experiment) {
+  util::require(!experiment.name.empty(),
+                "register_experiment: empty experiment name");
+  for (const auto& existing : registry()) {
+    util::require(existing.name != experiment.name,
+                  "register_experiment: duplicate name " + experiment.name);
+  }
+  registry().push_back(std::move(experiment));
+}
+
+const std::vector<Experiment>& experiments() { return registry(); }
+
+ExperimentContext::ExperimentContext(const Experiment& experiment,
+                                     ThreadPool& pool, ResultSink& sink,
+                                     std::ostream& out, bool smoke,
+                                     std::uint64_t global_seed)
+    : pool_(pool),
+      sink_(sink),
+      out_(out),
+      smoke_(smoke),
+      base_seed_(util::derive_seed(global_seed, fnv1a64(experiment.name))) {}
+
+std::vector<JobResult> ExperimentContext::sweep(
+    const std::string& series, const std::vector<ParamPoint>& points,
+    const JobFn& fn) {
+  const std::uint64_t series_seed =
+      util::derive_seed(base_seed_, fnv1a64(series));
+  auto results = run_sweep(pool_, points, series_seed, fn);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ParamPoint params;
+    params.set("series", series);
+    for (const auto& [name, value] : points[i].entries()) {
+      params.set(name, value);
+    }
+    sink_.add_point(std::move(params), results[i].metrics,
+                    results[i].wall_ms);
+  }
+  return results;
+}
+
+std::vector<JobResult> ExperimentContext::sweep(const std::string& series,
+                                                const ParamGrid& grid,
+                                                const JobFn& fn) {
+  return sweep(series, grid.enumerate(), fn);
+}
+
+void ExperimentContext::record(const std::string& series, ParamPoint params,
+                               Metrics metrics, double wall_ms) {
+  ParamPoint prefixed;
+  prefixed.set("series", series);
+  for (const auto& [name, value] : params.entries()) {
+    prefixed.set(name, value);
+  }
+  sink_.add_point(std::move(prefixed), std::move(metrics), wall_ms);
+}
+
+util::Rng ExperimentContext::series_rng(const std::string& series) const {
+  return util::Rng(util::derive_seed(base_seed_, fnv1a64(series)));
+}
+
+namespace {
+
+void print_usage(std::ostream& os, const char* forced_experiment) {
+  os << "Usage: dqma_bench [options]\n\n"
+        "Options:\n";
+  if (forced_experiment == nullptr) {
+    os << "  --experiment <name|all>  experiment(s) to run (repeatable; "
+          "default all)\n"
+          "  --list                   list registered experiments and exit\n";
+  }
+  os << "  --json <path>            write structured results (schema v1); "
+        "'-' for stdout\n"
+        "  --threads <N>            sweep threads (default: hardware "
+        "concurrency)\n"
+        "  --smoke                  shrink heavy sweeps (same as "
+        "DQMA_BENCH_SMOKE=1)\n"
+        "  --seed <N>               global base seed (default 0)\n"
+        "  --timings                include nondeterministic wall_ms fields "
+        "in JSON\n"
+        "  --help                   this message\n";
+}
+
+bool parse_cli(int argc, const char* const* argv, bool allow_select,
+               CliOptions& options, std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        error = std::string(flag) + " requires a value";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--experiment" && allow_select) {
+      const char* value = next_value("--experiment");
+      if (value == nullptr) return false;
+      if (std::strcmp(value, "all") != 0) {
+        options.experiments.emplace_back(value);
+      }
+    } else if (arg == "--list" && allow_select) {
+      options.list_only = true;
+    } else if (arg == "--json") {
+      const char* value = next_value("--json");
+      if (value == nullptr) return false;
+      options.json_path = value;
+    } else if (arg == "--threads") {
+      const char* value = next_value("--threads");
+      if (value == nullptr) return false;
+      options.threads = std::atoi(value);
+      if (options.threads <= 0) {
+        error = "--threads requires a positive integer";
+        return false;
+      }
+    } else if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--timings") {
+      options.timings = true;
+    } else if (arg == "--seed") {
+      const char* value = next_value("--seed");
+      if (value == nullptr) return false;
+      options.seed = std::strtoull(value, nullptr, 0);
+    } else if (arg == "--help" || arg == "-h") {
+      options.list_only = false;
+      error = "help";
+      return false;
+    } else {
+      error = "unknown option " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int cli_main(int argc, const char* const* argv,
+             const char* forced_experiment) {
+  CliOptions options;
+  // Compatibility with the CTest bench-smoke harness environment.
+  options.smoke = std::getenv("DQMA_BENCH_SMOKE") != nullptr;
+
+  std::string error;
+  if (!parse_cli(argc, argv, forced_experiment == nullptr, options, error)) {
+    if (error == "help") {
+      print_usage(std::cout, forced_experiment);
+      return 0;
+    }
+    std::cerr << "dqma_bench: " << error << "\n";
+    print_usage(std::cerr, forced_experiment);
+    return 2;
+  }
+
+  if (forced_experiment != nullptr) {
+    options.experiments = {forced_experiment};
+  }
+
+  if (options.list_only) {
+    for (const auto& experiment : experiments()) {
+      std::cout << experiment.name << "  " << experiment.description << "\n";
+    }
+    return 0;
+  }
+
+  // Resolve the selection (default: all, in registration order).
+  std::vector<const Experiment*> selected;
+  if (options.experiments.empty()) {
+    for (const auto& experiment : experiments()) {
+      selected.push_back(&experiment);
+    }
+  } else {
+    for (const auto& name : options.experiments) {
+      const Experiment* found = nullptr;
+      for (const auto& experiment : experiments()) {
+        if (experiment.name == name) {
+          found = &experiment;
+          break;
+        }
+      }
+      if (found == nullptr) {
+        std::cerr << "dqma_bench: unknown experiment '" << name
+                  << "' (--list shows the registry)\n";
+        return 2;
+      }
+      // Dedup repeated selections: experiment names are the JSON
+      // document's only identifier, so each may appear at most once.
+      if (std::find(selected.begin(), selected.end(), found) ==
+          selected.end()) {
+        selected.push_back(found);
+      }
+    }
+  }
+
+  ThreadPool pool(options.threads);
+  ResultSink sink;
+  const bool json_to_stdout = options.json_path == "-";
+  std::ostream& out = std::cout;
+
+  util::Table summary({"experiment", "points", "wall (ms)"});
+  for (const Experiment* experiment : selected) {
+    if (!json_to_stdout) {
+      out << "==== experiment: " << experiment->name << " ====\n"
+          << experiment->description << "\n";
+    }
+    sink.begin_experiment(experiment->name, experiment->description);
+    const std::size_t points_before = sink.point_count();
+    const auto start = std::chrono::steady_clock::now();
+    if (json_to_stdout) {
+      // Suppress ASCII tables so stdout stays a valid JSON document.
+      std::ofstream null_stream;
+      null_stream.setstate(std::ios_base::badbit);
+      ExperimentContext context(*experiment, pool, sink, null_stream,
+                                options.smoke, options.seed);
+      experiment->run(context);
+    } else {
+      ExperimentContext context(*experiment, pool, sink, out, options.smoke,
+                                options.seed);
+      experiment->run(context);
+    }
+    const double wall = elapsed_ms(start);
+    sink.end_experiment(wall);
+    summary.add_row({experiment->name,
+                     util::Table::fmt(static_cast<long long>(
+                         sink.point_count() - points_before)),
+                     util::Table::fmt(static_cast<long long>(wall + 0.5))});
+  }
+
+  if (!json_to_stdout) {
+    out << "\n";
+    util::print_banner(out, "summary",
+                       "Wall-clock per experiment at --threads " +
+                           std::to_string(pool.thread_count()) +
+                           (options.smoke ? " (smoke mode)" : "") + ".");
+    summary.print(out);
+  }
+
+  if (!options.json_path.empty()) {
+    const ResultSink::WriteOptions write_options{
+        options.smoke, options.seed, options.timings};
+    if (json_to_stdout) {
+      sink.write_json(std::cout, write_options);
+    } else {
+      std::ofstream file(options.json_path);
+      if (!file) {
+        std::cerr << "dqma_bench: cannot open " << options.json_path
+                  << " for writing\n";
+        return 1;
+      }
+      sink.write_json(file, write_options);
+      out << "\nWrote " << sink.point_count() << " points ("
+          << selected.size() << " experiments) to " << options.json_path
+          << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace dqma::sweep

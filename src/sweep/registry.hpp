@@ -1,0 +1,109 @@
+// The experiment registry behind the unified `dqma_bench` driver: every
+// bench/ table harness registers itself here as a named experiment, and
+// both the driver and the per-experiment compatibility shims run them
+// through the same cli_main.
+//
+// Seed namespacing: every experiment gets base seed
+// derive_seed(global_seed, fnv1a64(name)), and every sweep within it
+// derive_seed(experiment_seed, fnv1a64(series)). Seeds therefore depend
+// only on (global seed, experiment name, series name, job index) — never
+// on which experiments are selected, how many threads run, or the order
+// sections execute — so `--experiment all` and `--experiment table2_eq`
+// agree on every recorded value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sweep/result_sink.hpp"
+#include "sweep/sweep.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace dqma::sweep {
+
+class ExperimentContext;
+
+/// A registered experiment: a stable name (used in CLI selection, JSON and
+/// seed derivation), a one-line description, and the body.
+struct Experiment {
+  std::string name;
+  std::string description;
+  std::function<void(ExperimentContext&)> run;
+};
+
+/// Registers an experiment. Duplicate names are rejected.
+void register_experiment(Experiment experiment);
+
+/// All registered experiments, in registration order.
+const std::vector<Experiment>& experiments();
+
+/// Everything an experiment body needs: the smoke switch, the shared
+/// thread pool, the output stream for ASCII tables, and recording into the
+/// sink (directly or via parallel sweeps).
+class ExperimentContext {
+ public:
+  ExperimentContext(const Experiment& experiment, ThreadPool& pool,
+                    ResultSink& sink, std::ostream& out, bool smoke,
+                    std::uint64_t global_seed);
+
+  bool smoke() const { return smoke_; }
+  ThreadPool& pool() { return pool_; }
+  std::ostream& out() { return out_; }
+  std::uint64_t base_seed() const { return base_seed_; }
+
+  /// smoke() ? smoke_variant : full — mirrors util::smoke_select but keyed
+  /// off the context (the driver's --smoke flag or DQMA_BENCH_SMOKE).
+  template <typename T>
+  T smoke_select(T full, T smoke_variant) const {
+    return smoke_ ? smoke_variant : full;
+  }
+
+  /// Runs fn over the points on the pool (deterministic per-job seeding
+  /// namespaced by `series`), records every point into the sink with the
+  /// series name prepended to its params, and returns the ordered results
+  /// for ASCII rendering.
+  std::vector<JobResult> sweep(const std::string& series,
+                               const std::vector<ParamPoint>& points,
+                               const JobFn& fn);
+  std::vector<JobResult> sweep(const std::string& series,
+                               const ParamGrid& grid, const JobFn& fn);
+
+  /// Records one serially-computed point (wall time optional).
+  void record(const std::string& series, ParamPoint params, Metrics metrics,
+              double wall_ms = 0.0);
+
+  /// Rng for ad-hoc serial draws, seeded from the series namespace; stable
+  /// across runs and independent of other series.
+  util::Rng series_rng(const std::string& series) const;
+
+ private:
+  ThreadPool& pool_;
+  ResultSink& sink_;
+  std::ostream& out_;
+  bool smoke_;
+  std::uint64_t base_seed_;
+};
+
+/// Options parsed from the dqma_bench command line.
+struct CliOptions {
+  std::vector<std::string> experiments;  ///< empty => all
+  std::string json_path;                 ///< empty => no JSON output
+  int threads = 0;                       ///< 0 => hardware concurrency
+  bool smoke = false;
+  bool timings = false;
+  std::uint64_t seed = 0;
+  bool list_only = false;
+};
+
+/// Shared driver main: parses argv, runs the selected experiments, writes
+/// JSON when requested, prints a per-experiment wall-time summary. When
+/// `forced_experiment` is non-null the binary is a compatibility shim: it
+/// runs exactly that experiment and accepts the same flags except
+/// --experiment. Returns a process exit code.
+int cli_main(int argc, const char* const* argv,
+             const char* forced_experiment = nullptr);
+
+}  // namespace dqma::sweep

@@ -1,0 +1,131 @@
+#include "sweep/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace dqma::sweep {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  threads = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  batch_ready_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::run_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& job) {
+  if (count == 0) {
+    return;
+  }
+  if (workers_.empty()) {
+    // Single-threaded pool: run inline with the same failure contract as
+    // the pooled path — every job runs, the first exception is rethrown
+    // after the batch drains.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        job(i);
+      } catch (...) {
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    }
+    if (error) {
+      std::rethrow_exception(error);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_job_ = &job;
+    batch_count_ = count;
+    completed_ = 0;
+    first_error_ = nullptr;
+    next_index_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  batch_ready_.notify_all();
+  const std::size_t done_here = claim_and_run(job, count);  // the owner works too
+  std::unique_lock<std::mutex> lock(mutex_);
+  completed_ += done_here;
+  batch_done_.wait(lock, [this] {
+    return completed_ == batch_count_ && attached_ == 0;
+  });
+  batch_job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      batch_ready_.wait(lock, [this, seen_generation] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+      if (batch_job_ == nullptr) {
+        continue;  // woke after the batch already drained
+      }
+      job = batch_job_;
+      count = batch_count_;
+      ++attached_;
+    }
+    const std::size_t done_here = claim_and_run(*job, count);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --attached_;
+      completed_ += done_here;
+      if (completed_ == batch_count_ && attached_ == 0) {
+        batch_done_.notify_all();
+      }
+    }
+  }
+}
+
+std::size_t ThreadPool::claim_and_run(
+    const std::function<void(std::size_t)>& job, std::size_t count) {
+  std::size_t done = 0;
+  for (;;) {
+    const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) {
+      break;
+    }
+    try {
+      job(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    ++done;
+  }
+  return done;
+}
+
+}  // namespace dqma::sweep

@@ -1,0 +1,78 @@
+// A fixed-size thread pool for the parallel sweep engine (DESIGN: the
+// sweep layer fans parameter grids out across threads; determinism comes
+// from per-job seeding in sweep.hpp, never from execution order).
+//
+// Deliberately work-stealing-free: sweeps are index-addressed batches, so
+// a single shared atomic cursor distributes jobs with one fetch_add per
+// job and no per-job locking. The mutex/condvar pair is touched only at
+// batch boundaries (publish, attach/detach, final wakeup), keeping
+// contention independent of job count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dqma::sweep {
+
+/// Persistent pool of worker threads executing index-addressed batches.
+///
+/// The caller's thread participates in every batch, so ThreadPool(1) spawns
+/// no workers at all and runs jobs inline — handy both for determinism
+/// baselines (`--threads 1`) and for keeping the smoke path allocation-free.
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+
+  /// Joins all workers. Pending batches must have completed (run_indexed
+  /// only returns once its batch is drained, so this holds by construction).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads applied to a batch (workers + the calling thread).
+  int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs job(0) .. job(count - 1), each exactly once, distributed across
+  /// the pool; returns when all have finished. If any job throws, the first
+  /// exception (in completion order) is rethrown here after the batch
+  /// drains. Not reentrant: jobs must not call run_indexed on their pool.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& job);
+
+ private:
+  void worker_loop();
+  /// Claims and runs jobs of the batch identified by `job`/`count`.
+  /// Returns the number of jobs this thread executed.
+  std::size_t claim_and_run(const std::function<void(std::size_t)>& job,
+                            std::size_t count);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable batch_ready_;
+  std::condition_variable batch_done_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;  // bumped when a new batch is published
+
+  // Current batch. All fields except next_index_ are guarded by mutex_;
+  // batch_job_ != nullptr marks the batch as open for workers. attached_
+  // counts workers currently claiming from next_index_, so the owner never
+  // recycles the batch while a late-woken worker might still touch it.
+  const std::function<void(std::size_t)>* batch_job_ = nullptr;
+  std::size_t batch_count_ = 0;
+  std::size_t completed_ = 0;
+  int attached_ = 0;
+  std::exception_ptr first_error_;
+  std::atomic<std::size_t> next_index_{0};
+};
+
+}  // namespace dqma::sweep

@@ -86,4 +86,14 @@ Rng Rng::split() {
   return Rng(next_u64());
 }
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index) {
+  std::uint64_t z = base_seed + (job_index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace dqma::util

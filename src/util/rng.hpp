@@ -59,4 +59,24 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Derives the seed of job `job_index` in a sweep rooted at `base_seed`.
+///
+/// The parallel sweep engine (src/sweep/) seeds every job's private Rng
+/// with derive_seed(base_seed, job_index), so results are bit-identical
+/// regardless of how many threads execute the sweep or in which order the
+/// jobs run.
+///
+/// Definition (pinned by tests/determinism_test.cpp — changing it silently
+/// reshuffles every recorded benchmark trajectory):
+///   state  = base_seed + (job_index + 1) * 0x9e3779b97f4a7c15  (mod 2^64)
+///   result = mix(mix(state))
+/// where mix is the SplitMix64 output scrambler
+///   z ^= z >> 30; z *= 0xbf58476d1ce4e5b9;
+///   z ^= z >> 27; z *= 0x94d049bb133111eb;
+///   z ^= z >> 31;
+/// i.e. job i is seeded from the (i+1)-th state of the SplitMix64 sequence
+/// started at base_seed, scrambled twice so that neighbouring indices give
+/// decorrelated xoshiro initializations.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index);
+
 }  // namespace dqma::util

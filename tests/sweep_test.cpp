@@ -1,0 +1,247 @@
+// The parallel sweep engine (src/sweep/): thread-pool lifecycle and
+// correctness, grid enumeration, and the determinism guarantee the whole
+// subsystem exists for — identical results (and identical JSON bytes) at
+// any thread count on a fixed seed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sweep/json.hpp"
+#include "sweep/result_sink.hpp"
+#include "sweep/sweep.hpp"
+#include "sweep/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dqma::sweep::Json;
+using dqma::sweep::JobResult;
+using dqma::sweep::Metrics;
+using dqma::sweep::ParamGrid;
+using dqma::sweep::ParamPoint;
+using dqma::sweep::ResultSink;
+using dqma::sweep::run_sweep;
+using dqma::sweep::ThreadPool;
+using dqma::util::Rng;
+
+TEST(ThreadPoolTest, ConstructsAndShutsDownWithoutWork) {
+  // Idle pools must join cleanly — including pools torn down immediately
+  // and pools created repeatedly (worker threads park on the batch
+  // condvar and must all observe the stop flag).
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroJobsIsANoOp) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.run_indexed(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, RunsEveryJobExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr std::size_t kJobs = 5000;
+  std::vector<std::atomic<int>> hits(kJobs);
+  pool.run_indexed(kJobs, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "job " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SurvivesManyConsecutiveBatches) {
+  ThreadPool pool(4);
+  for (int batch = 0; batch < 50; ++batch) {
+    std::atomic<int> sum{0};
+    pool.run_indexed(17, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 17 * 16 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesJobExceptionsAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run_indexed(64,
+                       [](std::size_t i) {
+                         if (i == 13) {
+                           throw std::runtime_error("boom");
+                         }
+                       }),
+      std::runtime_error);
+  // The failed batch must not wedge the pool.
+  std::atomic<int> ok{0};
+  pool.run_indexed(8, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPoolTest, SingleThreadedPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::vector<std::size_t> order;
+  pool.run_indexed(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParamGridTest, EnumeratesRowMajorFirstAxisSlowest) {
+  ParamGrid grid;
+  grid.axis("n", std::vector<int>{16, 64});
+  grid.axis("r", std::vector<int>{2, 4, 8});
+  ASSERT_EQ(grid.size(), 6u);
+  const auto points = grid.enumerate();
+  ASSERT_EQ(points.size(), 6u);
+  // Matches the nesting order of the serial loops the benches replaced:
+  // for n { for r { ... } }.
+  const std::vector<std::pair<long long, long long>> expected{
+      {16, 2}, {16, 4}, {16, 8}, {64, 2}, {64, 4}, {64, 8}};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].get_int("n"), expected[i].first) << i;
+    EXPECT_EQ(points[i].get_int("r"), expected[i].second) << i;
+  }
+}
+
+TEST(ParamGridTest, EmptyGridHasNoPoints) {
+  ParamGrid grid;
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.enumerate().empty());
+}
+
+TEST(ParamGridTest, MixedAxisTypes) {
+  ParamGrid grid;
+  grid.axis("mode", std::vector<std::string>{"fast", "exact"});
+  grid.axis("delta", std::vector<double>{0.1, 0.3});
+  const auto points = grid.enumerate();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].get_string("mode"), "fast");
+  EXPECT_DOUBLE_EQ(points[1].get_double("delta"), 0.3);
+  EXPECT_EQ(points[3].get_string("mode"), "exact");
+}
+
+TEST(NamedValuesTest, TypedAccessorsAndLookup) {
+  Metrics metrics;
+  metrics.set("count", 7).set("rate", 0.25).set("ok", true).set("tag", "x");
+  EXPECT_EQ(metrics.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(metrics.get_double("rate"), 0.25);
+  // get_double accepts integer entries (cost metrics are often integral).
+  EXPECT_DOUBLE_EQ(metrics.get_double("count"), 7.0);
+  EXPECT_TRUE(metrics.get_bool("ok"));
+  EXPECT_EQ(metrics.get_string("tag"), "x");
+  EXPECT_EQ(metrics.find("missing"), nullptr);
+  EXPECT_THROW(metrics.get_int("rate"), std::invalid_argument);
+}
+
+std::vector<JobResult> sweep_with_threads(int threads) {
+  ParamGrid grid;
+  grid.axis("a", std::vector<int>{1, 2, 3, 4, 5, 6, 7});
+  grid.axis("b", std::vector<int>{10, 20, 30});
+  ThreadPool pool(threads);
+  return run_sweep(pool, grid.enumerate(), /*base_seed=*/42,
+                   [](const ParamPoint& p, Rng& rng) {
+                     Metrics m;
+                     // Mix grid parameters with per-job random draws: any
+                     // cross-thread seed leakage or result misordering
+                     // changes a metric.
+                     m.set("sum", p.get_int("a") + p.get_int("b"));
+                     m.set("draw", static_cast<long long>(rng.next_u64()));
+                     m.set("unit", rng.next_double());
+                     return m;
+                   });
+}
+
+TEST(RunSweepTest, ResultsIdenticalAcrossThreadCounts) {
+  const auto serial = sweep_with_threads(1);
+  const auto parallel = sweep_with_threads(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].metrics, parallel[i].metrics) << "job " << i;
+  }
+}
+
+TEST(RunSweepTest, DistinctJobsGetDistinctStreams) {
+  const auto results = sweep_with_threads(2);
+  std::set<long long> draws;
+  for (const auto& result : results) {
+    draws.insert(result.metrics.get_int("draw"));
+  }
+  EXPECT_EQ(draws.size(), results.size());
+}
+
+std::string json_bytes_with_threads(int threads) {
+  ResultSink sink;
+  sink.begin_experiment("determinism_probe", "threads-invariance fixture");
+  ParamGrid grid;
+  grid.axis("x", std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const auto points = grid.enumerate();
+  ThreadPool pool(threads);
+  const auto results = run_sweep(
+      pool, points, /*base_seed=*/7, [](const ParamPoint& p, Rng& rng) {
+        Metrics m;
+        m.set("value", rng.next_double() * p.get_double("x"));
+        m.set("draw", static_cast<long long>(rng.next_u64()));
+        return m;
+      });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    sink.add_point(points[i], results[i].metrics, results[i].wall_ms);
+  }
+  sink.end_experiment(123.0);
+  // Default options: timings excluded, exactly like the dqma_bench default.
+  return sink.to_json({/*smoke=*/false, /*base_seed=*/7,
+                       /*include_timings=*/false})
+      .dump();
+}
+
+TEST(RunSweepTest, JsonBytesIdenticalAcrossThreadCounts) {
+  // The acceptance criterion of the sweep subsystem, in miniature: same
+  // seed, --threads 1 vs --threads 8, byte-identical JSON.
+  const std::string serial = json_bytes_with_threads(1);
+  const std::string parallel = json_bytes_with_threads(8);
+  EXPECT_EQ(serial, parallel);
+  // Sanity: the document is non-trivial and carries the schema tag.
+  EXPECT_NE(serial.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(serial.find("determinism_probe"), std::string::npos);
+}
+
+TEST(ResultSinkTest, TimingsAreOptIn) {
+  ResultSink sink;
+  sink.begin_experiment("exp", "d");
+  sink.add_point(ParamPoint().set("n", 1), Metrics().set("m", 2), 3.5);
+  sink.end_experiment(9.0);
+  const std::string without =
+      sink.to_json({false, 0, /*include_timings=*/false}).dump();
+  const std::string with =
+      sink.to_json({false, 0, /*include_timings=*/true}).dump();
+  EXPECT_EQ(without.find("wall_ms"), std::string::npos);
+  EXPECT_NE(with.find("wall_ms"), std::string::npos);
+}
+
+TEST(JsonTest, EscapesAndFormatsDeterministically) {
+  Json obj = Json::object();
+  obj.add("text", Json("line\n\"quoted\"\\"));
+  obj.add("tenth", Json(0.1));
+  obj.add("count", Json(42));
+  const std::string dumped = obj.dump();
+  EXPECT_NE(dumped.find("\"line\\n\\\"quoted\\\"\\\\\""), std::string::npos);
+  // Shortest round-trip double formatting: exactly "0.1".
+  EXPECT_NE(dumped.find("\"tenth\": 0.1"), std::string::npos);
+  EXPECT_NE(dumped.find("\"count\": 42"), std::string::npos);
+}
+
+TEST(Fnv1a64Test, MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(dqma::sweep::fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(dqma::sweep::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(dqma::sweep::fnv1a64("table2_eq"),
+            dqma::sweep::fnv1a64("table2_relay"));
+}
+
+}  // namespace
