@@ -18,6 +18,7 @@
 #include "linalg/permanent.hpp"
 #include "qtest/permutation_test.hpp"
 #include "qtest/swap_test.hpp"
+#include "quantum/local_ops.hpp"
 #include "quantum/random.hpp"
 #include "sweep/registry.hpp"
 #include "util/bitstring.hpp"
@@ -54,6 +55,10 @@ void run(sweep::ExperimentContext& ctx) {
   for (int d : {8, 32, 64}) add("hermitian_eigh", d, 8);
   for (int r : {2, 3, 4}) add("exact_acceptance_operator", r, 4);
   for (int k : {4, 8, 12}) add("permanent", k, 40);
+  // Matrix-free local-operator engine kernels; 1 << 18 is above the old
+  // 1 << 14 exact-engine cap and only reachable matrix-free.
+  for (int n : {1 << 14, 1 << 16, 1 << 18}) add("local_ops_apply", n, 24);
+  for (int d : {256, 1024}) add("local_ops_sandwich", d, 6);
 
   const auto results = ctx.sweep(
       "kernels", points, [](const sweep::ParamPoint& p, Rng& rng) {
@@ -111,6 +116,45 @@ void run(sweep::ExperimentContext& ctx) {
           for (int i = 0; i < iters; ++i) {
             const protocol::ExactEqPathAnalyzer exact(a, b, size);
             checksum += exact.worst_case_accept();
+          }
+        } else if (kernel == "local_ops_apply") {
+          // Two-register (16-dim) unitary applied to an n-qudit state vector
+          // by stride arithmetic, on non-adjacent register pairs.
+          int nregs = 0;
+          while ((1 << (2 * nregs)) < size) ++nregs;
+          const quantum::RegisterShape shape(
+              std::vector<int>(static_cast<std::size_t>(nregs), 4));
+          const linalg::CMat u = quantum::haar_unitary(16, rng);
+          linalg::CVec psi(size);
+          psi[0] = linalg::Complex{1.0, 0.0};
+          linalg::CMat e00(4, 4);
+          e00(0, 0) = linalg::Complex{1.0, 0.0};
+          const quantum::LocalOpPlan probe(shape, {0});
+          // Plans hoisted out of the timed loop so wall_ms measures the
+          // stride-apply pass, not plan construction.
+          std::vector<quantum::LocalOpPlan> pair_plans;
+          for (int a = 0; a < nregs; ++a) {
+            pair_plans.emplace_back(
+                shape, std::vector<int>{a, (a + nregs / 2) % nregs});
+          }
+          for (int i = 0; i < iters; ++i) {
+            quantum::apply_local(pair_plans[static_cast<std::size_t>(i % nregs)],
+                                 u, psi);
+            checksum += quantum::expectation_local(probe, e00, psi);
+          }
+        } else if (kernel == "local_ops_sandwich") {
+          // U rho U^dagger on a dense density matrix through the reused-
+          // workspace sandwich pass (never embedding U).
+          const quantum::RegisterShape shape({size / 4, 4});
+          linalg::CMat rho =
+              linalg::CMat::projector(quantum::haar_state(size, rng));
+          const linalg::CMat u = quantum::haar_unitary(4, rng);
+          const quantum::LocalOpPlan plan(shape, {1});
+          linalg::CMat e00(4, 4);
+          e00(0, 0) = linalg::Complex{1.0, 0.0};
+          for (int i = 0; i < iters; ++i) {
+            quantum::sandwich_local(plan, u, rho);
+            checksum += quantum::expectation_local(plan, e00, rho);
           }
         } else {  // permanent
           std::vector<linalg::CVec> factors;

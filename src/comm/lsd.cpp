@@ -16,7 +16,7 @@ namespace {
 
 /// Orthonormality check for columns.
 bool columns_orthonormal(const CMat& a, double tol) {
-  const CMat gram = a.adjoint() * a;
+  const CMat gram = a.adjoint_times(a);
   return gram.linf_distance(CMat::identity(a.cols())) <= tol;
 }
 
@@ -56,7 +56,7 @@ CMat random_orthonormal_columns(int m, int k, const CMat* avoid,
 }
 
 CMat projector_from_basis(const CMat& basis) {
-  return basis * basis.adjoint();
+  return basis.times_adjoint(basis);
 }
 
 }  // namespace
@@ -70,8 +70,8 @@ LsdInstance::LsdInstance(CMat a_basis, CMat b_basis)
 }
 
 double LsdInstance::distance() const {
-  const CMat cross = a_.adjoint() * b_;
-  const double sigma_sq = linalg::max_eigenvalue_psd(cross * cross.adjoint());
+  const CMat cross = a_.adjoint_times(b_);
+  const double sigma_sq = linalg::max_eigenvalue_psd(cross.times_adjoint(cross));
   const double sigma = std::sqrt(std::max(0.0, sigma_sq));
   return std::sqrt(std::max(0.0, 2.0 - 2.0 * std::min(1.0, sigma)));
 }

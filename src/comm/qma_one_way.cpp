@@ -20,7 +20,7 @@ double QmaOneWayInstance::accept(const CVec& proof) const {
 }
 
 double QmaOneWayInstance::max_accept() const {
-  const CMat op = alice.adjoint() * bob_accept * alice;
+  const CMat op = alice.adjoint_times(bob_accept) * alice;
   return linalg::max_eigenvalue_psd(op);
 }
 
@@ -29,7 +29,7 @@ void QmaOneWayInstance::validate() const {
   // (they exist to catch construction bugs, which small instances surface).
   if (proof_dim() <= 256) {
     // V^dagger V <= I.
-    const CMat gram = alice.adjoint() * alice;
+    const CMat gram = alice.adjoint_times(alice);
     const auto es = linalg::eigh(gram);
     require(es.values.front() >= -1e-8 && es.values.back() <= 1.0 + 1e-8,
             "QmaOneWayInstance: alice map is not a contraction");
@@ -58,7 +58,7 @@ QmaOneWayInstance and_amplify(const QmaOneWayInstance& base, int k) {
     if (base.yes_instance) {
       out.honest_proof = out.honest_proof.tensor(base.honest_proof);
     }
-    require(out.message_dim() <= util::kMaxExactDim,
+    require(out.message_dim() <= util::kMaxDenseExactDim,
             "and_amplify: amplified dimension too large");
   }
   out.gamma_qubits = base.gamma_qubits * k;

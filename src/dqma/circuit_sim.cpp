@@ -1,7 +1,9 @@
 #include "dqma/circuit_sim.hpp"
 
 #include <cmath>
+#include <utility>
 
+#include "quantum/local_ops.hpp"
 #include "quantum/state.hpp"
 #include "quantum/unitary.hpp"
 #include "util/require.hpp"
@@ -10,8 +12,9 @@
 namespace dqma::protocol {
 
 using linalg::CMat;
+using linalg::Complex;
 using linalg::CVec;
-using quantum::PureState;
+using quantum::LocalOpPlan;
 using quantum::RegisterShape;
 using util::require;
 
@@ -30,10 +33,15 @@ MonteCarloEstimate circuit_eq_path_accept(const CVec& source,
     require(v.dim() == d, "circuit_eq_path_accept: proof dimension mismatch");
   }
 
-  // The SWAP-test circuit operators (Algorithm 1), built once.
+  // One SWAP-test circuit (Algorithm 1) on registers {ancilla, A, B}; the
+  // shape, the Hadamard plan and the state buffer are built once and reused
+  // across every test of every sample — the per-test work is the engine's
+  // O(d^2) stride passes, never a dense 2d^2 x 2d^2 operator.
+  const RegisterShape shape({2, d, d});
   const CMat h = quantum::hadamard();
-  const CMat cswap = quantum::select_unitary(
-      {CMat::identity(d * d), quantum::swap_unitary(d)});
+  const LocalOpPlan h_plan(shape, {0});
+  const int dd = d * d;
+  CVec amp(2 * dd);
 
   const int inner = proof.intermediate_nodes();
   const auto run_once = [&]() -> double {
@@ -49,13 +57,32 @@ MonteCarloEstimate circuit_eq_path_accept(const CVec& source,
           coin ? proof.reg0[static_cast<std::size_t>(j)]
                : proof.reg1[static_cast<std::size_t>(j)];
       // Algorithm 1 verbatim: ancilla |0>, H, controlled-SWAP, H, measure.
-      PureState psi = PureState::single(CVec::basis(2, 0))
-                          .tensor(PureState::single(received))
-                          .tensor(PureState::single(kept));
-      psi.apply(h, {0});
-      psi.apply(cswap, {0, 1, 2});
-      psi.apply(h, {0});
-      if (psi.measure_register(0, rng) != 0) {
+      // |0>|received>|kept>: the ancilla-0 block carries the product state.
+      for (int a = 0; a < d; ++a) {
+        for (int b = 0; b < d; ++b) {
+          amp[a * d + b] = received[a] * kept[b];
+        }
+      }
+      for (int x = 0; x < dd; ++x) {
+        amp[dd + x] = Complex{0.0, 0.0};
+      }
+      quantum::apply_local(h_plan, h, amp);
+      // Controlled-SWAP = identity on the ancilla-0 block, SWAP of the two
+      // d-registers on the ancilla-1 block.
+      for (int a = 0; a < d; ++a) {
+        for (int b = a + 1; b < d; ++b) {
+          std::swap(amp[dd + a * d + b], amp[dd + b * d + a]);
+        }
+      }
+      quantum::apply_local(h_plan, h, amp);
+      // Measure the ancilla: Pr[0] is the weight of the first block (the
+      // ancilla is the most significant register). Reject on outcome 1; the
+      // tested pair is consumed either way, so no collapse is needed.
+      double p0 = 0.0;
+      for (int x = 0; x < dd; ++x) {
+        p0 += std::norm(amp[x]);
+      }
+      if (rng.next_double() >= p0) {
         return 0.0;  // this node rejects
       }
       received = sent;

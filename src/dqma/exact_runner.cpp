@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "linalg/eigen.hpp"
-#include "quantum/density.hpp"
+#include "quantum/local_ops.hpp"
 #include "quantum/random.hpp"
 #include "quantum/unitary.hpp"
 #include "util/require.hpp"
@@ -13,25 +13,97 @@
 namespace dqma::protocol {
 
 using linalg::Complex;
+using quantum::LocalOpPlan;
 using quantum::RegisterShape;
 using util::require;
 
 namespace {
 
-/// Tensor product of a list of register states (register 0 most
-/// significant, matching RegisterShape's row-major convention).
-CVec tensor_all(const std::vector<CVec>& regs) {
-  require(!regs.empty(), "tensor_all: empty register list");
-  CVec out = regs.front();
-  for (std::size_t k = 1; k < regs.size(); ++k) {
-    out = out.tensor(regs[k]);
+/// <w| effect |w> for the product state w = tensor of the listed registers'
+/// states: the per-group factor of a product proof's acceptance. O(b^2) for
+/// block dimension b, with exact zeros of the effect skipped.
+double local_expectation(const CMat& effect, const std::vector<int>& group,
+                         const std::vector<CVec>& states) {
+  CVec w = states[static_cast<std::size_t>(group.front())];
+  for (std::size_t k = 1; k < group.size(); ++k) {
+    w = w.tensor(states[static_cast<std::size_t>(group[k])]);
   }
-  return out;
+  Complex acc{0.0, 0.0};
+  for (int i = 0; i < effect.rows(); ++i) {
+    const Complex ci = std::conj(w[i]);
+    Complex row{0.0, 0.0};
+    for (int j = 0; j < effect.cols(); ++j) {
+      const Complex v = effect(i, j);
+      if (v == Complex{0.0, 0.0}) continue;
+      row += v * w[j];
+    }
+    acc += ci * row;
+  }
+  return acc.real();
+}
+
+/// Partial contraction of a two-register effect, leaving the register at
+/// `pos` (0 or 1) free: the d x d conditional block M with
+///   pos == 0:  M(i, j) = sum_{a,b} conj(v[a]) E(i*d+a, j*d+b) v[b]
+///   pos == 1:  M(a, b) = sum_{i,j} conj(u[i]) E(i*d+a, j*d+b) u[j]
+/// contracted in two O(d^4) + O(d^3) stages.
+CMat pair_conditional(const CMat& effect, int pos, const CVec& other, int d) {
+  CMat m(d, d);
+  if (pos == 0) {
+    // Stage 1 over b: C(i*d+a, j) = sum_b E(i*d+a, j*d+b) other[b].
+    CMat c(d * d, d);
+    for (int row = 0; row < d * d; ++row) {
+      for (int j = 0; j < d; ++j) {
+        Complex acc{0.0, 0.0};
+        for (int b = 0; b < d; ++b) {
+          const Complex v = effect(row, j * d + b);
+          if (v == Complex{0.0, 0.0}) continue;
+          acc += v * other[b];
+        }
+        c(row, j) = acc;
+      }
+    }
+    // Stage 2 over a: M(i, j) = sum_a conj(other[a]) C(i*d+a, j).
+    for (int i = 0; i < d; ++i) {
+      for (int j = 0; j < d; ++j) {
+        Complex acc{0.0, 0.0};
+        for (int a = 0; a < d; ++a) {
+          acc += std::conj(other[a]) * c(i * d + a, j);
+        }
+        m(i, j) = acc;
+      }
+    }
+    return m;
+  }
+  // pos == 1: stage 1 over i: T(a, j*d+b) = sum_i conj(other[i]) E(i*d+a, .).
+  CMat t(d, d * d);
+  for (int a = 0; a < d; ++a) {
+    for (int col = 0; col < d * d; ++col) {
+      Complex acc{0.0, 0.0};
+      for (int i = 0; i < d; ++i) {
+        const Complex v = effect(i * d + a, col);
+        if (v == Complex{0.0, 0.0}) continue;
+        acc += std::conj(other[i]) * v;
+      }
+      t(a, col) = acc;
+    }
+  }
+  // Stage 2 over j: M(a, b) = sum_j T(a, j*d+b) other[j].
+  for (int a = 0; a < d; ++a) {
+    for (int b = 0; b < d; ++b) {
+      Complex acc{0.0, 0.0};
+      for (int j = 0; j < d; ++j) {
+        acc += t(a, j * d + b) * other[j];
+      }
+      m(a, b) = acc;
+    }
+  }
+  return m;
 }
 
 }  // namespace
 
-ExactEqPathAnalyzer::ExactEqPathAnalyzer(CVec hx, CVec hy, int r)
+ExactEqPathAnalyzer::ExactEqPathAnalyzer(CVec hx, CVec hy, int r, Mode mode)
     : r_(r), d_(hx.dim()) {
   require(r >= 1, "ExactEqPathAnalyzer: path length must be >= 1");
   require(hx.dim() == hy.dim(), "ExactEqPathAnalyzer: state dim mismatch");
@@ -45,36 +117,69 @@ ExactEqPathAnalyzer::ExactEqPathAnalyzer(CVec hx, CVec hy, int r)
             "ExactEqPathAnalyzer: proof space exceeds exact-engine cap");
   }
   shape_ = RegisterShape(std::vector<int>(static_cast<std::size_t>(regs), d_));
-  build_operator(hx, hy);
-}
+  proof_dim_ = dim;
 
-void ExactEqPathAnalyzer::build_operator(const CVec& hx, const CVec& hy) {
-  const long long dim = shape_.total_dim();
   if (r_ == 1) {
     // No intermediate nodes: v_0 sends |h_x>, v_1 measures {|h_y><h_y|}.
     op_ = CMat(1, 1);
     const double amp = std::abs(hy.dot(hx));
     op_(0, 0) = Complex{amp * amp, 0.0};
+    dense_ = true;
     return;
   }
 
-  // Local effects.
-  // First test at v_1 with the fixed |h_x| slot contracted:
-  // <h_x| (I + SWAP)/2 |h_x> = (I + |h_x><h_x|)/2 acting on kept_1.
-  CMat first = CMat::identity(d_);
-  first += CMat::projector(hx);
-  first *= Complex{0.5, 0.0};
-  // Middle swap-test effect on a register pair.
-  CMat swap_effect = quantum::swap_unitary(d_);
-  swap_effect += CMat::identity(d_ * d_);
-  swap_effect *= Complex{0.5, 0.0};
-  // Final measurement on sent_{r-1}.
-  const CMat final_effect = CMat::projector(hy);
+  inner_ = r_ - 1;
+  patterns_ = 1 << inner_;
 
-  const int inner = r_ - 1;
-  CMat acc(static_cast<int>(dim), static_cast<int>(dim));
-  const int patterns = 1 << inner;
-  for (int pattern = 0; pattern < patterns; ++pattern) {
+  // Local effects.
+  // First test at v_1 with the fixed |h_x> slot contracted:
+  // <h_x| (I + SWAP)/2 |h_x> = (I + |h_x><h_x|)/2 acting on kept_1.
+  first_ = CMat::identity(d_);
+  first_ += CMat::projector(hx);
+  first_ *= Complex{0.5, 0.0};
+  // Middle swap-test effect on a register pair.
+  swap_effect_ = quantum::swap_unitary(d_);
+  swap_effect_ += CMat::identity(d_ * d_);
+  swap_effect_ *= Complex{0.5, 0.0};
+  // Final measurement on sent_{r-1}.
+  final_ = CMat::projector(hy);
+
+  build_pattern_effects();
+  dense_ = (mode == Mode::kDense) ||
+           (mode == Mode::kAuto && proof_dim_ <= kMaxDenseProofDim);
+  if (dense_) {
+    // Explicit kDense may exceed the kAuto threshold up to the dense-matrix
+    // memory guard (the seed engine's old cap), so consumers that need the
+    // materialized operator on mid-size instances keep an escape hatch.
+    require(proof_dim_ <= util::kMaxDenseExactDim,
+            "ExactEqPathAnalyzer: proof space too large for the dense mode");
+    build_operator();
+  }
+}
+
+const CMat& ExactEqPathAnalyzer::effect_matrix(EffectKind kind) const {
+  switch (kind) {
+    case EffectKind::kFirst:
+      return first_;
+    case EffectKind::kSwap:
+      return swap_effect_;
+    default:
+      return final_;
+  }
+}
+
+void ExactEqPathAnalyzer::build_pattern_effects() {
+  const auto plan_index = [&](const std::vector<int>& regs) {
+    for (std::size_t i = 0; i < plans_.size(); ++i) {
+      if (plans_[i].regs() == regs) {
+        return i;
+      }
+    }
+    plans_.emplace_back(shape_, regs);
+    return plans_.size() - 1;
+  };
+  pattern_effects_.resize(static_cast<std::size_t>(patterns_));
+  for (int pattern = 0; pattern < patterns_; ++pattern) {
     const auto kept = [&](int j) {  // j = 1..inner
       const int bit = (pattern >> (j - 1)) & 1;
       return 2 * (j - 1) + bit;
@@ -83,20 +188,74 @@ void ExactEqPathAnalyzer::build_operator(const CVec& hx, const CVec& hy) {
       const int bit = (pattern >> (j - 1)) & 1;
       return 2 * (j - 1) + (1 - bit);
     };
-    CMat term = quantum::embed_operator(shape_, first, {kept(1)});
-    for (int j = 2; j <= inner; ++j) {
-      term = term *
-             quantum::embed_operator(shape_, swap_effect, {sent(j - 1), kept(j)});
+    auto& effects = pattern_effects_[static_cast<std::size_t>(pattern)];
+    effects.reserve(static_cast<std::size_t>(inner_ + 1));
+    const auto add = [&](EffectKind kind, std::vector<int> regs) {
+      const std::size_t plan = plan_index(regs);
+      effects.push_back({kind, std::move(regs), plan});
+    };
+    add(EffectKind::kFirst, {kept(1)});
+    for (int j = 2; j <= inner_; ++j) {
+      add(EffectKind::kSwap, {sent(j - 1), kept(j)});
     }
-    term = term * quantum::embed_operator(shape_, final_effect, {sent(inner)});
+    add(EffectKind::kFinal, {sent(inner_)});
+  }
+}
+
+void ExactEqPathAnalyzer::build_operator() {
+  const long long dim = proof_dim_;
+  CMat acc(static_cast<int>(dim), static_cast<int>(dim));
+  // Stream each pattern's local effects through the matrix-free layer onto
+  // an identity matrix: O(D^2 b) per pattern instead of multiplying D x D
+  // embeddings (the effects act on disjoint registers, so the application
+  // order is immaterial).
+  for (int pattern = 0; pattern < patterns_; ++pattern) {
+    CMat term = CMat::identity(static_cast<int>(dim));
+    for (const PatternEffect& pe : pattern_effects_[static_cast<std::size_t>(pattern)]) {
+      quantum::apply_left_local(plans_[pe.plan], effect_matrix(pe.kind), term);
+    }
     acc += term;
   }
-  acc *= Complex{1.0 / static_cast<double>(patterns), 0.0};
+  acc *= Complex{1.0 / static_cast<double>(patterns_), 0.0};
   op_ = std::move(acc);
 }
 
-double ExactEqPathAnalyzer::worst_case_accept() const {
-  return std::min(1.0, linalg::max_eigenvalue_psd(op_));
+const CMat& ExactEqPathAnalyzer::acceptance_operator() const {
+  require(dense_,
+          "ExactEqPathAnalyzer: acceptance operator not materialized in "
+          "matrix-free mode");
+  return op_;
+}
+
+CVec ExactEqPathAnalyzer::apply_acceptance(const CVec& psi) const {
+  require(static_cast<long long>(psi.dim()) == proof_dim_,
+          "ExactEqPathAnalyzer: state dimension mismatch");
+  if (r_ == 1) {
+    return psi * op_(0, 0);
+  }
+  if (dense_) {
+    return op_ * psi;
+  }
+  CVec out(static_cast<int>(proof_dim_));
+  for (int pattern = 0; pattern < patterns_; ++pattern) {
+    CVec tmp = psi;
+    for (const PatternEffect& pe : pattern_effects_[static_cast<std::size_t>(pattern)]) {
+      quantum::apply_local(plans_[pe.plan], effect_matrix(pe.kind), tmp);
+    }
+    out += tmp;
+  }
+  out *= Complex{1.0 / static_cast<double>(patterns_), 0.0};
+  return out;
+}
+
+double ExactEqPathAnalyzer::worst_case_accept(int max_iters) const {
+  if (dense_) {
+    return std::min(1.0, linalg::max_eigenvalue_psd(op_, max_iters));
+  }
+  const double lambda = linalg::max_eigenvalue_psd(
+      [this](const CVec& psi) { return apply_acceptance(psi); },
+      static_cast<int>(proof_dim_), max_iters);
+  return std::min(1.0, lambda);
 }
 
 double ExactEqPathAnalyzer::product_accept(const std::vector<CVec>& regs) const {
@@ -105,8 +264,58 @@ double ExactEqPathAnalyzer::product_accept(const std::vector<CVec>& regs) const 
   if (shape_.register_count() == 0) {
     return op_(0, 0).real();
   }
-  const CVec psi = tensor_all(regs);
-  return std::max(0.0, psi.dot(op_ * psi).real());
+  for (const CVec& v : regs) {
+    require(v.dim() == d_, "ExactEqPathAnalyzer: register dimension mismatch");
+  }
+  // For a product proof each pattern term factorizes over its disjoint
+  // effect groups, so the acceptance is a sum of products of O(d^4) local
+  // expectations — no D-dimensional object is touched.
+  double total = 0.0;
+  for (int pattern = 0; pattern < patterns_; ++pattern) {
+    double term = 1.0;
+    for (const PatternEffect& pe : pattern_effects_[static_cast<std::size_t>(pattern)]) {
+      term *= local_expectation(effect_matrix(pe.kind), pe.regs, regs);
+    }
+    total += term;
+  }
+  return std::max(0.0, total / static_cast<double>(patterns_));
+}
+
+CMat ExactEqPathAnalyzer::conditional_operator(
+    int k, const std::vector<CVec>& regs) const {
+  // M_k(i, j) = <psi_-k, e_i| O |psi_-k, e_j>: per pattern, the group
+  // containing register k contributes a partially contracted d x d block
+  // and every other group a scalar factor (every proof register sits in
+  // exactly one effect group of every pattern).
+  CMat cond(d_, d_);
+  for (int pattern = 0; pattern < patterns_; ++pattern) {
+    double scale = 1.0;
+    bool found = false;
+    CMat part;
+    for (const PatternEffect& pe :
+         pattern_effects_[static_cast<std::size_t>(pattern)]) {
+      const auto it = std::find(pe.regs.begin(), pe.regs.end(), k);
+      if (it == pe.regs.end()) {
+        scale *= local_expectation(effect_matrix(pe.kind), pe.regs, regs);
+        continue;
+      }
+      found = true;
+      if (pe.regs.size() == 1) {
+        part = effect_matrix(pe.kind);
+      } else {
+        const int pos = static_cast<int>(it - pe.regs.begin());
+        const CVec& other =
+            regs[static_cast<std::size_t>(pe.regs[pos == 0 ? 1 : 0])];
+        part = pair_conditional(effect_matrix(pe.kind), pos, other, d_);
+      }
+    }
+    util::ensure(found, "ExactEqPathAnalyzer: register not covered by any "
+                        "effect group");
+    part *= Complex{scale, 0.0};
+    cond += part;
+  }
+  cond *= Complex{1.0 / static_cast<double>(patterns_), 0.0};
+  return cond;
 }
 
 double ExactEqPathAnalyzer::best_product_accept(util::Rng& rng, int restarts,
@@ -125,18 +334,7 @@ double ExactEqPathAnalyzer::best_product_accept(util::Rng& rng, int restarts,
     double value = product_accept(regs);
     for (int sweep = 0; sweep < sweeps; ++sweep) {
       for (int k = 0; k < nregs; ++k) {
-        // Conditional operator M_k(i, j) = <psi_-k, e_i| O |psi_-k, e_j>.
-        CMat conditional(d_, d_);
-        std::vector<CVec> probe = regs;
-        for (int j = 0; j < d_; ++j) {
-          probe[static_cast<std::size_t>(k)] = CVec::basis(d_, j);
-          const CVec image = op_ * tensor_all(probe);
-          for (int i = 0; i < d_; ++i) {
-            probe[static_cast<std::size_t>(k)] = CVec::basis(d_, i);
-            conditional(i, j) = tensor_all(probe).dot(image);
-          }
-          probe[static_cast<std::size_t>(k)] = regs[static_cast<std::size_t>(k)];
-        }
+        const CMat conditional = conditional_operator(k, regs);
         const auto es = linalg::eigh(conditional);
         CVec top(d_);
         for (int i = 0; i < d_; ++i) {

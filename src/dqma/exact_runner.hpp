@@ -1,5 +1,4 @@
-// Exact worst-case prover analysis for the EQ path protocol (Algorithm 3)
-// on small instances.
+// Exact worst-case prover analysis for the EQ path protocol (Algorithm 3).
 //
 // The protocol's acceptance probability is linear in the proof density
 // operator: Pr[accept | rho] = tr(O rho) for the *acceptance operator*
@@ -17,14 +16,29 @@
 // Comparing the two quantifies how much entangled provers gain — the
 // question behind the paper's Sec. 8 lower bounds.
 //
+// Engine modes. The analyzer keeps O in *structured form* — the per-pattern
+// lists of local effects — and streams them through the matrix-free
+// local-operator layer (quantum/local_ops.hpp):
+//   * kDense (small proof spaces): O is additionally materialized by
+//     applying the local effects to an identity matrix (O(D^2 b) per
+//     pattern instead of the former O(D^3) embedded products), so spectral
+//     routines and QMA* reductions can consume the dense matrix;
+//   * kMatrixFree (large proof spaces): O is never materialized; its action
+//     on a vector costs O(patterns * r * D * b), worst_case_accept runs
+//     power iteration on that action, and the product-prover optimizer
+//     contracts the local effects register by register in O(d^4) per term.
+// kAuto picks kDense up to kMaxDenseProofDim and kMatrixFree beyond.
+//
 // Dimensions: the proof space has dimension d^{2(r-1)} for fingerprint
-// stand-ins of dimension d; constructors enforce the exact-engine cap.
+// stand-ins of dimension d; constructors enforce the exact-engine cap
+// (util::kMaxExactDim, which the matrix-free mode can actually reach).
 #pragma once
 
 #include <vector>
 
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "quantum/local_ops.hpp"
 #include "quantum/state.hpp"
 #include "util/rng.hpp"
 
@@ -38,20 +52,41 @@ using linalg::CVec;
 /// length `r`.
 class ExactEqPathAnalyzer {
  public:
-  ExactEqPathAnalyzer(CVec hx, CVec hy, int r);
+  enum class Mode {
+    kAuto,        ///< dense up to kMaxDenseProofDim, matrix-free beyond
+    kDense,       ///< materialize the acceptance operator (allowed up to
+                  ///< util::kMaxDenseExactDim, the dense-matrix memory guard)
+    kMatrixFree,  ///< structured form only; O(D) memory
+  };
 
-  /// The full acceptance operator O on the proof space.
-  const CMat& acceptance_operator() const { return op_; }
+  /// Largest proof dimension for which kAuto materializes the operator
+  /// (explicit kDense goes further, to util::kMaxDenseExactDim).
+  static constexpr long long kMaxDenseProofDim = 1LL << 12;
+
+  ExactEqPathAnalyzer(CVec hx, CVec hy, int r, Mode mode = Mode::kAuto);
+
+  /// The full acceptance operator O on the proof space (dense modes only).
+  const CMat& acceptance_operator() const;
+
+  /// Whether the dense operator is materialized.
+  bool dense() const { return dense_; }
 
   /// Proof-space dimension d^{2(r-1)}.
-  long long proof_dim() const { return static_cast<long long>(op_.rows()); }
+  long long proof_dim() const { return proof_dim_; }
 
-  /// max over all (entangled) proofs of Pr[accept].
-  double worst_case_accept() const;
+  /// O |psi>: dense matvec when materialized, otherwise the matrix-free
+  /// pattern-streamed application.
+  CVec apply_acceptance(const CVec& psi) const;
+
+  /// max over all (entangled) proofs of Pr[accept]. Power iteration on the
+  /// operator's action; `max_iters` bounds the work in matrix-free mode
+  /// (the estimate is a lower bound that is tight at convergence).
+  double worst_case_accept(int max_iters = 2000) const;
 
   /// max over product proofs, by alternating optimization with `restarts`
   /// random restarts. A lower bound on worst_case_accept() that is tight in
-  /// practice for these operators.
+  /// practice for these operators. Works in every mode: the conditional
+  /// operators are contracted from the local effects, never from O.
   double best_product_accept(util::Rng& rng, int restarts = 8,
                              int sweeps = 60) const;
 
@@ -62,10 +97,39 @@ class ExactEqPathAnalyzer {
  private:
   int r_;
   int d_;
+  int inner_ = 0;
+  int patterns_ = 1;
   quantum::RegisterShape shape_;  // 2(r-1) registers of dimension d
-  CMat op_;
+  long long proof_dim_ = 1;
+  bool dense_ = true;
+  // Local effects of Algorithm 3 (shared across patterns).
+  CMat first_;        // (I + |h_x><h_x|)/2 on kept_1
+  CMat swap_effect_;  // (I + SWAP)/2 on (sent_{j-1}, kept_j)
+  CMat final_;        // |h_y><h_y| on sent_{r-1}
+  CMat op_;           // dense modes (and the r == 1 scalar)
 
-  void build_operator(const CVec& hx, const CVec& hy);
+  /// Which of the three local effects a pattern entry applies; resolved to
+  /// the member matrix at use time so cached entries survive copies.
+  enum class EffectKind { kFirst, kSwap, kFinal };
+
+  /// One symmetrization pattern's local effect: operator kind, register
+  /// list, and the index of its (deduplicated) stride plan in plans_.
+  struct PatternEffect {
+    EffectKind kind;
+    std::vector<int> regs;
+    std::size_t plan;
+  };
+  // Built once in the constructor: the effect lists of every pattern. The
+  // register lists repeat across patterns, so the plans are deduplicated
+  // (at most ~4r distinct ones) and the matrix-free hot loops never
+  // rebuild offset tables.
+  std::vector<std::vector<PatternEffect>> pattern_effects_;
+  std::vector<quantum::LocalOpPlan> plans_;
+
+  const CMat& effect_matrix(EffectKind kind) const;
+  void build_pattern_effects();
+  void build_operator();
+  CMat conditional_operator(int k, const std::vector<CVec>& regs) const;
 };
 
 }  // namespace dqma::protocol

@@ -102,7 +102,7 @@ double QmaCcPathProtocol::best_attack_accept() const {
   // top eigenvector of V^dagger V (best Alice-pass probability).
   std::vector<CVec> proofs;
   {
-    const CMat direct = instance_.alice.adjoint() * instance_.bob_accept *
+    const CMat direct = instance_.alice.adjoint_times(instance_.bob_accept) *
                         instance_.alice;
     const auto es = linalg::eigh(direct);
     CVec top(pdim);
@@ -112,7 +112,7 @@ double QmaCcPathProtocol::best_attack_accept() const {
     proofs.push_back(std::move(top));
   }
   {
-    const CMat gram = instance_.alice.adjoint() * instance_.alice;
+    const CMat gram = instance_.alice.adjoint_times(instance_.alice);
     const auto es = linalg::eigh(gram);
     CVec top(pdim);
     for (int i = 0; i < pdim; ++i) {

@@ -94,12 +94,7 @@ double QmaStarInstance::max_cut_separable_accept(util::Rng& rng, int restarts,
           m_alpha(i, j) = acc;
         }
       }
-      {
-        const auto es = linalg::eigh(m_alpha);
-        for (int i = 0; i < g1; ++i) {
-          alpha[i] = es.vectors(i, g1 - 1);
-        }
-      }
+      linalg::top_eigenpair_psd(m_alpha, alpha);
       // Optimize beta for fixed alpha.
       CMat m_beta(g2, g2);
       for (int k = 0; k < g2; ++k) {
@@ -114,12 +109,7 @@ double QmaStarInstance::max_cut_separable_accept(util::Rng& rng, int restarts,
           m_beta(k, l) = acc;
         }
       }
-      {
-        const auto es = linalg::eigh(m_beta);
-        for (int k = 0; k < g2; ++k) {
-          beta[k] = es.vectors(k, g2 - 1);
-        }
-      }
+      linalg::top_eigenpair_psd(m_beta, beta);
       const double next = objective(alpha, beta);
       if (next <= value + 1e-12) {
         value = std::max(value, next);

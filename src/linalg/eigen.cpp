@@ -126,38 +126,77 @@ EigenSystem eigh(const CMat& input) {
   return out;
 }
 
-double max_eigenvalue_psd(const CMat& a, int max_iters, double tol) {
-  require(a.rows() == a.cols(), "max_eigenvalue_psd: matrix not square");
-  const int n = a.rows();
-  if (n == 0) {
-    return 0.0;
-  }
-  // Deterministic, dense start vector: equal superposition with varying
-  // phases, so it overlaps any eigenvector with overwhelming probability.
+namespace {
+
+/// Deterministic dense start vector shared by the power-iteration variants:
+/// equal superposition with varying phases, so it overlaps any eigenvector
+/// with overwhelming probability.
+CVec power_start_vector(int n) {
   CVec x(n);
   for (int i = 0; i < n; ++i) {
     const double angle = 0.7 * static_cast<double>(i) + 0.3;
     x[i] = Complex{std::cos(angle), std::sin(angle)};
   }
   x.normalize();
+  return x;
+}
 
+/// Shared power-iteration core: one operator application per iteration (the
+/// Rayleigh-quotient product of iteration k is reused as iteration k+1's
+/// image), Rayleigh-quotient convergence test, deterministic start vector.
+/// Writes the final normalized iterate into *vec_out when requested.
+double power_iterate(const std::function<CVec(const CVec&)>& apply, int dim,
+                     int max_iters, double tol, CVec* vec_out) {
+  if (dim == 0) {
+    if (vec_out != nullptr) {
+      *vec_out = CVec();
+    }
+    return 0.0;
+  }
+  CVec x = power_start_vector(dim);
+  CVec image = apply(x);
   double lambda = 0.0;
   for (int it = 0; it < max_iters; ++it) {
-    CVec y = a * x;
-    const double norm = y.norm();
+    const double norm = image.norm();
     if (norm < 1e-300) {
-      return 0.0;  // a annihilates the start vector; spectrum is ~0 on it
+      // The operator annihilates the iterate; spectrum is ~0 on it.
+      if (vec_out != nullptr) {
+        *vec_out = x;
+      }
+      return 0.0;
     }
-    y *= Complex{1.0 / norm, 0.0};
-    const double next = std::real(y.dot(a * y));
+    x = image * Complex{1.0 / norm, 0.0};
+    image = apply(x);
+    const double next = std::real(x.dot(image));
     const bool converged = std::abs(next - lambda) <= tol * std::max(1.0, next);
     lambda = next;
-    x = y;
     if (converged && it > 2) {
       break;
     }
   }
+  if (vec_out != nullptr) {
+    *vec_out = x;
+  }
   return lambda;
+}
+
+}  // namespace
+
+double max_eigenvalue_psd(const CMat& a, int max_iters, double tol) {
+  require(a.rows() == a.cols(), "max_eigenvalue_psd: matrix not square");
+  return power_iterate([&a](const CVec& v) { return a * v; }, a.rows(),
+                       max_iters, tol, nullptr);
+}
+
+double max_eigenvalue_psd(const std::function<CVec(const CVec&)>& apply,
+                          int dim, int max_iters, double tol) {
+  return power_iterate(apply, dim, max_iters, tol, nullptr);
+}
+
+double top_eigenpair_psd(const CMat& a, CVec& vec, int max_iters, double tol) {
+  require(a.rows() == a.cols(), "top_eigenpair_psd: matrix not square");
+  return power_iterate([&a](const CVec& v) { return a * v; }, a.rows(),
+                       max_iters, tol, &vec);
 }
 
 CMat sqrt_psd(const CMat& a) {
@@ -168,7 +207,7 @@ CMat sqrt_psd(const CMat& a) {
     const double lam = std::max(0.0, es.values[static_cast<std::size_t>(i)]);
     d(i, i) = Complex{std::sqrt(lam), 0.0};
   }
-  return es.vectors * d * es.vectors.adjoint();
+  return (es.vectors * d).times_adjoint(es.vectors);
 }
 
 double trace_norm(const CMat& a) {
@@ -181,7 +220,7 @@ double trace_norm(const CMat& a) {
     return acc;
   }
   // General case: singular values are sqrt(eig(A^dagger A)).
-  const EigenSystem es = eigh(a.adjoint() * a);
+  const EigenSystem es = eigh(a.adjoint_times(a));
   double acc = 0.0;
   for (const double lam : es.values) {
     acc += std::sqrt(std::max(0.0, lam));

@@ -6,9 +6,11 @@
 // quantum proofs by computing the top eigenvalue of the acceptance operator).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
 
 namespace dqma::linalg {
 
@@ -28,6 +30,21 @@ EigenSystem eigh(const CMat& a);
 /// `max_iters` bounds work; accuracy ~`tol` on the eigenvalue.
 double max_eigenvalue_psd(const CMat& a, int max_iters = 2000,
                           double tol = 1e-10);
+
+/// Matrix-free variant: largest eigenvalue of a Hermitian PSD operator given
+/// only its action on a vector. Shares the dense overload's iteration (one
+/// `apply` per iteration — the Rayleigh product doubles as the next image,
+/// deterministic start vector); used by the exact engine for proof spaces
+/// too large to materialize.
+double max_eigenvalue_psd(const std::function<CVec(const CVec&)>& apply,
+                          int dim, int max_iters = 2000, double tol = 1e-10);
+
+/// Top eigenpair of a Hermitian PSD matrix by power iteration: returns the
+/// eigenvalue and writes the (normalized) eigenvector into `vec`. The cheap
+/// replacement for a full eigh() when only the dominant direction is needed
+/// (alternating-optimization inner loops).
+double top_eigenpair_psd(const CMat& a, CVec& vec, int max_iters = 2000,
+                         double tol = 1e-12);
 
 /// Hermitian square root of a PSD matrix (eigenvalues clamped at 0).
 CMat sqrt_psd(const CMat& a);

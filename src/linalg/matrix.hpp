@@ -42,6 +42,10 @@ class CMat {
               static_cast<std::size_t>(j)];
   }
 
+  /// Raw row-major storage (for the stride kernels in quantum/local_ops).
+  Complex* data() { return a_.data(); }
+  const Complex* data() const { return a_.data(); }
+
   CMat& operator+=(const CMat& other);
   CMat& operator-=(const CMat& other);
   CMat& operator*=(Complex scalar);
@@ -50,11 +54,22 @@ class CMat {
   CMat operator-(const CMat& other) const;
   CMat operator*(Complex scalar) const;
 
-  /// Matrix product.
+  /// Matrix product (blocked, cache-aware; exact zeros in the left factor
+  /// are skipped, which makes products with embedded local operators cheap).
   CMat operator*(const CMat& other) const;
 
   /// Matrix-vector product.
   CVec operator*(const CVec& v) const;
+
+  /// this^dagger * other without materializing the adjoint copy.
+  CMat adjoint_times(const CMat& other) const;
+
+  /// this * other^dagger without materializing the adjoint copy.
+  CMat times_adjoint(const CMat& other) const;
+
+  /// In-place convex/linear blend: this <- w_this * this + w_other * other,
+  /// in one fused pass (same shape required).
+  CMat& blend(const CMat& other, Complex w_this, Complex w_other);
 
   /// Conjugate transpose.
   CMat adjoint() const;

@@ -1,5 +1,6 @@
 #include "qtest/swap_test.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "quantum/unitary.hpp"
@@ -32,7 +33,17 @@ double swap_test_accept(const Density& rho) {
   const int d = rho.shape().dim(0);
   require(rho.shape().dim(1) == d,
           "swap_test_accept: registers must have equal dimension");
-  return swap_test_povm(d).accept_probability(rho);
+  // tr(((I + SWAP)/2) rho) = (1 + tr(SWAP rho))/2 with
+  // tr(SWAP rho) = sum_{i,j} rho((j,i),(i,j)) — no d^2 x d^2 POVM element
+  // is ever materialized.
+  Complex acc{0.0, 0.0};
+  const linalg::CMat& m = rho.matrix();
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < d; ++j) {
+      acc += m(j * d + i, i * d + j);
+    }
+  }
+  return std::clamp(0.5 + 0.5 * acc.real(), 0.0, 1.0);
 }
 
 double swap_test_accept_circuit(const CVec& a, const CVec& b) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "quantum/local_ops.hpp"
 #include "util/require.hpp"
 #include "util/tolerance.hpp"
 
@@ -11,7 +12,8 @@ using util::require;
 
 Density Density::maximally_mixed(RegisterShape shape) {
   const long long d = shape.total_dim();
-  require(d <= util::kMaxExactDim, "Density: dimension exceeds exact-engine cap");
+  require(d <= util::kMaxDenseExactDim,
+          "Density: dimension exceeds dense-engine cap");
   CMat rho = CMat::identity(static_cast<int>(d));
   rho *= Complex{1.0 / static_cast<double>(d), 0.0};
   return Density(std::move(shape), std::move(rho));
@@ -24,7 +26,8 @@ Density Density::from_pure(const PureState& psi) {
 Density::Density(RegisterShape shape, CMat rho)
     : shape_(std::move(shape)), rho_(std::move(rho)) {
   const long long d = shape_.total_dim();
-  require(d <= util::kMaxExactDim, "Density: dimension exceeds exact-engine cap");
+  require(d <= util::kMaxDenseExactDim,
+          "Density: dimension exceeds dense-engine cap");
   require(rho_.rows() == d && rho_.cols() == d,
           "Density: matrix does not match shape");
   require(rho_.is_hermitian(1e-7), "Density: matrix not Hermitian");
@@ -34,7 +37,9 @@ Density::Density(RegisterShape shape, CMat rho)
 }
 
 Density Density::tensor(const Density& other) const {
-  std::vector<int> dims = shape_.dims();
+  std::vector<int> dims;
+  dims.reserve(shape_.dims().size() + other.shape_.dims().size());
+  dims.insert(dims.end(), shape_.dims().begin(), shape_.dims().end());
   dims.insert(dims.end(), other.shape_.dims().begin(),
               other.shape_.dims().end());
   return Density(RegisterShape(std::move(dims)), rho_.kron(other.rho_));
@@ -42,66 +47,26 @@ Density Density::tensor(const Density& other) const {
 
 CMat embed_operator(const RegisterShape& shape, const CMat& op,
                     const std::vector<int>& regs) {
-  const int nregs = shape.register_count();
-  long long block = 1;
-  for (const int r : regs) {
-    block *= shape.dim(r);
-  }
-  require(static_cast<long long>(op.rows()) == block &&
-              static_cast<long long>(op.cols()) == block,
+  // Reference implementation kept for cross-validation: the hot paths apply
+  // local operators matrix-free (quantum/local_ops.hpp) instead of
+  // embedding them. The plan precomputes both offset tables once per call.
+  const LocalOpPlan plan(shape, regs);
+  require(static_cast<long long>(op.rows()) == plan.block() &&
+              static_cast<long long>(op.cols()) == plan.block(),
           "embed_operator: operator dimension mismatch");
-
-  std::vector<long long> stride(static_cast<std::size_t>(nregs), 1);
-  for (int r = nregs - 2; r >= 0; --r) {
-    stride[static_cast<std::size_t>(r)] =
-        stride[static_cast<std::size_t>(r + 1)] * shape.dim(r + 1);
-  }
-
-  // target index -> flat offset contribution
-  auto target_offset = [&](long long b) {
-    long long rem = b;
-    long long off = 0;
-    for (int k = static_cast<int>(regs.size()) - 1; k >= 0; --k) {
-      const int r = regs[static_cast<std::size_t>(k)];
-      const int d = shape.dim(r);
-      off += (rem % d) * stride[static_cast<std::size_t>(r)];
-      rem /= d;
-    }
-    return off;
-  };
-
-  std::vector<int> free_regs;
-  std::vector<bool> is_target(static_cast<std::size_t>(nregs), false);
-  for (const int r : regs) {
-    is_target[static_cast<std::size_t>(r)] = true;
-  }
-  for (int r = 0; r < nregs; ++r) {
-    if (!is_target[static_cast<std::size_t>(r)]) {
-      free_regs.push_back(r);
-    }
-  }
-  long long free_count = 1;
-  for (const int r : free_regs) {
-    free_count *= shape.dim(r);
-  }
-
-  const long long total = shape.total_dim();
+  const auto& toff = plan.target_offsets();
+  const long long block = plan.block();
+  const long long total = plan.total_dim();
   CMat out(static_cast<int>(total), static_cast<int>(total));
-  for (long long f = 0; f < free_count; ++f) {
-    long long rem = f;
-    long long base = 0;
-    for (int k = static_cast<int>(free_regs.size()) - 1; k >= 0; --k) {
-      const int r = free_regs[static_cast<std::size_t>(k)];
-      const int d = shape.dim(r);
-      base += (rem % d) * stride[static_cast<std::size_t>(r)];
-      rem /= d;
-    }
+  for (const long long base : plan.free_offsets()) {
     for (long long i = 0; i < block; ++i) {
       for (long long j = 0; j < block; ++j) {
         const Complex v = op(static_cast<int>(i), static_cast<int>(j));
-        if (v == Complex{0.0, 0.0}) continue;
-        out(static_cast<int>(base + target_offset(i)),
-            static_cast<int>(base + target_offset(j))) = v;
+        // Component-wise exact zero (not std::norm == 0, whose squares
+        // underflow on subnormal entries and would drop them).
+        if (v.real() == 0.0 && v.imag() == 0.0) continue;
+        out(static_cast<int>(base + toff[static_cast<std::size_t>(i)]),
+            static_cast<int>(base + toff[static_cast<std::size_t>(j)])) = v;
       }
     }
   }
@@ -109,36 +74,26 @@ CMat embed_operator(const RegisterShape& shape, const CMat& op,
 }
 
 void Density::apply(const CMat& u, const std::vector<int>& regs) {
-  const CMat big = embed_operator(shape_, u, regs);
-  rho_ = big * rho_ * big.adjoint();
+  const LocalOpPlan plan(shape_, regs);
+  sandwich_local(plan, u, rho_);
 }
 
 void Density::mix_with(const Density& other, double p_this) {
   require(shape_ == other.shape_, "Density::mix_with: shape mismatch");
   require(p_this >= 0.0 && p_this <= 1.0,
           "Density::mix_with: probability out of range");
-  rho_ *= Complex{p_this, 0.0};
-  CMat scaled = other.rho_;
-  scaled *= Complex{1.0 - p_this, 0.0};
-  rho_ += scaled;
+  rho_.blend(other.rho_, Complex{p_this, 0.0}, Complex{1.0 - p_this, 0.0});
 }
 
 double Density::expectation(const CMat& effect,
                             const std::vector<int>& regs) const {
-  const CMat big = embed_operator(shape_, effect, regs);
-  return (big * rho_).trace().real();
+  const LocalOpPlan plan(shape_, regs);
+  return expectation_local(plan, effect, rho_);
 }
 
 double Density::project(const CMat& effect, const std::vector<int>& regs) {
-  const CMat big = embed_operator(shape_, effect, regs);
-  CMat projected = big * rho_ * big.adjoint();
-  const double p = projected.trace().real();
-  if (p < 1e-14) {
-    return 0.0;
-  }
-  projected *= Complex{1.0 / p, 0.0};
-  rho_ = std::move(projected);
-  return p;
+  const LocalOpPlan plan(shape_, regs);
+  return project_local(plan, effect, rho_);
 }
 
 }  // namespace dqma::quantum

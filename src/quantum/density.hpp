@@ -12,8 +12,12 @@ namespace dqma::quantum {
 
 /// Embeds `op` (acting on the listed registers, in the listed order) into
 /// the full Hilbert space of `shape` as op tensor identity-on-the-rest.
-/// Used by Density and by the exact protocol engine to assemble global
-/// acceptance operators from local tests.
+///
+/// This is the *reference* implementation: the hot paths (Density's
+/// apply/expectation/project, the exact protocol engine) apply local
+/// operators matrix-free via quantum/local_ops.hpp and never materialize
+/// the D x D embedding; the randomized property tests cross-validate the
+/// matrix-free passes against this function.
 CMat embed_operator(const RegisterShape& shape, const CMat& op,
                     const std::vector<int>& regs);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "quantum/local_ops.hpp"
 #include "util/require.hpp"
 
 namespace dqma::quantum {
@@ -43,50 +44,27 @@ Density reduce_to(const Density& rho, const std::vector<int>& kept) {
   }
 
   std::vector<int> kept_dims;
-  std::vector<int> traced_regs;
-  for (int r = 0; r < nregs; ++r) {
-    if (keep[static_cast<std::size_t>(r)]) {
-      kept_dims.push_back(shape.dim(r));
-    } else {
-      traced_regs.push_back(r);
-    }
+  for (const int r : kept) {
+    kept_dims.push_back(shape.dim(r));
   }
-
-  // Strides in the full flat index.
-  std::vector<long long> stride(static_cast<std::size_t>(nregs), 1);
-  for (int r = nregs - 2; r >= 0; --r) {
-    stride[static_cast<std::size_t>(r)] =
-        stride[static_cast<std::size_t>(r + 1)] * shape.dim(r + 1);
-  }
-
   RegisterShape out_shape{kept_dims};
   const long long out_dim = out_shape.total_dim();
-  long long traced_count = 1;
-  for (const int r : traced_regs) {
-    traced_count *= shape.dim(r);
-  }
 
-  auto offset_of = [&](const std::vector<int>& regs, long long value) {
-    long long rem = value;
-    long long off = 0;
-    for (int k = static_cast<int>(regs.size()) - 1; k >= 0; --k) {
-      const int r = regs[static_cast<std::size_t>(k)];
-      const int d = shape.dim(r);
-      off += (rem % d) * stride[static_cast<std::size_t>(r)];
-      rem /= d;
-    }
-    return off;
-  };
+  // The kept registers are the plan's targets, so its precomputed offset
+  // tables are exactly the kept-index and traced-index flat offsets — no
+  // per-entry offset recomputation.
+  const LocalOpPlan plan(shape, kept);
+  const auto& kept_off = plan.target_offsets();
+  const auto& traced_off = plan.free_offsets();
 
   CMat out(static_cast<int>(out_dim), static_cast<int>(out_dim));
   const CMat& full = rho.matrix();
   for (long long i = 0; i < out_dim; ++i) {
-    const long long base_i = offset_of(kept, i);
+    const long long base_i = kept_off[static_cast<std::size_t>(i)];
     for (long long j = 0; j < out_dim; ++j) {
-      const long long base_j = offset_of(kept, j);
+      const long long base_j = kept_off[static_cast<std::size_t>(j)];
       Complex acc{0.0, 0.0};
-      for (long long t = 0; t < traced_count; ++t) {
-        const long long off = offset_of(traced_regs, t);
+      for (const long long off : traced_off) {
         acc += full(static_cast<int>(base_i + off),
                     static_cast<int>(base_j + off));
       }

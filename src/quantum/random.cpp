@@ -59,7 +59,7 @@ CMat random_density(int dim, util::Rng& rng) {
       g(i, j) = Complex{rng.next_gaussian(), rng.next_gaussian()};
     }
   }
-  CMat rho = g * g.adjoint();
+  CMat rho = g.times_adjoint(g);
   const double tr = rho.trace().real();
   rho *= Complex{1.0 / tr, 0.0};
   return rho;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "quantum/local_ops.hpp"
 #include "util/require.hpp"
 #include "util/tolerance.hpp"
 
@@ -77,7 +78,9 @@ PureState PureState::single(const CVec& amplitudes) {
 }
 
 PureState PureState::tensor(const PureState& other) const {
-  std::vector<int> dims = shape_.dims();
+  std::vector<int> dims;
+  dims.reserve(shape_.dims().size() + other.shape_.dims().size());
+  dims.insert(dims.end(), shape_.dims().begin(), shape_.dims().end());
   dims.insert(dims.end(), other.shape_.dims().begin(),
               other.shape_.dims().end());
   return PureState(RegisterShape(std::move(dims)), amp_.tensor(other.amp_),
@@ -90,89 +93,26 @@ Complex PureState::overlap(const PureState& other) const {
 
 void PureState::apply(const CMat& u, const std::vector<int>& regs) {
   require(u.rows() == u.cols(), "PureState::apply: unitary not square");
-  long long block = 1;
-  for (const int r : regs) {
-    block *= shape_.dim(r);
-  }
-  require(static_cast<long long>(u.rows()) == block,
+  // The gather/matvec/scatter pass lives in the matrix-free local-operator
+  // engine; this is a thin wrapper that validates the unitary's dimension.
+  const LocalOpPlan plan(shape_, regs);
+  require(static_cast<long long>(u.rows()) == plan.block(),
           "PureState::apply: unitary dimension does not match registers");
-
-  // Strides of each register in the flat index.
-  const int nregs = shape_.register_count();
-  std::vector<long long> stride(static_cast<std::size_t>(nregs), 1);
-  for (int r = nregs - 2; r >= 0; --r) {
-    stride[static_cast<std::size_t>(r)] =
-        stride[static_cast<std::size_t>(r + 1)] * shape_.dim(r + 1);
-  }
-
-  // Enumerate assignments of the non-target registers; within each, gather
-  // the `block` amplitudes indexed by the target registers, multiply by u,
-  // scatter back.
-  std::vector<bool> is_target(static_cast<std::size_t>(nregs), false);
-  for (const int r : regs) {
-    require(r >= 0 && r < nregs, "PureState::apply: register out of range");
-    require(!is_target[static_cast<std::size_t>(r)],
-            "PureState::apply: duplicate register");
-    is_target[static_cast<std::size_t>(r)] = true;
-  }
-
-  // Offsets of each of the `block` target assignments.
-  std::vector<long long> target_offset(static_cast<std::size_t>(block), 0);
-  {
-    for (long long b = 0; b < block; ++b) {
-      long long rem = b;
-      long long off = 0;
-      for (int k = static_cast<int>(regs.size()) - 1; k >= 0; --k) {
-        const int r = regs[static_cast<std::size_t>(k)];
-        const int d = shape_.dim(r);
-        off += (rem % d) * stride[static_cast<std::size_t>(r)];
-        rem /= d;
-      }
-      target_offset[static_cast<std::size_t>(b)] = off;
-    }
-  }
-
-  // Enumerate the complement.
-  std::vector<int> free_regs;
-  for (int r = 0; r < nregs; ++r) {
-    if (!is_target[static_cast<std::size_t>(r)]) {
-      free_regs.push_back(r);
-    }
-  }
-  long long free_count = 1;
-  for (const int r : free_regs) {
-    free_count *= shape_.dim(r);
-  }
-
-  std::vector<Complex> in(static_cast<std::size_t>(block));
-  std::vector<Complex> out(static_cast<std::size_t>(block));
-  for (long long f = 0; f < free_count; ++f) {
-    long long rem = f;
-    long long base = 0;
-    for (int k = static_cast<int>(free_regs.size()) - 1; k >= 0; --k) {
-      const int r = free_regs[static_cast<std::size_t>(k)];
-      const int d = shape_.dim(r);
-      base += (rem % d) * stride[static_cast<std::size_t>(r)];
-      rem /= d;
-    }
-    for (long long b = 0; b < block; ++b) {
-      in[static_cast<std::size_t>(b)] =
-          amp_[static_cast<int>(base + target_offset[static_cast<std::size_t>(b)])];
-    }
-    for (long long i = 0; i < block; ++i) {
-      Complex acc{0.0, 0.0};
-      for (long long j = 0; j < block; ++j) {
-        acc += u(static_cast<int>(i), static_cast<int>(j)) *
-               in[static_cast<std::size_t>(j)];
-      }
-      out[static_cast<std::size_t>(i)] = acc;
-    }
-    for (long long b = 0; b < block; ++b) {
-      amp_[static_cast<int>(base + target_offset[static_cast<std::size_t>(b)])] =
-          out[static_cast<std::size_t>(b)];
-    }
-  }
+  apply_local(plan, u, amp_);
 }
+
+namespace {
+
+/// Stride of `reg` in the flat index (product of the dims to its right).
+long long register_stride(const RegisterShape& shape, int reg) {
+  long long stride = 1;
+  for (int r = shape.register_count() - 1; r > reg; --r) {
+    stride *= shape.dim(r);
+  }
+  return stride;
+}
+
+}  // namespace
 
 int PureState::measure_register(int reg, util::Rng& rng) {
   const int d = shape_.dim(reg);
@@ -190,14 +130,24 @@ int PureState::measure_register(int reg, util::Rng& rng) {
     u -= probs[static_cast<std::size_t>(o)];
   }
   // Collapse: zero out amplitudes inconsistent with the outcome, renormalize.
+  // Stride arithmetic instead of per-index unflatten: the flat index splits
+  // as outer * (d * stride) + value * stride + inner.
   const long long total = shape_.total_dim();
+  const long long stride = register_stride(shape_, reg);
+  const long long span = stride * d;
   double norm_sq = 0.0;
-  for (long long flat = 0; flat < total; ++flat) {
-    const auto idx = shape_.unflatten(flat);
-    if (idx[static_cast<std::size_t>(reg)] != outcome) {
-      amp_[static_cast<int>(flat)] = Complex{0.0, 0.0};
-    } else {
-      norm_sq += std::norm(amp_[static_cast<int>(flat)]);
+  for (long long outer = 0; outer < total; outer += span) {
+    for (int o = 0; o < d; ++o) {
+      const long long base = outer + static_cast<long long>(o) * stride;
+      if (o != outcome) {
+        for (long long inner = 0; inner < stride; ++inner) {
+          amp_[static_cast<int>(base + inner)] = Complex{0.0, 0.0};
+        }
+      } else {
+        for (long long inner = 0; inner < stride; ++inner) {
+          norm_sq += std::norm(amp_[static_cast<int>(base + inner)]);
+        }
+      }
     }
   }
   require(norm_sq > 1e-300, "PureState::measure_register: zero-probability branch");
@@ -210,11 +160,14 @@ double PureState::outcome_probability(int reg, int outcome) const {
   require(outcome >= 0 && outcome < shape_.dim(reg),
           "PureState::outcome_probability: outcome out of range");
   const long long total = shape_.total_dim();
+  const long long stride = register_stride(shape_, reg);
+  const long long span = stride * shape_.dim(reg);
+  const long long base_off = static_cast<long long>(outcome) * stride;
   double p = 0.0;
-  for (long long flat = 0; flat < total; ++flat) {
-    const auto idx = shape_.unflatten(flat);
-    if (idx[static_cast<std::size_t>(reg)] == outcome) {
-      p += std::norm(amp_[static_cast<int>(flat)]);
+  for (long long outer = 0; outer < total; outer += span) {
+    const long long base = outer + base_off;
+    for (long long inner = 0; inner < stride; ++inner) {
+      p += std::norm(amp_[static_cast<int>(base + inner)]);
     }
   }
   return p;

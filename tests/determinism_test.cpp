@@ -10,6 +10,7 @@
 
 #include "quantum/random.hpp"
 #include "support/test_support.hpp"
+#include "sweep/sweep.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -134,6 +135,32 @@ TEST(DeriveSeedTest, MatchesHandComputedValues) {
   // 2^64 - 1 ((idx + 1) * phi64 wraps to 0, so state = base).
   EXPECT_EQ(derive_seed(0xffffffffffffffffULL, 0), 0x445018e305810b78ULL);
   EXPECT_EQ(derive_seed(42, 0xffffffffffffffffULL), 0x97ea87f7e45c00a5ULL);
+}
+
+TEST(DeriveSeedTest, PinsBenchSeriesSeedsOfTheLocalOpsEngine) {
+  // Series seeds of the benchmark series introduced with the matrix-free
+  // local-operator engine, at the default global seed 0. The registry
+  // derives experiment seed = derive_seed(global, fnv1a64(experiment)) and
+  // series seed = derive_seed(experiment_seed, fnv1a64(series)); pinning
+  // the values here means a silent change to either hash or derivation
+  // shows up as a test failure, not as a reshuffled BENCH_*.json trajectory.
+  using dqma::sweep::fnv1a64;
+  using dqma::util::derive_seed;
+  const auto series_seed = [](const char* experiment, const char* series) {
+    return derive_seed(derive_seed(0, fnv1a64(experiment)), fnv1a64(series));
+  };
+  EXPECT_EQ(series_seed("table3_lower", "matrix_free_large"),
+            0xb886ab87dd07ad15ULL);
+  EXPECT_EQ(series_seed("table2_eq", "exact_vs_dp_large"),
+            0x5a7301dc55a800f9ULL);
+  EXPECT_EQ(series_seed("micro", "kernels"), 0xafb5b4cbbdebde25ULL);
+  // First job of each series (what the sweep engine hands the job body).
+  EXPECT_EQ(derive_seed(series_seed("table3_lower", "matrix_free_large"), 0),
+            0xed7d97ba7b1b3da0ULL);
+  EXPECT_EQ(derive_seed(series_seed("table2_eq", "exact_vs_dp_large"), 0),
+            0xa21b20d93fb2ce37ULL);
+  EXPECT_EQ(derive_seed(series_seed("micro", "kernels"), 0),
+            0xefa6ecdc8611b80dULL);
 }
 
 TEST(DeriveSeedTest, IsAPureFunction) {

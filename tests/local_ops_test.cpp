@@ -1,0 +1,382 @@
+// Randomized property tests for the matrix-free local-operator engine
+// (quantum/local_ops.hpp): every entry point is cross-validated against the
+// embed_operator reference on random shapes and register subsets — pure and
+// mixed states, including non-adjacent and permuted register lists — plus
+// structural checks of the plan tables and determinism pins for the bench
+// series seeded on top of the engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dqma/exact_runner.hpp"
+#include "linalg/eigen.hpp"
+#include "quantum/density.hpp"
+#include "quantum/local_ops.hpp"
+#include "quantum/random.hpp"
+#include "quantum/state.hpp"
+#include "quantum/unitary.hpp"
+#include "support/test_support.hpp"
+#include "util/tolerance.hpp"
+
+namespace {
+
+using dqma::linalg::CMat;
+using dqma::linalg::Complex;
+using dqma::linalg::CVec;
+using dqma::protocol::ExactEqPathAnalyzer;
+using dqma::quantum::apply_left_local;
+using dqma::quantum::apply_local;
+using dqma::quantum::apply_right_local;
+using dqma::quantum::Density;
+using dqma::quantum::embed_operator;
+using dqma::quantum::expectation_local;
+using dqma::quantum::haar_state;
+using dqma::quantum::haar_unitary;
+using dqma::quantum::LocalOpPlan;
+using dqma::quantum::project_local;
+using dqma::quantum::PureState;
+using dqma::quantum::RegisterShape;
+using dqma::quantum::sandwich_local;
+using dqma::test::SeededTest;
+using dqma::util::Rng;
+
+/// Shapes and register subsets exercised by every property test: mixed
+/// register dimensions, adjacent and non-adjacent subsets, permuted lists.
+struct Case {
+  std::vector<int> dims;
+  std::vector<int> regs;
+};
+
+std::vector<Case> property_cases() {
+  return {
+      {{2, 3}, {0}},
+      {{2, 3}, {1}},
+      {{2, 3, 2}, {0, 2}},     // non-adjacent
+      {{2, 3, 2}, {2, 0}},     // non-adjacent, permuted
+      {{3, 2, 2}, {1, 0}},     // permuted pair
+      {{2, 2, 3, 2}, {3, 1}},  // strided, permuted
+      {{2, 2, 2, 2}, {0, 1, 2, 3}},
+      {{4, 3, 2}, {1}},
+  };
+}
+
+/// A random mixed state's matrix on the shape (convex mix of projectors).
+CMat random_mixed_matrix(const RegisterShape& shape, Rng& rng) {
+  const int d = static_cast<int>(shape.total_dim());
+  CMat rho = CMat::projector(haar_state(d, rng));
+  rho.blend(CMat::projector(haar_state(d, rng)), Complex{0.6, 0.0},
+            Complex{0.4, 0.0});
+  return rho;
+}
+
+class LocalOpsPropertyTest : public SeededTest {};
+
+TEST_F(LocalOpsPropertyTest, PlanOffsetsMatchShapeFlatten) {
+  const RegisterShape shape({2, 3, 2});
+  const LocalOpPlan plan(shape, {2, 0});
+  EXPECT_EQ(plan.block(), 4);
+  EXPECT_EQ(plan.total_dim(), 12);
+  EXPECT_EQ(plan.free_offsets().size(), 3u);
+  // target assignment b = (i_2, i_0) row-major over the listed order; free
+  // register 1 at value f. Offsets must agree with RegisterShape::flatten.
+  for (int i2 = 0; i2 < 2; ++i2) {
+    for (int i0 = 0; i0 < 2; ++i0) {
+      const long long b = i2 * 2 + i0;
+      for (int f = 0; f < 3; ++f) {
+        const long long flat = shape.flatten({i0, f, i2});
+        EXPECT_EQ(plan.target_offsets()[static_cast<std::size_t>(b)] +
+                      plan.free_offsets()[static_cast<std::size_t>(f)],
+                  flat);
+      }
+    }
+  }
+}
+
+TEST_F(LocalOpsPropertyTest, PlanRejectsBadRegisters) {
+  const RegisterShape shape({2, 3});
+  EXPECT_THROW(LocalOpPlan(shape, {2}), std::invalid_argument);
+  EXPECT_THROW(LocalOpPlan(shape, {-1}), std::invalid_argument);
+  EXPECT_THROW(LocalOpPlan(shape, {1, 1}), std::invalid_argument);
+}
+
+TEST_F(LocalOpsPropertyTest, ApplyLocalMatchesEmbeddedOperator) {
+  for (const Case& c : property_cases()) {
+    const RegisterShape shape(c.dims);
+    const int total = static_cast<int>(shape.total_dim());
+    long long block = 1;
+    for (const int r : c.regs) block *= shape.dim(r);
+    const CMat u = haar_unitary(static_cast<int>(block), rng());
+    CVec psi = haar_state(total, rng());
+    const CVec expected = embed_operator(shape, u, c.regs) * psi;
+    apply_local(shape, u, c.regs, psi);
+    EXPECT_STATE_NEAR(psi, expected);
+  }
+}
+
+TEST_F(LocalOpsPropertyTest, PureExpectationMatchesEmbeddedOperator) {
+  for (const Case& c : property_cases()) {
+    const RegisterShape shape(c.dims);
+    const int total = static_cast<int>(shape.total_dim());
+    long long block = 1;
+    for (const int r : c.regs) block *= shape.dim(r);
+    // Hermitian effect: projector onto a random local state.
+    const CMat effect = CMat::projector(haar_state(static_cast<int>(block), rng()));
+    const CVec psi = haar_state(total, rng());
+    const CVec image = embed_operator(shape, effect, c.regs) * psi;
+    const LocalOpPlan plan(shape, c.regs);
+    EXPECT_NEAR(expectation_local(plan, effect, psi), psi.dot(image).real(),
+                1e-10);
+  }
+}
+
+TEST_F(LocalOpsPropertyTest, MixedExpectationMatchesEmbeddedOperator) {
+  for (const Case& c : property_cases()) {
+    const RegisterShape shape(c.dims);
+    long long block = 1;
+    for (const int r : c.regs) block *= shape.dim(r);
+    const CMat effect =
+        CMat::projector(haar_state(static_cast<int>(block), rng()));
+    const CMat rho = random_mixed_matrix(shape, rng());
+    const CMat big = embed_operator(shape, effect, c.regs);
+    const LocalOpPlan plan(shape, c.regs);
+    EXPECT_NEAR(expectation_local(plan, effect, rho),
+                (big * rho).trace().real(), 1e-10);
+  }
+}
+
+TEST_F(LocalOpsPropertyTest, LeftRightApplicationMatchesEmbeddedProducts) {
+  for (const Case& c : property_cases()) {
+    const RegisterShape shape(c.dims);
+    long long block = 1;
+    for (const int r : c.regs) block *= shape.dim(r);
+    const CMat u = haar_unitary(static_cast<int>(block), rng());
+    const CMat big = embed_operator(shape, u, c.regs);
+    const CMat a = random_mixed_matrix(shape, rng());
+    const LocalOpPlan plan(shape, c.regs);
+
+    CMat left = a;
+    apply_left_local(plan, u, left);
+    EXPECT_DENSITY_NEAR_TOL(left, big * a, 1e-10);
+
+    CMat left_adj = a;
+    apply_left_local(plan, u, left_adj, /*adjoint_op=*/true);
+    EXPECT_DENSITY_NEAR_TOL(left_adj, big.adjoint() * a, 1e-10);
+
+    CMat right = a;
+    apply_right_local(plan, u, right);
+    EXPECT_DENSITY_NEAR_TOL(right, a * big, 1e-10);
+
+    CMat right_adj = a;
+    apply_right_local(plan, u, right_adj, /*adjoint_op=*/true);
+    EXPECT_DENSITY_NEAR_TOL(right_adj, a * big.adjoint(), 1e-10);
+  }
+}
+
+TEST_F(LocalOpsPropertyTest, SandwichMatchesEmbeddedConjugation) {
+  for (const Case& c : property_cases()) {
+    const RegisterShape shape(c.dims);
+    long long block = 1;
+    for (const int r : c.regs) block *= shape.dim(r);
+    const CMat u = haar_unitary(static_cast<int>(block), rng());
+    const CMat big = embed_operator(shape, u, c.regs);
+    const CMat rho = random_mixed_matrix(shape, rng());
+    CMat conjugated = rho;
+    const LocalOpPlan plan(shape, c.regs);
+    sandwich_local(plan, u, conjugated);
+    EXPECT_DENSITY_NEAR_TOL(conjugated, big * rho * big.adjoint(), 1e-10);
+  }
+}
+
+TEST_F(LocalOpsPropertyTest, ProjectLocalMatchesEmbeddedProjection) {
+  for (const Case& c : property_cases()) {
+    const RegisterShape shape(c.dims);
+    long long block = 1;
+    for (const int r : c.regs) block *= shape.dim(r);
+    const CMat effect =
+        CMat::projector(haar_state(static_cast<int>(block), rng()));
+    const CMat big = embed_operator(shape, effect, c.regs);
+    const CMat rho = random_mixed_matrix(shape, rng());
+
+    CMat projected = rho;
+    const LocalOpPlan plan(shape, c.regs);
+    const double p = project_local(plan, effect, projected);
+
+    CMat expected = big * rho * big.adjoint();
+    const double p_ref = expected.trace().real();
+    EXPECT_NEAR(p, p_ref, 1e-10);
+    ASSERT_GT(p, 1e-6);  // haar projections virtually never annihilate rho
+    expected *= Complex{1.0 / p_ref, 0.0};
+    EXPECT_DENSITY_NEAR_TOL(projected, expected, 1e-9);
+  }
+}
+
+TEST_F(LocalOpsPropertyTest, ProjectLocalLeavesStateOnZeroBranch) {
+  // Effect orthogonal to the state: |1><1| on a |0> register.
+  const RegisterShape shape({2, 2});
+  const Density rho = Density::from_pure(PureState(shape));
+  CMat m = rho.matrix();
+  CMat effect(2, 2);
+  effect(1, 1) = Complex{1.0, 0.0};
+  const LocalOpPlan plan(shape, {0});
+  EXPECT_EQ(project_local(plan, effect, m), 0.0);
+  EXPECT_DENSITY_NEAR_TOL(m, rho.matrix(), 1e-15);
+}
+
+TEST_F(LocalOpsPropertyTest, DensityEntryPointsMatchEmbeddedReference) {
+  // The Density member functions (now matrix-free) against the embedded
+  // formulas they replaced, on a permuted non-adjacent register pair.
+  const RegisterShape shape({2, 3, 2});
+  const std::vector<int> regs{2, 0};
+  const CVec psi = haar_state(12, rng());
+  const CMat u = haar_unitary(4, rng());
+  const CMat big = embed_operator(shape, u, regs);
+
+  Density rho = Density::from_pure(PureState(shape, psi));
+  const CMat reference = big * rho.matrix() * big.adjoint();
+  rho.apply(u, regs);
+  EXPECT_DENSITY_NEAR_TOL(rho.matrix(), reference, 1e-10);
+
+  const CMat effect = CMat::projector(haar_state(4, rng()));
+  const CMat big_effect = embed_operator(shape, effect, regs);
+  EXPECT_NEAR(rho.expectation(effect, regs),
+              (big_effect * rho.matrix()).trace().real(), 1e-10);
+}
+
+TEST_F(LocalOpsPropertyTest, AdjointAwareMultipliesMatchMaterializedAdjoint) {
+  const CMat a = haar_unitary(5, rng());
+  const CMat b = haar_unitary(5, rng());
+  EXPECT_DENSITY_NEAR_TOL(a.adjoint_times(b), a.adjoint() * b, 1e-12);
+  EXPECT_DENSITY_NEAR_TOL(a.times_adjoint(b), a * b.adjoint(), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Exact engine: streamed dense assembly and matrix-free mode
+// ---------------------------------------------------------------------------
+
+class ExactEngineModesTest : public SeededTest {};
+
+TEST_F(ExactEngineModesTest, StreamedOperatorMatchesEmbeddedAssembly) {
+  // Reassemble the r = 3 acceptance operator exactly as the pre-engine code
+  // did — products of embedded effects, averaged over patterns — and
+  // compare with the streamed dense assembly.
+  const int d = 2;
+  const CVec hx = haar_state(d, rng());
+  const CVec hy = haar_state(d, rng());
+  const ExactEqPathAnalyzer analyzer(hx, hy, 3,
+                                     ExactEqPathAnalyzer::Mode::kDense);
+
+  const RegisterShape shape({d, d, d, d});
+  CMat first = CMat::identity(d);
+  first += CMat::projector(hx);
+  first *= Complex{0.5, 0.0};
+  CMat swap_effect = dqma::quantum::swap_unitary(d);
+  swap_effect += CMat::identity(d * d);
+  swap_effect *= Complex{0.5, 0.0};
+  const CMat final_effect = CMat::projector(hy);
+
+  const long long dim = shape.total_dim();
+  CMat reference(static_cast<int>(dim), static_cast<int>(dim));
+  for (int pattern = 0; pattern < 4; ++pattern) {
+    const int kept1 = (pattern >> 0) & 1;
+    const int kept2 = 2 + ((pattern >> 1) & 1);
+    const int sent1 = 1 - kept1;
+    const int sent2 = 2 + (1 - ((pattern >> 1) & 1));
+    CMat term = embed_operator(shape, first, {kept1});
+    term = term * embed_operator(shape, swap_effect, {sent1, kept2});
+    term = term * embed_operator(shape, final_effect, {sent2});
+    reference += term;
+  }
+  reference *= Complex{0.25, 0.0};
+  EXPECT_DENSITY_NEAR_TOL(analyzer.acceptance_operator(), reference, 1e-12);
+}
+
+TEST_F(ExactEngineModesTest, MatrixFreeApplicationMatchesDenseOperator) {
+  for (const int r : {2, 3, 4}) {
+    const CVec hx = haar_state(2, rng());
+    const CVec hy = haar_state(2, rng());
+    const ExactEqPathAnalyzer dense(hx, hy, r,
+                                    ExactEqPathAnalyzer::Mode::kDense);
+    const ExactEqPathAnalyzer free(hx, hy, r,
+                                   ExactEqPathAnalyzer::Mode::kMatrixFree);
+    EXPECT_FALSE(free.dense());
+    const CVec psi =
+        haar_state(static_cast<int>(dense.proof_dim()), rng());
+    EXPECT_STATE_NEAR_TOL(free.apply_acceptance(psi),
+                          dense.acceptance_operator() * psi, 1e-11);
+  }
+}
+
+TEST_F(ExactEngineModesTest, MatrixFreeWorstCaseMatchesDense) {
+  const CVec hx = CVec::basis(2, 0);
+  CVec hy(2);
+  hy[0] = Complex{0.2, 0.0};
+  hy[1] = Complex{std::sqrt(1.0 - 0.04), 0.0};
+  for (const int r : {2, 3, 4}) {
+    const ExactEqPathAnalyzer dense(hx, hy, r,
+                                    ExactEqPathAnalyzer::Mode::kDense);
+    const ExactEqPathAnalyzer free(hx, hy, r,
+                                   ExactEqPathAnalyzer::Mode::kMatrixFree);
+    EXPECT_NEAR(free.worst_case_accept(4000), dense.worst_case_accept(4000),
+                1e-6);
+  }
+}
+
+TEST_F(ExactEngineModesTest, MatrixFreeProductAcceptMatchesDenseQuadraticForm) {
+  for (const int r : {2, 3, 4}) {
+    const CVec hx = haar_state(3, rng());
+    const CVec hy = haar_state(3, rng());
+    const ExactEqPathAnalyzer dense(hx, hy, r,
+                                    ExactEqPathAnalyzer::Mode::kDense);
+    const ExactEqPathAnalyzer free(hx, hy, r,
+                                   ExactEqPathAnalyzer::Mode::kMatrixFree);
+    std::vector<CVec> regs;
+    CVec flat(1);
+    flat[0] = Complex{1.0, 0.0};
+    for (int k = 0; k < 2 * (r - 1); ++k) {
+      regs.push_back(haar_state(3, rng()));
+      flat = flat.tensor(regs.back());
+    }
+    const double quadratic = std::max(
+        0.0, flat.dot(dense.acceptance_operator() * flat).real());
+    EXPECT_NEAR(free.product_accept(regs), quadratic, 1e-10);
+    EXPECT_NEAR(dense.product_accept(regs), quadratic, 1e-10);
+  }
+}
+
+TEST_F(ExactEngineModesTest, BestProductAgreesAcrossModes) {
+  const CVec hx = CVec::basis(2, 0);
+  CVec hy(2);
+  hy[0] = Complex{0.3, 0.0};
+  hy[1] = Complex{std::sqrt(1.0 - 0.09), 0.0};
+  const ExactEqPathAnalyzer dense(hx, hy, 3,
+                                  ExactEqPathAnalyzer::Mode::kDense);
+  const ExactEqPathAnalyzer free(hx, hy, 3,
+                                 ExactEqPathAnalyzer::Mode::kMatrixFree);
+  Rng rng_dense(1234);
+  Rng rng_free(1234);
+  EXPECT_NEAR(dense.best_product_accept(rng_dense, 4, 40),
+              free.best_product_accept(rng_free, 4, 40), 1e-8);
+}
+
+TEST_F(ExactEngineModesTest, MatrixFreeModeReachesBeyondTheOldDenseCap) {
+  // d = 4, r = 5: proof dimension 4^8 = 65536 > 2^14 (the old engine cap).
+  const CVec hx = CVec::basis(4, 0);
+  const CVec hy = CVec::basis(4, 1);
+  const ExactEqPathAnalyzer analyzer(hx, hy, 5,
+                                     ExactEqPathAnalyzer::Mode::kMatrixFree);
+  EXPECT_EQ(analyzer.proof_dim(), 65536);
+  EXPECT_GT(analyzer.proof_dim(), 1 << 14);
+  // Orthogonal endpoints, honest all-|h_x> proof: the final measurement
+  // never accepts, every swap test does, so acceptance is 0.
+  std::vector<CVec> honest(8, hx);
+  EXPECT_NEAR(analyzer.product_accept(honest), 0.0, 1e-12);
+  // The identical-endpoints analyzer accepts the honest proof with
+  // certainty.
+  const ExactEqPathAnalyzer complete(hx, hx, 5,
+                                     ExactEqPathAnalyzer::Mode::kMatrixFree);
+  EXPECT_NEAR(complete.product_accept(honest), 1.0, 1e-12);
+}
+
+}  // namespace
