@@ -227,7 +227,14 @@ void run(sweep::ExperimentContext& ctx) {
     }
     const auto points = ctx.smoke_select(
         all_points, {sweep::ParamPoint().set("d", 6).set("r", 4)});
-    const auto results = ctx.sweep(
+    // Few huge points: running them as sweep jobs would serialize the
+    // kernels inside each job (the nesting contract) and leave N - 1
+    // threads idle on the largest instance. serial_sweep runs them on
+    // this thread instead, so the power-iteration matvecs and stride
+    // kernels inside fan out across the kernel pool — with sweep()'s
+    // exact seeding and recording, so the values match the pooled
+    // execution byte for byte.
+    const auto results = ctx.serial_sweep(
         "matrix_free_large", points, [](const sweep::ParamPoint& p, Rng& rng) {
           const int d = static_cast<int>(p.get_int("d"));
           const int r = static_cast<int>(p.get_int("r"));

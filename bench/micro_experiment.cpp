@@ -7,6 +7,7 @@
 // Deterministic metrics record the kernel configuration (dimension,
 // iterations) plus a checksum of the computed values — so the default
 // (timing-free) JSON still pins the kernels' numerical outputs.
+#include <chrono>
 #include <vector>
 
 #include "dqma/attacks.hpp"
@@ -20,6 +21,7 @@
 #include "qtest/swap_test.hpp"
 #include "quantum/local_ops.hpp"
 #include "quantum/random.hpp"
+#include "sweep/parallel.hpp"
 #include "sweep/registry.hpp"
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
@@ -186,6 +188,115 @@ void run(sweep::ExperimentContext& ctx) {
                    Table::fmt(results[i].wall_ms * 1000.0 / iters, 2)});
   }
   table.print(out);
+
+  {
+    util::print_banner(
+        out, "parallel kernels: threads 1 vs max at fixed partitioning",
+        "The threaded kernels (apply_local / blocked GEMM / sandwich) at\n"
+        "increasing scale, each point pinned to a kernel thread count\n"
+        "(threads 0 = the full --threads budget). Checksums are\n"
+        "byte-identical across the thread axis by the determinism\n"
+        "contract; wall times (JSON: --timings) record the intra-instance\n"
+        "speedup trajectory.");
+    // The points run as a hand-rolled serial loop (not serial_sweep): each
+    // point pins its kernel thread count via KernelThreadScope, and the
+    // thread-axis pair of a (kernel, size) shares one input stream so the
+    // checksum equality is visible in the JSON — both outside the JobFn
+    // contract. threads 0 resolves to the --threads budget below, so
+    // `--threads 1` stays genuinely serial.
+    std::vector<sweep::ParamPoint> points;
+    const auto scales = ctx.smoke_select(
+        std::vector<int>{1 << 14, 1 << 16, 1 << 18}, {1 << 14, 1 << 16});
+    for (const char* kernel : {"apply_local", "gemm", "sandwich"}) {
+      for (const int scale : scales) {
+        for (const int threads : {1, 0}) {
+          points.push_back(sweep::ParamPoint()
+                               .set("kernel", kernel)
+                               .set("size", scale)
+                               .set("threads", threads));
+        }
+      }
+    }
+    Table ptable({"kernel", "size", "threads", "checksum", "wall (ms)"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      const auto& kernel = p.get_string("kernel");
+      const int scale = static_cast<int>(p.get_int("size"));
+      const int threads = static_cast<int>(p.get_int("threads"));
+      // The threads axis is innermost, so indices 2k and 2k+1 differ only
+      // in thread count; seeding both from the even index gives the pair
+      // identical inputs — the checksum equality across the thread axis is
+      // then visible in the JSON itself.
+      Rng rng = ctx.point_rng("parallel_kernels", i - (i % 2));
+      // threads 0 = "all of the --threads budget" (the sweep pool's
+      // resolved size), NOT raw hardware concurrency: --threads 1 must
+      // stay serial even on a many-core host.
+      const sweep::KernelThreadScope scope(
+          threads == 0 ? ctx.pool().thread_count() : threads);
+      const auto start = std::chrono::steady_clock::now();
+      double checksum = 0.0;
+      if (kernel == "apply_local") {
+        // 16-dim two-register unitary over an n-amplitude state by stride
+        // arithmetic (scale = state dimension).
+        int nregs = 0;
+        while ((1 << (2 * nregs)) < scale) ++nregs;
+        const quantum::RegisterShape shape(
+            std::vector<int>(static_cast<std::size_t>(nregs), 4));
+        const linalg::CMat u = quantum::haar_unitary(16, rng);
+        linalg::CVec psi(scale);
+        psi[0] = linalg::Complex{1.0, 0.0};
+        linalg::CMat e00(4, 4);
+        e00(0, 0) = linalg::Complex{1.0, 0.0};
+        const quantum::LocalOpPlan probe(shape, {0});
+        std::vector<quantum::LocalOpPlan> pair_plans;
+        for (int a = 0; a < nregs; ++a) {
+          pair_plans.emplace_back(
+              shape, std::vector<int>{a, (a + nregs / 2) % nregs});
+        }
+        const int iters = ctx.smoke_select(24, 8);
+        for (int it = 0; it < iters; ++it) {
+          quantum::apply_local(pair_plans[static_cast<std::size_t>(it % nregs)],
+                               u, psi);
+          checksum += quantum::expectation_local(probe, e00, psi);
+        }
+      } else if (kernel == "gemm") {
+        // Dense n x n product with n^2 = scale entries per factor.
+        int n = 1;
+        while (n * n < scale) n *= 2;
+        const linalg::CMat a = quantum::haar_unitary(n, rng);
+        const linalg::CMat b = quantum::haar_unitary(n, rng);
+        const int iters = ctx.smoke_select(2, 1);
+        for (int it = 0; it < iters; ++it) {
+          const linalg::CMat c = it % 2 == 0 ? a * b : a.adjoint_times(b);
+          checksum += c(0, 0).real() + c(n - 1, n - 1).imag();
+        }
+      } else {  // sandwich
+        // U rho U^dagger on a dense D x D density with D^2 = scale entries.
+        int n = 1;
+        while (n * n < scale) n *= 2;
+        const quantum::RegisterShape shape({n / 4, 4});
+        linalg::CMat rho =
+            linalg::CMat::projector(quantum::haar_state(n, rng));
+        const linalg::CMat u = quantum::haar_unitary(4, rng);
+        const quantum::LocalOpPlan plan(shape, {1});
+        linalg::CMat e00(4, 4);
+        e00(0, 0) = linalg::Complex{1.0, 0.0};
+        const int iters = ctx.smoke_select(4, 2);
+        for (int it = 0; it < iters; ++it) {
+          quantum::sandwich_local(plan, u, rho);
+          checksum += quantum::expectation_local(plan, e00, rho);
+        }
+      }
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      ctx.record("parallel_kernels", p,
+                 sweep::Metrics().set("checksum", checksum), wall_ms);
+      ptable.add_row({kernel, Table::fmt(scale), Table::fmt(threads),
+                      Table::fmt(checksum), Table::fmt(wall_ms, 2)});
+    }
+    ptable.print(out);
+  }
 }
 
 }  // namespace

@@ -18,6 +18,22 @@
 
 namespace dqma::protocol {
 
+/// How the Monte-Carlo estimate executes each shot.
+enum class CircuitMcStrategy {
+  /// Full state-vector machine per shot: ancilla + Hadamards +
+  /// controlled-SWAP + measurement, O(inner * d^2) per shot. The reference
+  /// implementation.
+  kStateVector,
+  /// Precompute-then-sample: each node's four coin-conditioned SWAP-test
+  /// acceptance probabilities are computed ONCE via the closed form
+  /// Pr[0] = (1 + |<a|b>|^2) / 2 — O(inner * d) total — and every shot is
+  /// then O(inner) coin flips and table lookups. The RNG draw order is
+  /// identical to kStateVector (coin, acceptance draw per node, final
+  /// Bernoulli), so both strategies walk the same sample paths; only
+  /// ulp-level rounding of the per-test probabilities differs.
+  kBatched,
+};
+
 /// Simulates `samples` runs of one repetition of Algorithm 3 at circuit
 /// level and returns the empirical acceptance probability.
 ///
@@ -27,9 +43,9 @@ namespace dqma::protocol {
 /// The total simulated system holds 2(r-1)+2 registers of the proof
 /// dimension plus one ancilla qubit (reused); dimensions are capped by the
 /// exact-engine limit.
-MonteCarloEstimate circuit_eq_path_accept(const linalg::CVec& source,
-                                          const linalg::CVec& target,
-                                          const PathProof& proof,
-                                          util::Rng& rng, int samples);
+MonteCarloEstimate circuit_eq_path_accept(
+    const linalg::CVec& source, const linalg::CVec& target,
+    const PathProof& proof, util::Rng& rng, int samples,
+    CircuitMcStrategy strategy = CircuitMcStrategy::kBatched);
 
 }  // namespace dqma::protocol

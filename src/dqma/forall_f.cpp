@@ -140,33 +140,37 @@ double ForallFProtocol::completeness(
   return accept;
 }
 
-double ForallFProtocol::sample_tree_accept(int j,
-                                           const std::vector<Bitstring>& inputs,
-                                           const TreeProof& proof,
-                                           util::Rng& rng) const {
+ForallFProtocol::CompiledTreeProof ForallFProtocol::compile_tree(
+    int j, const std::vector<Bitstring>& inputs, const TreeProof& proof) const {
   const auto& tree = trees_[static_cast<std::size_t>(j)];
   const Message root_message =
       protocol_.honest_message(inputs[static_cast<std::size_t>(j)]);
 
-  // received[v]: the message arriving at v from its parent.
-  std::vector<const Message*> received(static_cast<std::size_t>(tree.size()),
-                                       nullptr);
-  double accept = 1.0;
-  // Pre-order: parents before children (tree nodes are emitted in BFS
-  // order by construction, so ascending index order works).
+  CompiledTreeProof compiled;
+  compiled.swap_accept.resize(static_cast<std::size_t>(tree.size()));
+  compiled.leaf_accept.resize(static_cast<std::size_t>(tree.size()));
   for (int v = 0; v < tree.size(); ++v) {
     const auto& node = tree.node(v);
     if (node.parent < 0) {
-      // Root: sends its own honest message to every child.
-      for (const int c : node.children) {
-        received[static_cast<std::size_t>(c)] = &root_message;
-      }
-      continue;
+      continue;  // the root neither tests nor receives
     }
-    const Message* from_parent = received[static_cast<std::size_t>(v)];
-    require(from_parent != nullptr, "ForallFProtocol: schedule error");
+    // Messages that can arrive at v: the parent's bundle copies, or the
+    // root's (fixed) honest message.
+    const auto& parent = tree.node(node.parent);
+    const bool from_root = parent.parent < 0;
+    const std::vector<Message>* parent_bundle =
+        from_root ? nullptr
+                  : &proof.bundles[static_cast<std::size_t>(node.parent)];
+    const int sources =
+        from_root ? 1 : static_cast<int>(parent_bundle->size());
+    const auto arriving = [&](int s) -> const Message& {
+      return from_root ? root_message
+                       : (*parent_bundle)[static_cast<std::size_t>(s)];
+    };
+
     if (node.children.empty()) {
-      // Leaf: Bob's verdict on its own input. Identify which terminal.
+      // Leaf: Bob's verdict on its own input against every possible
+      // arriving copy. Identify which terminal.
       int terminal_idx = -1;
       for (int k = 0; k < terminal_count(); ++k) {
         if (terminals_[static_cast<std::size_t>(k)] == node.original) {
@@ -175,31 +179,75 @@ double ForallFProtocol::sample_tree_accept(int j,
         }
       }
       require(terminal_idx >= 0, "ForallFProtocol: leaf is not a terminal");
-      accept *= protocol_.accept_product(
-          inputs[static_cast<std::size_t>(terminal_idx)], *from_parent);
+      auto& row = compiled.leaf_accept[static_cast<std::size_t>(v)];
+      row.resize(static_cast<std::size_t>(sources));
+      for (int s = 0; s < sources; ++s) {
+        row[static_cast<std::size_t>(s)] = protocol_.accept_product(
+            inputs[static_cast<std::size_t>(terminal_idx)], arriving(s));
+      }
       continue;
     }
-    // Internal node: uniform permutation of its (deg+1) copies; last slot
-    // kept, others forwarded to children in order.
     const auto& bundle = proof.bundles[static_cast<std::size_t>(v)];
     const int copies = static_cast<int>(bundle.size());
     require(copies == static_cast<int>(node.children.size()) + 1,
             "ForallFProtocol: bundle size mismatch");
-    std::vector<int> perm(static_cast<std::size_t>(copies));
+    auto& table = compiled.swap_accept[static_cast<std::size_t>(v)];
+    table.resize(static_cast<std::size_t>(sources));
+    for (int s = 0; s < sources; ++s) {
+      auto& row = table[static_cast<std::size_t>(s)];
+      row.resize(static_cast<std::size_t>(copies));
+      for (int c = 0; c < copies; ++c) {
+        row[static_cast<std::size_t>(c)] = message_swap_accept(
+            bundle[static_cast<std::size_t>(c)], arriving(s));
+      }
+    }
+  }
+  return compiled;
+}
+
+double ForallFProtocol::sample_compiled_accept(
+    int j, const CompiledTreeProof& compiled, util::Rng& rng,
+    std::vector<int>& perm_scratch, std::vector<int>& arrived_scratch) const {
+  const auto& tree = trees_[static_cast<std::size_t>(j)];
+  // arrived[v]: which of the parent's copies reached v (0 when the parent
+  // is the root). Same walk, same Fisher-Yates draws, same multiplication
+  // order as the former per-shot evaluation — only the probabilities come
+  // from the precomputed tables.
+  arrived_scratch.assign(static_cast<std::size_t>(tree.size()), 0);
+  double accept = 1.0;
+  // Pre-order: parents before children (tree nodes are emitted in BFS
+  // order by construction, so ascending index order works).
+  for (int v = 0; v < tree.size(); ++v) {
+    const auto& node = tree.node(v);
+    if (node.parent < 0) {
+      continue;  // children keep arrived = 0: the root's honest message
+    }
+    const int src = arrived_scratch[static_cast<std::size_t>(v)];
+    if (node.children.empty()) {
+      accept *= compiled.leaf_accept[static_cast<std::size_t>(v)]
+                                    [static_cast<std::size_t>(src)];
+      continue;
+    }
+    // Internal node: uniform permutation of its (deg+1) copies; last slot
+    // kept (SWAP-tested against the arriving copy), others forwarded to
+    // children in order.
+    const auto& row = compiled.swap_accept[static_cast<std::size_t>(v)]
+                                          [static_cast<std::size_t>(src)];
+    const int copies = static_cast<int>(row.size());
+    perm_scratch.resize(static_cast<std::size_t>(copies));
     for (int c = 0; c < copies; ++c) {
-      perm[static_cast<std::size_t>(c)] = c;
+      perm_scratch[static_cast<std::size_t>(c)] = c;
     }
     for (int c = copies - 1; c > 0; --c) {
       const int swap_with =
           static_cast<int>(rng.next_below(static_cast<std::uint64_t>(c) + 1));
-      std::swap(perm[static_cast<std::size_t>(c)],
-                perm[static_cast<std::size_t>(swap_with)]);
+      std::swap(perm_scratch[static_cast<std::size_t>(c)],
+                perm_scratch[static_cast<std::size_t>(swap_with)]);
     }
-    const Message& kept = bundle[static_cast<std::size_t>(perm.back())];
-    accept *= message_swap_accept(kept, *from_parent);
+    accept *= row[static_cast<std::size_t>(perm_scratch.back())];
     for (std::size_t c = 0; c < node.children.size(); ++c) {
-      received[static_cast<std::size_t>(node.children[c])] =
-          &bundle[static_cast<std::size_t>(perm[c])];
+      arrived_scratch[static_cast<std::size_t>(node.children[c])] =
+          perm_scratch[c];
     }
   }
   return accept;
@@ -210,20 +258,37 @@ MonteCarloEstimate ForallFProtocol::accept_probability(
     int samples) const {
   require(static_cast<int>(proof.size()) == terminal_count(),
           "ForallFProtocol: proof tree count mismatch");
-  return estimate(
-      [&]() {
-        double accept = 1.0;
-        for (int j = 0; j < terminal_count(); ++j) {
-          for (const auto& rep : proof[static_cast<std::size_t>(j)]) {
-            accept *= sample_tree_accept(j, inputs, rep, rng);
-            if (accept == 0.0) {
-              return 0.0;
-            }
-          }
+  require(samples >= 1, "ForallFProtocol: need at least one sample");
+  // Precompute every (tree, repetition)'s acceptance tables once; the
+  // sampling loop below is then permutation draws and lookups only, with
+  // no per-shot state preparation or std::function dispatch.
+  std::vector<std::vector<CompiledTreeProof>> compiled(
+      static_cast<std::size_t>(terminal_count()));
+  for (int j = 0; j < terminal_count(); ++j) {
+    const auto& reps = proof[static_cast<std::size_t>(j)];
+    compiled[static_cast<std::size_t>(j)].reserve(reps.size());
+    for (const auto& rep : reps) {
+      compiled[static_cast<std::size_t>(j)].push_back(
+          compile_tree(j, inputs, rep));
+    }
+  }
+  std::vector<int> perm_scratch;
+  std::vector<int> arrived_scratch;
+  RunningStat stat;
+  for (int s = 0; s < samples; ++s) {
+    double accept = 1.0;
+    for (int j = 0; j < terminal_count() && accept != 0.0; ++j) {
+      for (const auto& rep : compiled[static_cast<std::size_t>(j)]) {
+        accept *= sample_compiled_accept(j, rep, rng, perm_scratch,
+                                         arrived_scratch);
+        if (accept == 0.0) {
+          break;
         }
-        return accept;
-      },
-      samples);
+      }
+    }
+    stat.add(accept);
+  }
+  return stat.finalize();
 }
 
 MonteCarloEstimate ForallFProtocol::best_attack_accept(

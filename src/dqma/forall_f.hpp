@@ -15,6 +15,14 @@
 // closed-form test probabilities, so the only error is the sampling error
 // of the permutation average, reported as a confidence interval);
 // completeness of the honest proof is computed exactly.
+//
+// The Monte-Carlo path is precompute-then-sample: the message arriving at
+// a node is always one of its parent's (deg+1) bundle copies (or the
+// root's honest message), so every SWAP-test acceptance and every leaf
+// verdict is tabulated once per (tree, repetition) — O(nodes * copies^2)
+// inner products total — and each shot only samples permutations and
+// multiplies table entries. Shot values and RNG draw order are identical
+// to the former per-shot evaluation.
 #pragma once
 
 #include <cstdint>
@@ -83,8 +91,21 @@ class ForallFProtocol {
   int reps_;
   std::vector<network::SpanningTree> trees_;
 
-  double sample_tree_accept(int j, const std::vector<Bitstring>& inputs,
-                            const TreeProof& proof, util::Rng& rng) const;
+  /// Acceptance tables of one (tree, repetition): every test probability a
+  /// shot can encounter, indexed by [node][arriving-copy][(own copy)].
+  /// The arriving-copy index addresses the parent's bundle (a single slot
+  /// when the parent is the root, whose honest message is fixed).
+  struct CompiledTreeProof {
+    std::vector<std::vector<std::vector<double>>> swap_accept;
+    std::vector<std::vector<double>> leaf_accept;
+  };
+
+  CompiledTreeProof compile_tree(int j, const std::vector<Bitstring>& inputs,
+                                 const TreeProof& proof) const;
+  double sample_compiled_accept(int j, const CompiledTreeProof& compiled,
+                                util::Rng& rng,
+                                std::vector<int>& perm_scratch,
+                                std::vector<int>& arrived_scratch) const;
 };
 
 /// SWAP-test acceptance for two product messages: 1/2 + |prod_i <a_i|b_i>|^2 / 2.

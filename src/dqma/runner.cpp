@@ -62,22 +62,23 @@ double chain_accept_reps(
   return accept;
 }
 
+MonteCarloEstimate RunningStat::finalize() const {
+  require(count_ >= 1, "RunningStat: need at least one sample");
+  MonteCarloEstimate out;
+  out.samples = count_;
+  out.mean = mean_;
+  const double var = std::max(0.0, m2_ / static_cast<double>(count_));
+  out.half_width_95 = 1.96 * std::sqrt(var / static_cast<double>(count_));
+  return out;
+}
+
 MonteCarloEstimate estimate(const std::function<double()>& sample, int count) {
   require(count >= 1, "estimate: need at least one sample");
-  double sum = 0.0;
-  double sum_sq = 0.0;
+  RunningStat stat;
   for (int i = 0; i < count; ++i) {
-    const double v = sample();
-    sum += v;
-    sum_sq += v * v;
+    stat.add(sample());
   }
-  MonteCarloEstimate out;
-  out.samples = count;
-  out.mean = sum / count;
-  const double var =
-      std::max(0.0, sum_sq / count - out.mean * out.mean);
-  out.half_width_95 = 1.96 * std::sqrt(var / count);
-  return out;
+  return stat.finalize();
 }
 
 }  // namespace dqma::protocol

@@ -50,6 +50,34 @@ struct MonteCarloEstimate {
   int samples = 0;
 };
 
+/// Numerically stable one-pass mean/variance accumulator (Welford). The
+/// batched Monte-Carlo paths accumulate into this directly — no per-shot
+/// std::function dispatch — and estimate() funnels through it too, so both
+/// paths report identical statistics for identical samples. Unlike the
+/// former sum_sq/count - mean^2 form, the variance cannot cancel
+/// catastrophically for means far from zero; for the protocols' bounded
+/// samples the two agree to the last few ulps.
+class RunningStat {
+ public:
+  void add(double value) {
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+  }
+
+  int count() const { return count_; }
+
+  /// Mean plus the normal-approximation 95% half-width from the population
+  /// variance m2/count (matching the pre-Welford convention).
+  MonteCarloEstimate finalize() const;
+
+ private:
+  int count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
 /// Averages `sample()` over `count` draws.
 MonteCarloEstimate estimate(const std::function<double()>& sample, int count);
 

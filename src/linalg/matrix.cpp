@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sweep/parallel.hpp"
 #include "util/require.hpp"
 
 namespace dqma::linalg {
@@ -91,47 +92,65 @@ CMat CMat::operator*(Complex scalar) const {
 CMat CMat::operator*(const CMat& other) const {
   require(cols_ == other.rows_, "CMat::operator*: shape mismatch");
   CMat out(rows_, other.cols_);
-  // Blocked ikj: the k-panel of `other` (kKB rows) is streamed repeatedly
+  // Blocked ikj over row panels: each parallel chunk owns a contiguous
+  // panel of output rows and streams the k-panel of `other` (kKB rows)
   // while it is hot, instead of sweeping the whole right factor once per
   // output row. Per-(i,j) summation stays in ascending-k order, so results
-  // are bit-identical to the unblocked loop.
+  // are bit-identical to the unblocked serial loop at any thread count.
   constexpr int kKB = 64;
-  for (int kb = 0; kb < cols_; kb += kKB) {
-    const int kend = std::min(cols_, kb + kKB);
-    for (int i = 0; i < rows_; ++i) {
-      Complex* out_row = &out(i, 0);
-      for (int k = kb; k < kend; ++k) {
-        const Complex aik = (*this)(i, k);
-        if (aik == Complex{0.0, 0.0}) continue;
-        const Complex* b_row = &other(k, 0);
-        for (int j = 0; j < other.cols_; ++j) {
-          out_row[static_cast<std::size_t>(j)] +=
-              aik * b_row[static_cast<std::size_t>(j)];
+  const std::size_t row_ops =
+      static_cast<std::size_t>(cols_) * static_cast<std::size_t>(other.cols_);
+  sweep::parallel_for(
+      static_cast<std::size_t>(rows_), sweep::grain_for_ops(row_ops),
+      [&](std::size_t row_begin, std::size_t row_end) {
+        for (int kb = 0; kb < cols_; kb += kKB) {
+          const int kend = std::min(cols_, kb + kKB);
+          for (std::size_t r = row_begin; r < row_end; ++r) {
+            const int i = static_cast<int>(r);
+            Complex* out_row = &out(i, 0);
+            for (int k = kb; k < kend; ++k) {
+              const Complex aik = (*this)(i, k);
+              if (aik == Complex{0.0, 0.0}) continue;
+              const Complex* b_row = &other(k, 0);
+              for (int j = 0; j < other.cols_; ++j) {
+                out_row[static_cast<std::size_t>(j)] +=
+                    aik * b_row[static_cast<std::size_t>(j)];
+              }
+            }
+          }
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
 CMat CMat::adjoint_times(const CMat& other) const {
   require(rows_ == other.rows_, "CMat::adjoint_times: shape mismatch");
   CMat out(cols_, other.cols_);
-  // out(i, j) = sum_k conj(a(k, i)) * b(k, j): k-outer keeps both factors'
-  // rows streaming; no adjoint copy is ever materialized.
-  for (int k = 0; k < rows_; ++k) {
-    const Complex* a_row = &(*this)(k, 0);
-    const Complex* b_row = &other(k, 0);
-    for (int i = 0; i < cols_; ++i) {
-      const Complex aki = std::conj(a_row[static_cast<std::size_t>(i)]);
-      if (aki == Complex{0.0, 0.0}) continue;
-      Complex* out_row = &out(i, 0);
-      for (int j = 0; j < other.cols_; ++j) {
-        out_row[static_cast<std::size_t>(j)] +=
-            aki * b_row[static_cast<std::size_t>(j)];
-      }
-    }
-  }
+  // out(i, j) = sum_k conj(a(k, i)) * b(k, j). Parallel chunks own panels
+  // of output rows i (disjoint writes); within a panel k stays outer so
+  // `other`'s rows stream and per-(i,j) summation stays in ascending-k
+  // order — the same value at any thread count. No adjoint copy is ever
+  // materialized.
+  const std::size_t row_ops =
+      static_cast<std::size_t>(rows_) * static_cast<std::size_t>(other.cols_);
+  sweep::parallel_for(
+      static_cast<std::size_t>(cols_), sweep::grain_for_ops(row_ops),
+      [&](std::size_t i_begin, std::size_t i_end) {
+        for (int k = 0; k < rows_; ++k) {
+          const Complex* a_row = &(*this)(k, 0);
+          const Complex* b_row = &other(k, 0);
+          for (std::size_t ii = i_begin; ii < i_end; ++ii) {
+            const int i = static_cast<int>(ii);
+            const Complex aki = std::conj(a_row[static_cast<std::size_t>(i)]);
+            if (aki == Complex{0.0, 0.0}) continue;
+            Complex* out_row = &out(i, 0);
+            for (int j = 0; j < other.cols_; ++j) {
+              out_row[static_cast<std::size_t>(j)] +=
+                  aki * b_row[static_cast<std::size_t>(j)];
+            }
+          }
+        }
+      });
   return out;
 }
 
@@ -139,19 +158,28 @@ CMat CMat::times_adjoint(const CMat& other) const {
   require(cols_ == other.cols_, "CMat::times_adjoint: shape mismatch");
   CMat out(rows_, other.rows_);
   // out(i, j) = sum_k a(i, k) * conj(b(j, k)): row-by-row dot products,
-  // both factors read along their contiguous rows.
-  for (int i = 0; i < rows_; ++i) {
-    const Complex* a_row = &(*this)(i, 0);
-    for (int j = 0; j < other.rows_; ++j) {
-      const Complex* b_row = &other(j, 0);
-      Complex acc{0.0, 0.0};
-      for (int k = 0; k < cols_; ++k) {
-        acc += a_row[static_cast<std::size_t>(k)] *
-               std::conj(b_row[static_cast<std::size_t>(k)]);
-      }
-      out(i, j) = acc;
-    }
-  }
+  // both factors read along their contiguous rows; parallel chunks own
+  // panels of output rows (each entry a full serial dot, so values are
+  // thread-count-invariant).
+  const std::size_t row_ops =
+      static_cast<std::size_t>(other.rows_) * static_cast<std::size_t>(cols_);
+  sweep::parallel_for(
+      static_cast<std::size_t>(rows_), sweep::grain_for_ops(row_ops),
+      [&](std::size_t i_begin, std::size_t i_end) {
+        for (std::size_t ii = i_begin; ii < i_end; ++ii) {
+          const int i = static_cast<int>(ii);
+          const Complex* a_row = &(*this)(i, 0);
+          for (int j = 0; j < other.rows_; ++j) {
+            const Complex* b_row = &other(j, 0);
+            Complex acc{0.0, 0.0};
+            for (int k = 0; k < cols_; ++k) {
+              acc += a_row[static_cast<std::size_t>(k)] *
+                     std::conj(b_row[static_cast<std::size_t>(k)]);
+            }
+            out(i, j) = acc;
+          }
+        }
+      });
   return out;
 }
 
@@ -167,13 +195,22 @@ CMat& CMat::blend(const CMat& other, Complex w_this, Complex w_other) {
 CVec CMat::operator*(const CVec& v) const {
   require(cols_ == v.dim(), "CMat::operator*(CVec): shape mismatch");
   CVec out(rows_);
-  for (int i = 0; i < rows_; ++i) {
-    Complex acc{0.0, 0.0};
-    for (int j = 0; j < cols_; ++j) {
-      acc += (*this)(i, j) * v[j];
-    }
-    out[i] = acc;
-  }
+  // Row panels in parallel; each output entry is one full serial dot, so
+  // the matvec (and everything built on it, e.g. dense power iteration) is
+  // thread-count-invariant.
+  sweep::parallel_for(
+      static_cast<std::size_t>(rows_),
+      sweep::grain_for_ops(static_cast<std::size_t>(cols_)),
+      [&](std::size_t i_begin, std::size_t i_end) {
+        for (std::size_t ii = i_begin; ii < i_end; ++ii) {
+          const int i = static_cast<int>(ii);
+          Complex acc{0.0, 0.0};
+          for (int j = 0; j < cols_; ++j) {
+            acc += (*this)(i, j) * v[j];
+          }
+          out[i] = acc;
+        }
+      });
   return out;
 }
 

@@ -42,7 +42,8 @@ class CMat {
               static_cast<std::size_t>(j)];
   }
 
-  /// Raw row-major storage (for the stride kernels in quantum/local_ops).
+  /// Raw row-major 64-byte-aligned storage (for the stride kernels in
+  /// quantum/local_ops).
   Complex* data() { return a_.data(); }
   const Complex* data() const { return a_.data(); }
 
@@ -95,7 +96,7 @@ class CMat {
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<Complex> a_;
+  AlignedVector<Complex> a_;
 };
 
 }  // namespace dqma::linalg

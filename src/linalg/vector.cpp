@@ -15,7 +15,8 @@ CVec::CVec(int dim) {
   a_.assign(static_cast<std::size_t>(dim), Complex{0.0, 0.0});
 }
 
-CVec::CVec(std::vector<Complex> amplitudes) : a_(std::move(amplitudes)) {}
+CVec::CVec(std::vector<Complex> amplitudes)
+    : a_(amplitudes.begin(), amplitudes.end()) {}
 
 CVec CVec::basis(int dim, int index) {
   require(index >= 0 && index < dim, "CVec::basis: index out of range");

@@ -10,6 +10,8 @@
 #include <complex>
 #include <vector>
 
+#include "linalg/aligned.hpp"
+
 namespace dqma::linalg {
 
 using Complex = std::complex<double>;
@@ -35,7 +37,10 @@ class CVec {
     return a_[static_cast<std::size_t>(i)];
   }
 
-  const std::vector<Complex>& data() const { return a_; }
+  /// Raw 64-byte-aligned storage (for the stride kernels in
+  /// quantum/local_ops and the blocked linalg loops).
+  Complex* data() { return a_.data(); }
+  const Complex* data() const { return a_.data(); }
 
   CVec& operator+=(const CVec& other);
   CVec& operator-=(const CVec& other);
@@ -68,7 +73,7 @@ class CVec {
   double linf_distance(const CVec& other) const;
 
  private:
-  std::vector<Complex> a_;
+  AlignedVector<Complex> a_;
 };
 
 }  // namespace dqma::linalg

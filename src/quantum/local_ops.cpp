@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/aligned.hpp"
+#include "sweep/parallel.hpp"
 #include "util/require.hpp"
 
 namespace dqma::quantum {
@@ -102,27 +104,35 @@ void apply_local(const LocalOpPlan& plan, const CMat& op, CVec& psi) {
   require_op_shape(plan, op, "apply_local: operator dimension mismatch");
   const long long b = plan.block();
   const auto& toff = plan.target_offsets();
-  std::vector<Complex> in(static_cast<std::size_t>(b));
-  std::vector<Complex> out(static_cast<std::size_t>(b));
-  for (const long long base : plan.free_offsets()) {
-    for (long long t = 0; t < b; ++t) {
-      in[static_cast<std::size_t>(t)] =
-          psi[static_cast<int>(base + toff[static_cast<std::size_t>(t)])];
-    }
-    for (long long i = 0; i < b; ++i) {
-      Complex acc{0.0, 0.0};
-      for (long long j = 0; j < b; ++j) {
-        const Complex v = op(static_cast<int>(i), static_cast<int>(j));
-        if (is_zero(v)) continue;
-        acc += v * in[static_cast<std::size_t>(j)];
-      }
-      out[static_cast<std::size_t>(i)] = acc;
-    }
-    for (long long t = 0; t < b; ++t) {
-      psi[static_cast<int>(base + toff[static_cast<std::size_t>(t)])] =
-          out[static_cast<std::size_t>(t)];
-    }
-  }
+  const auto& foff = plan.free_offsets();
+  // Free-offset blocks touch disjoint amplitude sets, so chunks of blocks
+  // run in parallel; each chunk owns its gather/scatter buffers.
+  sweep::parallel_for(
+      foff.size(), sweep::grain_for_ops(static_cast<std::size_t>(b * b)),
+      [&](std::size_t f_begin, std::size_t f_end) {
+        linalg::AlignedVector<Complex> in(static_cast<std::size_t>(b));
+        linalg::AlignedVector<Complex> out(static_cast<std::size_t>(b));
+        for (std::size_t f = f_begin; f < f_end; ++f) {
+          const long long base = foff[f];
+          for (long long t = 0; t < b; ++t) {
+            in[static_cast<std::size_t>(t)] =
+                psi[static_cast<int>(base + toff[static_cast<std::size_t>(t)])];
+          }
+          for (long long i = 0; i < b; ++i) {
+            Complex acc{0.0, 0.0};
+            for (long long j = 0; j < b; ++j) {
+              const Complex v = op(static_cast<int>(i), static_cast<int>(j));
+              if (is_zero(v)) continue;
+              acc += v * in[static_cast<std::size_t>(j)];
+            }
+            out[static_cast<std::size_t>(i)] = acc;
+          }
+          for (long long t = 0; t < b; ++t) {
+            psi[static_cast<int>(base + toff[static_cast<std::size_t>(t)])] =
+                out[static_cast<std::size_t>(t)];
+          }
+        }
+      });
 }
 
 void apply_local(const RegisterShape& shape, const CMat& op,
@@ -138,22 +148,34 @@ double expectation_local(const LocalOpPlan& plan, const CMat& effect,
   require_op_shape(plan, effect, "expectation_local: effect dimension mismatch");
   const long long b = plan.block();
   const auto& toff = plan.target_offsets();
-  Complex acc{0.0, 0.0};
-  for (const long long base : plan.free_offsets()) {
-    for (long long i = 0; i < b; ++i) {
-      const Complex ci = std::conj(
-          psi[static_cast<int>(base + toff[static_cast<std::size_t>(i)])]);
-      if (is_zero(ci)) continue;
-      Complex row{0.0, 0.0};
-      for (long long j = 0; j < b; ++j) {
-        const Complex v = effect(static_cast<int>(i), static_cast<int>(j));
-        if (is_zero(v)) continue;
-        row += v *
-               psi[static_cast<int>(base + toff[static_cast<std::size_t>(j)])];
-      }
-      acc += ci * row;
-    }
-  }
+  const auto& foff = plan.free_offsets();
+  // Chunked reduction over free blocks: per-chunk partial sums combined in
+  // chunk order (sweep/parallel.hpp), so the value is identical at any
+  // thread count.
+  const Complex acc = sweep::parallel_reduce<Complex>(
+      foff.size(), sweep::grain_for_ops(static_cast<std::size_t>(b * b)),
+      Complex{0.0, 0.0},
+      [&](std::size_t f_begin, std::size_t f_end) {
+        Complex part{0.0, 0.0};
+        for (std::size_t f = f_begin; f < f_end; ++f) {
+          const long long base = foff[f];
+          for (long long i = 0; i < b; ++i) {
+            const Complex ci = std::conj(
+                psi[static_cast<int>(base + toff[static_cast<std::size_t>(i)])]);
+            if (is_zero(ci)) continue;
+            Complex row{0.0, 0.0};
+            for (long long j = 0; j < b; ++j) {
+              const Complex v = effect(static_cast<int>(i), static_cast<int>(j));
+              if (is_zero(v)) continue;
+              row += v * psi[static_cast<int>(
+                         base + toff[static_cast<std::size_t>(j)])];
+            }
+            part += ci * row;
+          }
+        }
+        return part;
+      },
+      [](Complex a, Complex c) { return a + c; });
   return acc.real();
 }
 
@@ -165,86 +187,113 @@ double expectation_local(const LocalOpPlan& plan, const CMat& effect,
   require_op_shape(plan, effect, "expectation_local: effect dimension mismatch");
   const long long b = plan.block();
   const auto& toff = plan.target_offsets();
-  // tr((E tensor I) rho) = sum_base sum_{i,j} E(i,j) rho(base+t_j, base+t_i).
-  Complex acc{0.0, 0.0};
-  for (const long long base : plan.free_offsets()) {
-    for (long long i = 0; i < b; ++i) {
-      for (long long j = 0; j < b; ++j) {
-        const Complex v = effect(static_cast<int>(i), static_cast<int>(j));
-        if (is_zero(v)) continue;
-        acc += v * rho(static_cast<int>(base + toff[static_cast<std::size_t>(j)]),
-                       static_cast<int>(base + toff[static_cast<std::size_t>(i)]));
-      }
-    }
-  }
+  const auto& foff = plan.free_offsets();
+  // tr((E tensor I) rho) = sum_base sum_{i,j} E(i,j) rho(base+t_j, base+t_i);
+  // chunked over free blocks, partials combined in chunk order.
+  const Complex acc = sweep::parallel_reduce<Complex>(
+      foff.size(), sweep::grain_for_ops(static_cast<std::size_t>(b * b)),
+      Complex{0.0, 0.0},
+      [&](std::size_t f_begin, std::size_t f_end) {
+        Complex part{0.0, 0.0};
+        for (std::size_t f = f_begin; f < f_end; ++f) {
+          const long long base = foff[f];
+          for (long long i = 0; i < b; ++i) {
+            for (long long j = 0; j < b; ++j) {
+              const Complex v = effect(static_cast<int>(i), static_cast<int>(j));
+              if (is_zero(v)) continue;
+              part += v * rho(static_cast<int>(
+                              base + toff[static_cast<std::size_t>(j)]),
+                          static_cast<int>(
+                              base + toff[static_cast<std::size_t>(i)]));
+            }
+          }
+        }
+        return part;
+      },
+      [](Complex a, Complex c) { return a + c; });
   return acc.real();
 }
 
 namespace {
 
-/// Row-mixing pass shared by apply_left_local and sandwich_local; `ws` is
-/// the b x cols workspace reused across free blocks (and, in sandwich_local,
-/// across both passes).
-void apply_left_with_workspace(const LocalOpPlan& plan, const CMat& op,
-                               bool adjoint_op, linalg::CMat& a,
-                               std::vector<Complex>& ws) {
+/// Row-mixing pass shared by apply_left_local and sandwich_local. Free
+/// blocks mix disjoint row sets, so chunks of blocks run in parallel; each
+/// chunk owns one b x cols workspace reused across its blocks.
+void apply_left_blocks(const LocalOpPlan& plan, const CMat& op,
+                       bool adjoint_op, linalg::CMat& a) {
   const long long b = plan.block();
   const long long cols = a.cols();
   const auto& toff = plan.target_offsets();
-  ws.resize(static_cast<std::size_t>(b * cols));
-  for (const long long base : plan.free_offsets()) {
-    std::fill(ws.begin(), ws.end(), Complex{0.0, 0.0});
-    for (long long j = 0; j < b; ++j) {
-      const Complex* src =
-          &a(static_cast<int>(base + toff[static_cast<std::size_t>(j)]), 0);
-      for (long long i = 0; i < b; ++i) {
-        const Complex v = op_entry(op, i, j, adjoint_op);
-        if (is_zero(v)) continue;
-        Complex* dst = ws.data() + static_cast<std::size_t>(i * cols);
-        for (long long c = 0; c < cols; ++c) {
-          dst[static_cast<std::size_t>(c)] += v * src[c];
+  const auto& foff = plan.free_offsets();
+  sweep::parallel_for(
+      foff.size(),
+      sweep::grain_for_ops(static_cast<std::size_t>(b * b * cols)),
+      [&](std::size_t f_begin, std::size_t f_end) {
+        linalg::AlignedVector<Complex> ws(static_cast<std::size_t>(b * cols));
+        for (std::size_t f = f_begin; f < f_end; ++f) {
+          const long long base = foff[f];
+          std::fill(ws.begin(), ws.end(), Complex{0.0, 0.0});
+          for (long long j = 0; j < b; ++j) {
+            const Complex* src = &a(
+                static_cast<int>(base + toff[static_cast<std::size_t>(j)]), 0);
+            for (long long i = 0; i < b; ++i) {
+              const Complex v = op_entry(op, i, j, adjoint_op);
+              if (is_zero(v)) continue;
+              Complex* dst = ws.data() + static_cast<std::size_t>(i * cols);
+              for (long long c = 0; c < cols; ++c) {
+                dst[static_cast<std::size_t>(c)] += v * src[c];
+              }
+            }
+          }
+          for (long long i = 0; i < b; ++i) {
+            Complex* dst = &a(
+                static_cast<int>(base + toff[static_cast<std::size_t>(i)]), 0);
+            const Complex* src = ws.data() + static_cast<std::size_t>(i * cols);
+            std::copy(src, src + cols, dst);
+          }
         }
-      }
-    }
-    for (long long i = 0; i < b; ++i) {
-      Complex* dst =
-          &a(static_cast<int>(base + toff[static_cast<std::size_t>(i)]), 0);
-      const Complex* src = ws.data() + static_cast<std::size_t>(i * cols);
-      std::copy(src, src + cols, dst);
-    }
-  }
+      });
 }
 
-/// Column-mixing pass shared by apply_right_local and sandwich_local.
+/// Column-mixing pass shared by apply_right_local and sandwich_local; rows
+/// are independent, so chunks of rows run in parallel with per-chunk
+/// gather/scatter buffers.
 void apply_right_rowwise(const LocalOpPlan& plan, const CMat& op,
-                         bool adjoint_op, linalg::CMat& a,
-                         std::vector<Complex>& in, std::vector<Complex>& out) {
+                         bool adjoint_op, linalg::CMat& a) {
   const long long b = plan.block();
   const auto& toff = plan.target_offsets();
-  in.resize(static_cast<std::size_t>(b));
-  out.resize(static_cast<std::size_t>(b));
-  for (int x = 0; x < a.rows(); ++x) {
-    Complex* row = &a(x, 0);
-    for (const long long base : plan.free_offsets()) {
-      for (long long i = 0; i < b; ++i) {
-        in[static_cast<std::size_t>(i)] =
-            row[static_cast<std::size_t>(base + toff[static_cast<std::size_t>(i)])];
-      }
-      for (long long j = 0; j < b; ++j) {
-        Complex acc{0.0, 0.0};
-        for (long long i = 0; i < b; ++i) {
-          const Complex v = op_entry(op, i, j, adjoint_op);
-          if (is_zero(v)) continue;
-          acc += in[static_cast<std::size_t>(i)] * v;
+  const auto& foff = plan.free_offsets();
+  const std::size_t row_ops =
+      foff.size() * static_cast<std::size_t>(b * b);
+  sweep::parallel_for(
+      static_cast<std::size_t>(a.rows()), sweep::grain_for_ops(row_ops),
+      [&](std::size_t x_begin, std::size_t x_end) {
+        linalg::AlignedVector<Complex> in(static_cast<std::size_t>(b));
+        linalg::AlignedVector<Complex> out(static_cast<std::size_t>(b));
+        for (std::size_t x = x_begin; x < x_end; ++x) {
+          Complex* row = &a(static_cast<int>(x), 0);
+          for (const long long base : foff) {
+            for (long long i = 0; i < b; ++i) {
+              in[static_cast<std::size_t>(i)] = row[static_cast<std::size_t>(
+                  base + toff[static_cast<std::size_t>(i)])];
+            }
+            for (long long j = 0; j < b; ++j) {
+              Complex acc{0.0, 0.0};
+              for (long long i = 0; i < b; ++i) {
+                const Complex v = op_entry(op, i, j, adjoint_op);
+                if (is_zero(v)) continue;
+                acc += in[static_cast<std::size_t>(i)] * v;
+              }
+              out[static_cast<std::size_t>(j)] = acc;
+            }
+            for (long long j = 0; j < b; ++j) {
+              row[static_cast<std::size_t>(
+                  base + toff[static_cast<std::size_t>(j)])] =
+                  out[static_cast<std::size_t>(j)];
+            }
+          }
         }
-        out[static_cast<std::size_t>(j)] = acc;
-      }
-      for (long long j = 0; j < b; ++j) {
-        row[static_cast<std::size_t>(base + toff[static_cast<std::size_t>(j)])] =
-            out[static_cast<std::size_t>(j)];
-      }
-    }
-  }
+      });
 }
 
 }  // namespace
@@ -254,8 +303,7 @@ void apply_left_local(const LocalOpPlan& plan, const CMat& op, linalg::CMat& a,
   require(static_cast<long long>(a.rows()) == plan.total_dim(),
           "apply_left_local: row dimension mismatch");
   require_op_shape(plan, op, "apply_left_local: operator dimension mismatch");
-  std::vector<Complex> ws;
-  apply_left_with_workspace(plan, op, adjoint_op, a, ws);
+  apply_left_blocks(plan, op, adjoint_op, a);
 }
 
 void apply_right_local(const LocalOpPlan& plan, const CMat& op,
@@ -263,8 +311,7 @@ void apply_right_local(const LocalOpPlan& plan, const CMat& op,
   require(static_cast<long long>(a.cols()) == plan.total_dim(),
           "apply_right_local: column dimension mismatch");
   require_op_shape(plan, op, "apply_right_local: operator dimension mismatch");
-  std::vector<Complex> in, out;
-  apply_right_rowwise(plan, op, adjoint_op, a, in, out);
+  apply_right_rowwise(plan, op, adjoint_op, a);
 }
 
 void sandwich_local(const LocalOpPlan& plan, const CMat& u, linalg::CMat& rho) {
@@ -272,12 +319,9 @@ void sandwich_local(const LocalOpPlan& plan, const CMat& u, linalg::CMat& rho) {
               static_cast<long long>(rho.cols()) == plan.total_dim(),
           "sandwich_local: density dimension mismatch");
   require_op_shape(plan, u, "sandwich_local: operator dimension mismatch");
-  // rho <- (U tensor I) rho, then rho <- rho (U^dagger tensor I); one
-  // workspace serves both passes.
-  std::vector<Complex> ws;
-  apply_left_with_workspace(plan, u, /*adjoint_op=*/false, rho, ws);
-  std::vector<Complex> in, out;
-  apply_right_rowwise(plan, u, /*adjoint_op=*/true, rho, in, out);
+  // rho <- (U tensor I) rho, then rho <- rho (U^dagger tensor I).
+  apply_left_blocks(plan, u, /*adjoint_op=*/false, rho);
+  apply_right_rowwise(plan, u, /*adjoint_op=*/true, rho);
 }
 
 double project_local(const LocalOpPlan& plan, const CMat& effect,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "quantum/local_ops.hpp"
+#include "sweep/parallel.hpp"
 #include "util/require.hpp"
 
 namespace dqma::quantum {
@@ -59,18 +60,27 @@ Density reduce_to(const Density& rho, const std::vector<int>& kept) {
 
   CMat out(static_cast<int>(out_dim), static_cast<int>(out_dim));
   const CMat& full = rho.matrix();
-  for (long long i = 0; i < out_dim; ++i) {
-    const long long base_i = kept_off[static_cast<std::size_t>(i)];
-    for (long long j = 0; j < out_dim; ++j) {
-      const long long base_j = kept_off[static_cast<std::size_t>(j)];
-      Complex acc{0.0, 0.0};
-      for (const long long off : traced_off) {
-        acc += full(static_cast<int>(base_i + off),
-                    static_cast<int>(base_j + off));
-      }
-      out(static_cast<int>(i), static_cast<int>(j)) = acc;
-    }
-  }
+  // Output rows are independent (each entry one serial diagonal sum), so
+  // row panels run in parallel with thread-count-invariant values.
+  const std::size_t row_ops =
+      static_cast<std::size_t>(out_dim) * traced_off.size();
+  sweep::parallel_for(
+      static_cast<std::size_t>(out_dim), sweep::grain_for_ops(row_ops),
+      [&](std::size_t i_begin, std::size_t i_end) {
+        for (std::size_t ii = i_begin; ii < i_end; ++ii) {
+          const long long i = static_cast<long long>(ii);
+          const long long base_i = kept_off[static_cast<std::size_t>(i)];
+          for (long long j = 0; j < out_dim; ++j) {
+            const long long base_j = kept_off[static_cast<std::size_t>(j)];
+            Complex acc{0.0, 0.0};
+            for (const long long off : traced_off) {
+              acc += full(static_cast<int>(base_i + off),
+                          static_cast<int>(base_j + off));
+            }
+            out(static_cast<int>(i), static_cast<int>(j)) = acc;
+          }
+        }
+      });
   return Density(std::move(out_shape), std::move(out));
 }
 

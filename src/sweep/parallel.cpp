@@ -1,0 +1,110 @@
+#include "sweep/parallel.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "sweep/thread_pool.hpp"
+
+namespace dqma::sweep {
+
+namespace {
+
+// Global kernel pool, built lazily so set_kernel_threads can be called any
+// time before the first region. g_pool_mutex also serializes dispatchers:
+// a region holds it for its whole lifetime, and a second thread that fails
+// the try_lock simply runs its region serially (same bytes either way).
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_kernel_threads = 1;
+
+// Per-thread override installed by KernelThreadScope.
+thread_local ThreadPool* t_scope_pool = nullptr;
+
+void run_serial(
+    std::size_t count, const ChunkPlan& plan,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  // Same failure contract as ThreadPool::run_indexed: every chunk runs,
+  // the first exception is rethrown after the region drains.
+  std::exception_ptr error;
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    const std::size_t begin = c * plan.chunk_size;
+    const std::size_t end = std::min(count, begin + plan.chunk_size);
+    try {
+      fn(c, begin, end);
+    } catch (...) {
+      if (!error) {
+        error = std::current_exception();
+      }
+    }
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace
+
+ChunkPlan plan_chunks(std::size_t count, std::size_t grain) {
+  ChunkPlan plan;
+  if (count == 0) {
+    return plan;
+  }
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t by_cap = (count + kMaxKernelChunks - 1) / kMaxKernelChunks;
+  plan.chunk_size = std::max(grain, by_cap);
+  plan.chunks = (count + plan.chunk_size - 1) / plan.chunk_size;
+  return plan;
+}
+
+void set_kernel_threads(int threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  g_kernel_threads = std::max(threads, 1);
+  g_pool.reset();  // rebuilt lazily at the new size
+}
+
+KernelThreadScope::KernelThreadScope(int threads)
+    : previous_(t_scope_pool), pool_(new ThreadPool(threads)) {
+  t_scope_pool = static_cast<ThreadPool*>(pool_);
+}
+
+KernelThreadScope::~KernelThreadScope() {
+  t_scope_pool = static_cast<ThreadPool*>(previous_);
+  delete static_cast<ThreadPool*>(pool_);
+}
+
+namespace detail {
+
+bool must_run_serial() { return ThreadPool::executing_batch(); }
+
+void dispatch_chunks(
+    std::size_t count, const ChunkPlan& plan,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  const auto dispatch = [&](ThreadPool& pool) {
+    pool.run_indexed(plan.chunks, [&](std::size_t c) {
+      const std::size_t begin = c * plan.chunk_size;
+      const std::size_t end = std::min(count, begin + plan.chunk_size);
+      fn(c, begin, end);
+    });
+  };
+  if (t_scope_pool != nullptr) {
+    dispatch(*t_scope_pool);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(g_pool_mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    run_serial(count, plan, fn);
+    return;
+  }
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(g_kernel_threads);
+  }
+  dispatch(*g_pool);
+}
+
+}  // namespace detail
+
+}  // namespace dqma::sweep

@@ -1,0 +1,177 @@
+// Deterministic intra-instance parallelism: parallel_for / parallel_reduce
+// over index ranges, the second level of the two-level parallelism model
+// (sweep jobs x kernel chunks).
+//
+// Determinism contract. A region over [0, count) is split into chunks whose
+// boundaries depend ONLY on (count, grain) — never on the thread count or
+// on scheduling. parallel_for bodies own disjoint index ranges, and
+// parallel_reduce combines per-chunk partials in ascending chunk order on
+// the calling thread. Results are therefore byte-identical at any kernel
+// thread count (including 1): there is a single code path, serial execution
+// just runs the same chunks in order.
+//
+// Nesting contract. Regions dispatched while the calling thread is already
+// executing a ThreadPool batch — a sweep job, or a chunk of an enclosing
+// region — run serially inline. The kernel pool is therefore never entered
+// reentrantly (no deadlock) and sweep-level parallelism is never
+// oversubscribed by kernel-level parallelism: whichever level fans out
+// first owns the threads.
+//
+// The region entry points are templates on the callable: the serial and
+// single-chunk paths (every nested or in-job call, and every region too
+// small to split) invoke the body directly with no type erasure; only a
+// genuinely pooled dispatch erases it, once per region, amortized over all
+// its chunks.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace dqma::sweep {
+
+/// Upper bound on chunks per region: enough slack for any realistic thread
+/// count while keeping per-chunk dispatch overhead negligible.
+inline constexpr std::size_t kMaxKernelChunks = 64;
+
+/// Operations a chunk should amortize before fan-out pays for itself; the
+/// basis of grain_for_ops.
+inline constexpr std::size_t kMinChunkOps = 1 << 15;
+
+/// Grain (minimum items per chunk) that packs roughly kMinChunkOps
+/// operations per chunk when each item costs `ops_per_item`. A pure
+/// function of the problem size, so chunk boundaries stay deterministic.
+inline std::size_t grain_for_ops(std::size_t ops_per_item) {
+  if (ops_per_item == 0) {
+    ops_per_item = 1;
+  }
+  return (kMinChunkOps + ops_per_item - 1) / ops_per_item;
+}
+
+/// The fixed partition of [0, count): chunk c covers
+/// [c * chunk_size, min(count, (c + 1) * chunk_size)).
+struct ChunkPlan {
+  std::size_t chunk_size = 0;
+  std::size_t chunks = 0;
+};
+
+/// Computes the partition. chunk_size = max(grain, ceil(count /
+/// kMaxKernelChunks)) — a function of (count, grain) only.
+ChunkPlan plan_chunks(std::size_t count, std::size_t grain);
+
+/// Sizes the global kernel pool; `threads` <= 0 selects hardware
+/// concurrency. Call from a single-threaded context (e.g. CLI startup) —
+/// the pool is rebuilt lazily on the next region.
+void set_kernel_threads(int threads);
+
+/// RAII override of the kernel pool FOR THE CALLING THREAD ONLY: regions
+/// dispatched by this thread while the scope is alive use a private pool
+/// of the given size (<= 0: hardware concurrency). Other threads — e.g.
+/// concurrently running sweep jobs — are unaffected, so a bench point can
+/// pin its kernel thread count without perturbing the rest of the process.
+class KernelThreadScope {
+ public:
+  explicit KernelThreadScope(int threads);
+  ~KernelThreadScope();
+  KernelThreadScope(const KernelThreadScope&) = delete;
+  KernelThreadScope& operator=(const KernelThreadScope&) = delete;
+
+ private:
+  void* previous_;  // ThreadPool* of the enclosing scope (or nullptr)
+  void* pool_;      // owned ThreadPool*
+};
+
+namespace detail {
+
+/// True when the calling thread must run regions inline (it is already
+/// executing a ThreadPool batch).
+bool must_run_serial();
+
+/// Runs the planned chunks on the kernel pool (the thread's scope pool if
+/// one is installed, else the global pool; a busy global pool falls back
+/// to serial). The body is type-erased once per region, amortized over
+/// its chunks. Same failure contract as ThreadPool::run_indexed.
+void dispatch_chunks(
+    std::size_t count, const ChunkPlan& plan,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+}  // namespace detail
+
+/// Runs fn(chunk_index, begin, end) for every chunk of the fixed partition
+/// of [0, count). Chunks run concurrently on the kernel pool when the
+/// calling thread is not already inside a batch, serially in ascending
+/// chunk order otherwise; either way every chunk runs, and the first
+/// exception (in completion order) is rethrown after the region drains.
+template <typename Fn>
+void for_each_chunk(std::size_t count, std::size_t grain, Fn&& fn) {
+  const ChunkPlan plan = plan_chunks(count, grain);
+  if (plan.chunks == 0) {
+    return;
+  }
+  if (plan.chunks == 1) {
+    fn(std::size_t{0}, std::size_t{0}, count);
+    return;
+  }
+  if (detail::must_run_serial()) {
+    std::exception_ptr error;
+    for (std::size_t c = 0; c < plan.chunks; ++c) {
+      const std::size_t begin = c * plan.chunk_size;
+      const std::size_t end = std::min(count, begin + plan.chunk_size);
+      try {
+        fn(c, begin, end);
+      } catch (...) {
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    }
+    if (error) {
+      std::rethrow_exception(error);
+    }
+    return;
+  }
+  detail::dispatch_chunks(
+      count, plan, [&fn](std::size_t c, std::size_t begin, std::size_t end) {
+        fn(c, begin, end);
+      });
+}
+
+/// fn(begin, end) over the fixed partition of [0, count); half-open index
+/// ranges, disjoint across calls.
+template <typename Fn>
+void parallel_for(std::size_t count, std::size_t grain, Fn&& fn) {
+  for_each_chunk(count, grain,
+                 [&fn](std::size_t, std::size_t begin, std::size_t end) {
+                   fn(begin, end);
+                 });
+}
+
+/// map(begin, end) -> T per chunk; partials combined as
+/// combine(combine(identity, p_0), p_1)... in ascending chunk order, so
+/// the floating-point reduction tree is fixed at any thread count.
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_reduce(std::size_t count, std::size_t grain, T identity,
+                  const MapFn& map, const CombineFn& combine) {
+  const ChunkPlan plan = plan_chunks(count, grain);
+  if (plan.chunks == 0) {
+    return identity;
+  }
+  if (plan.chunks == 1) {
+    return combine(std::move(identity), map(std::size_t{0}, count));
+  }
+  std::vector<T> partials(plan.chunks, identity);
+  for_each_chunk(count, grain,
+                 [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                   partials[chunk] = map(begin, end);
+                 });
+  T acc = std::move(identity);
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partials[c]));
+  }
+  return acc;
+}
+
+}  // namespace dqma::sweep

@@ -1,5 +1,7 @@
 #include "sweep/registry.hpp"
 
+#include "sweep/parallel.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -74,6 +76,24 @@ std::vector<JobResult> ExperimentContext::sweep(const std::string& series,
   return sweep(series, grid.enumerate(), fn);
 }
 
+std::vector<JobResult> ExperimentContext::serial_sweep(
+    const std::string& series, const std::vector<ParamPoint>& points,
+    const JobFn& fn) {
+  std::vector<JobResult> results(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    util::Rng rng = point_rng(series, i);
+    const auto start = std::chrono::steady_clock::now();
+    results[i].metrics = fn(points[i], rng);
+    results[i].wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    record(series, points[i], results[i].metrics, results[i].wall_ms);
+  }
+  return results;
+}
+
 void ExperimentContext::record(const std::string& series, ParamPoint params,
                                Metrics metrics, double wall_ms) {
   ParamPoint prefixed;
@@ -86,6 +106,13 @@ void ExperimentContext::record(const std::string& series, ParamPoint params,
 
 util::Rng ExperimentContext::series_rng(const std::string& series) const {
   return util::Rng(util::derive_seed(base_seed_, fnv1a64(series)));
+}
+
+util::Rng ExperimentContext::point_rng(const std::string& series,
+                                       std::size_t index) const {
+  const std::uint64_t series_seed =
+      util::derive_seed(base_seed_, fnv1a64(series));
+  return util::Rng(util::derive_seed(series_seed, index));
 }
 
 namespace {
@@ -221,6 +248,12 @@ int cli_main(int argc, const char* const* argv,
   }
 
   ThreadPool pool(options.threads);
+  // Second parallelism level: kernels dispatched OUTSIDE sweep jobs (serial
+  // heavy-point loops, analyzer construction on the main thread) fan out
+  // across the same --threads budget; kernels inside sweep jobs stay serial
+  // (sweep/parallel.hpp nesting contract), so the two levels never
+  // oversubscribe each other.
+  set_kernel_threads(options.threads);
   ResultSink sink;
   const bool json_to_stdout = options.json_path == "-";
   std::ostream& out = std::cout;

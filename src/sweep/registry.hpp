@@ -71,6 +71,16 @@ class ExperimentContext {
   std::vector<JobResult> sweep(const std::string& series,
                                const ParamGrid& grid, const JobFn& fn);
 
+  /// sweep()'s counterpart for series with a few huge points: runs fn over
+  /// the points SERIALLY on the calling thread — outside the sweep pool,
+  /// so the threaded kernels inside fn fan out across the kernel pool
+  /// instead of being serialized by the nesting contract. Seeding, wall
+  /// timing, recording and result order match sweep() exactly; a series
+  /// can switch between the two without reshuffling any recorded value.
+  std::vector<JobResult> serial_sweep(const std::string& series,
+                                      const std::vector<ParamPoint>& points,
+                                      const JobFn& fn);
+
   /// Records one serially-computed point (wall time optional).
   void record(const std::string& series, ParamPoint params, Metrics metrics,
               double wall_ms = 0.0);
@@ -78,6 +88,11 @@ class ExperimentContext {
   /// Rng for ad-hoc serial draws, seeded from the series namespace; stable
   /// across runs and independent of other series.
   util::Rng series_rng(const std::string& series) const;
+
+  /// Rng of point `index` of a series, seeded exactly like sweep() seeds
+  /// job `index` — a series can switch between pooled sweep jobs and a
+  /// serial kernel-parallel loop without reshuffling any recorded value.
+  util::Rng point_rng(const std::string& series, std::size_t index) const;
 
  private:
   ThreadPool& pool_;

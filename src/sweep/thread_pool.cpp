@@ -4,6 +4,15 @@
 
 namespace dqma::sweep {
 
+namespace {
+thread_local int t_batch_depth = 0;
+}  // namespace
+
+ThreadPool::BatchMark::BatchMark() { ++t_batch_depth; }
+ThreadPool::BatchMark::~BatchMark() { --t_batch_depth; }
+
+bool ThreadPool::executing_batch() { return t_batch_depth > 0; }
+
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -35,6 +44,7 @@ void ThreadPool::run_indexed(std::size_t count,
     // Single-threaded pool: run inline with the same failure contract as
     // the pooled path — every job runs, the first exception is rethrown
     // after the batch drains.
+    const BatchMark mark;
     std::exception_ptr error;
     for (std::size_t i = 0; i < count; ++i) {
       try {
@@ -109,6 +119,7 @@ void ThreadPool::worker_loop() {
 
 std::size_t ThreadPool::claim_and_run(
     const std::function<void(std::size_t)>& job, std::size_t count) {
+  const BatchMark mark;
   std::size_t done = 0;
   for (;;) {
     const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);

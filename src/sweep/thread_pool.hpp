@@ -48,7 +48,22 @@ class ThreadPool {
   void run_indexed(std::size_t count,
                    const std::function<void(std::size_t)>& job);
 
+  /// True while the calling thread is executing jobs of some ThreadPool
+  /// batch — as a pool worker or as the owner thread participating in its
+  /// own batch, for any pool in the process. The kernel-parallelism layer
+  /// (sweep/parallel.hpp) consults this to run nested regions serially
+  /// instead of deadlocking or oversubscribing.
+  static bool executing_batch();
+
  private:
+  /// RAII marker backing executing_batch().
+  struct BatchMark {
+    BatchMark();
+    ~BatchMark();
+    BatchMark(const BatchMark&) = delete;
+    BatchMark& operator=(const BatchMark&) = delete;
+  };
+
   void worker_loop();
   /// Claims and runs jobs of the batch identified by `job`/`count`.
   /// Returns the number of jobs this thread executed.

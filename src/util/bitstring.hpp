@@ -78,6 +78,11 @@ class Bitstring {
   /// tables and deduplication in the lower-bound searches.
   std::uint64_t hash() const;
 
+  /// Packed words: bit i lives in words()[i / 64] at position i % 64; bits
+  /// beyond size() are zero. Word-level consumers (Gf2Matrix::from_bits)
+  /// read these instead of probing bit by bit.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
  private:
   int n_ = 0;
   std::vector<std::uint64_t> words_;  // bit i lives in words_[i/64] bit (i%64)

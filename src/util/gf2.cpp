@@ -1,5 +1,8 @@
 #include "util/gf2.hpp"
 
+#include <bit>
+#include <utility>
+
 #include "util/require.hpp"
 
 namespace dqma::util {
@@ -54,9 +57,28 @@ Gf2Matrix Gf2Matrix::random_of_rank(int n, int r, Rng& rng) {
 Gf2Matrix Gf2Matrix::from_bits(const Bitstring& bits, int rows, int cols) {
   require(bits.size() == rows * cols, "Gf2Matrix::from_bits: size mismatch");
   Gf2Matrix m(rows, cols);
+  // Row i occupies bit range [i * cols, (i + 1) * cols) of the source; both
+  // sides share the LSB-first word layout, so each destination word is a
+  // 64-bit window spliced from (at most) two source words — no per-bit
+  // get/set probing.
+  const auto& src = bits.words();
+  const int tail = cols % 64;
+  const std::uint64_t tail_mask =
+      tail == 0 ? ~0ULL : ((1ULL << tail) - 1);
   for (int i = 0; i < rows; ++i) {
-    for (int j = 0; j < cols; ++j) {
-      m.set(i, j, bits.get(i * cols + j));
+    const long long row_bit = static_cast<long long>(i) * cols;
+    for (int wdx = 0; wdx < m.words_per_row_; ++wdx) {
+      const long long bit = row_bit + static_cast<long long>(wdx) * 64;
+      const std::size_t w = static_cast<std::size_t>(bit / 64);
+      const int shift = static_cast<int>(bit % 64);
+      std::uint64_t window = w < src.size() ? src[w] >> shift : 0;
+      if (shift != 0 && w + 1 < src.size()) {
+        window |= src[w + 1] << (64 - shift);
+      }
+      if (wdx == m.words_per_row_ - 1) {
+        window &= tail_mask;
+      }
+      m.word(i, wdx) = window;
     }
   }
   return m;
@@ -119,33 +141,48 @@ Gf2Matrix Gf2Matrix::operator*(const Gf2Matrix& other) const {
 int Gf2Matrix::rank() const {
   Gf2Matrix work = *this;
   int rank = 0;
-  for (int col = 0; col < cols_ && rank < rows_; ++col) {
-    // Find a pivot row at or below `rank` with a 1 in this column.
-    int pivot = -1;
+  // Invariant: rows at or below `rank` are zero in every column before
+  // `col`, so the pivot search and the elimination only ever touch words
+  // from col / 64 onward, and the next pivot column within the current
+  // word is found by one OR over the candidate rows plus countr_zero —
+  // never by per-bit get() probes.
+  int col = 0;
+  while (col < cols_ && rank < rows_) {
+    const int w = col / 64;
+    const int bit_in_word = col % 64;
+    const std::uint64_t low_mask =
+        bit_in_word == 0 ? ~0ULL : ~((1ULL << bit_in_word) - 1);
+    std::uint64_t candidates = 0;
     for (int i = rank; i < rows_; ++i) {
-      if (work.get(i, col)) {
-        pivot = i;
-        break;
-      }
+      candidates |= work.word(i, w);
     }
-    if (pivot < 0) {
+    candidates &= low_mask;
+    if (candidates == 0) {
+      col = (w + 1) * 64;  // no pivot anywhere in this word
       continue;
     }
-    // Swap pivot row into place.
+    const int pivot_col = w * 64 + std::countr_zero(candidates);
+    const std::uint64_t pivot_bit = 1ULL << (pivot_col % 64);
+    int pivot = rank;
+    while ((work.word(pivot, w) & pivot_bit) == 0) {
+      ++pivot;
+    }
+    // Swap pivot row into place (words before w are zero in both rows).
     if (pivot != rank) {
-      for (int wdx = 0; wdx < words_per_row_; ++wdx) {
+      for (int wdx = w; wdx < words_per_row_; ++wdx) {
         std::swap(work.word(pivot, wdx), work.word(rank, wdx));
       }
     }
     // Eliminate below.
     for (int i = rank + 1; i < rows_; ++i) {
-      if (work.get(i, col)) {
-        for (int wdx = 0; wdx < words_per_row_; ++wdx) {
+      if (work.word(i, w) & pivot_bit) {
+        for (int wdx = w; wdx < words_per_row_; ++wdx) {
           work.word(i, wdx) ^= work.word(rank, wdx);
         }
       }
     }
     ++rank;
+    col = pivot_col + 1;
   }
   return rank;
 }

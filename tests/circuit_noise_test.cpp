@@ -79,6 +79,42 @@ TEST(CircuitSimTest, MatchesExactEngineOnRotationAttack) {
   EXPECT_NEAR(est.mean, dp, 4.0 * est.half_width_95 + 0.01);
 }
 
+TEST(CircuitSimTest, BatchedReplaysStateVectorDrawSequence) {
+  // The batched path precomputes the coin-conditioned closed-form test
+  // probabilities but draws in the identical order; from the same seed both
+  // strategies therefore walk the same sample paths, and the means agree to
+  // numerical noise of the per-test probabilities (the probability of a
+  // uniform draw landing inside that window is ~1e-13 per draw).
+  using dqma::protocol::CircuitMcStrategy;
+  Rng rng(5);
+  for (int trial = 0; trial < 3; ++trial) {
+    const CVec source = dqma::quantum::haar_state(5, rng);
+    const CVec target = dqma::quantum::haar_state(5, rng);
+    PathProof proof;
+    proof.reg0 = haar_states(5, 3, rng);
+    proof.reg1 = haar_states(5, 3, rng);
+    Rng rng_sv(1000 + trial);
+    Rng rng_batched(1000 + trial);
+    const auto sv = circuit_eq_path_accept(source, target, proof, rng_sv,
+                                           2000, CircuitMcStrategy::kStateVector);
+    const auto batched = circuit_eq_path_accept(
+        source, target, proof, rng_batched, 2000, CircuitMcStrategy::kBatched);
+    EXPECT_NEAR(sv.mean, batched.mean, 1e-9) << "trial " << trial;
+    EXPECT_NEAR(sv.half_width_95, batched.half_width_95, 1e-9);
+    // Both consumed the same number of draws: the streams stay in lockstep.
+    EXPECT_EQ(rng_sv.next_u64(), rng_batched.next_u64());
+  }
+}
+
+TEST(CircuitSimTest, BatchedHonestRunAcceptsAlways) {
+  Rng rng(6);
+  const CVec psi = dqma::quantum::haar_state(4, rng);
+  const auto est = circuit_eq_path_accept(
+      psi, psi, uniform_proof(psi, 3), rng, 300,
+      dqma::protocol::CircuitMcStrategy::kBatched);
+  EXPECT_DOUBLE_EQ(est.mean, 1.0);
+}
+
 // --- noise robustness ---------------------------------------------------------
 
 TEST(NoiseTest, ZeroNoiseMatchesNoiselessProtocol) {

@@ -4,18 +4,28 @@
 // elsewhere flakes, these suites establish whether the RNG can be blamed.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <vector>
 
+#include "dqma/exact_runner.hpp"
+#include "linalg/eigen.hpp"
+#include "quantum/density.hpp"
+#include "quantum/local_ops.hpp"
+#include "quantum/partial_trace.hpp"
 #include "quantum/random.hpp"
 #include "support/test_support.hpp"
+#include "sweep/parallel.hpp"
 #include "sweep/sweep.hpp"
+#include "sweep/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using dqma::linalg::CMat;
+using dqma::linalg::Complex;
 using dqma::linalg::CVec;
 using dqma::util::Rng;
 
@@ -161,6 +171,182 @@ TEST(DeriveSeedTest, PinsBenchSeriesSeedsOfTheLocalOpsEngine) {
             0xa21b20d93fb2ce37ULL);
   EXPECT_EQ(derive_seed(series_seed("micro", "kernels"), 0),
             0xefa6ecdc8611b80dULL);
+}
+
+TEST(DeriveSeedTest, PinsBenchSeriesSeedsOfTheParallelKernelLayer) {
+  // Series introduced with the deterministic intra-instance parallelism PR,
+  // pinned for the same reason as the local-ops series above.
+  using dqma::sweep::fnv1a64;
+  using dqma::util::derive_seed;
+  const auto series_seed = [](const char* experiment, const char* series) {
+    return derive_seed(derive_seed(0, fnv1a64(experiment)), fnv1a64(series));
+  };
+  EXPECT_EQ(series_seed("micro", "parallel_kernels"), 0x2331d1ea91f7cda9ULL);
+  EXPECT_EQ(series_seed("table2_eq", "circuit_mc"), 0x84204262021e6c11ULL);
+  EXPECT_EQ(derive_seed(series_seed("micro", "parallel_kernels"), 0),
+            0x4578d9d0a2be2a8aULL);
+  EXPECT_EQ(derive_seed(series_seed("table2_eq", "circuit_mc"), 0),
+            0x8b68f72be803c4ffULL);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel thread-count invariance: every kernel threaded onto
+// sweep::parallel_for / parallel_reduce must produce byte-identical results
+// at any kernel thread count (fixed chunk partitioning, chunk-ordered
+// reductions). Each pin runs the same computation under kernel pools of
+// size 1, 3 and 8 and requires exact equality — not a tolerance.
+// ---------------------------------------------------------------------------
+
+using dqma::quantum::LocalOpPlan;
+using dqma::quantum::RegisterShape;
+
+/// Runs `compute` under kernel thread counts 1, 3 and 8 and requires the
+/// returned matrices to match byte for byte (linf distance exactly 0).
+void expect_threads_invariant_mat(
+    const std::function<CMat()>& compute) {
+  const auto at = [&](int threads) {
+    const dqma::sweep::KernelThreadScope scope(threads);
+    return compute();
+  };
+  const CMat serial = at(1);
+  EXPECT_EQ(serial.linf_distance(at(3)), 0.0);
+  EXPECT_EQ(serial.linf_distance(at(8)), 0.0);
+}
+
+void expect_threads_invariant_vec(
+    const std::function<CVec()>& compute) {
+  const auto at = [&](int threads) {
+    const dqma::sweep::KernelThreadScope scope(threads);
+    return compute();
+  };
+  const CVec serial = at(1);
+  EXPECT_EQ(serial.linf_distance(at(3)), 0.0);
+  EXPECT_EQ(serial.linf_distance(at(8)), 0.0);
+}
+
+void expect_threads_invariant_scalar(
+    const std::function<double()>& compute) {
+  const auto at = [&](int threads) {
+    const dqma::sweep::KernelThreadScope scope(threads);
+    return compute();
+  };
+  const double serial = at(1);
+  EXPECT_EQ(serial, at(3));
+  EXPECT_EQ(serial, at(8));
+}
+
+TEST(ThreadedKernelDeterminismTest, ApplyLocalStateVector) {
+  // Large enough that the region actually splits into many chunks.
+  const RegisterShape shape(std::vector<int>(7, 4));  // D = 16384
+  Rng rng(11);
+  const CMat u = dqma::quantum::haar_unitary(16, rng);
+  const CVec psi0 = dqma::quantum::haar_state(16384, rng);
+  const LocalOpPlan plan(shape, {1, 5});
+  expect_threads_invariant_vec([&] {
+    CVec psi = psi0;
+    dqma::quantum::apply_local(plan, u, psi);
+    return psi;
+  });
+}
+
+TEST(ThreadedKernelDeterminismTest, ExpectationLocalPureAndDensity) {
+  const RegisterShape shape({8, 4, 8});  // D = 256
+  Rng rng(12);
+  const CMat effect = dqma::quantum::random_density(4, rng);
+  const CVec psi = dqma::quantum::haar_state(256, rng);
+  const CMat rho = dqma::quantum::random_density(256, rng);
+  const LocalOpPlan plan(shape, {1});
+  expect_threads_invariant_scalar(
+      [&] { return dqma::quantum::expectation_local(plan, effect, psi); });
+  expect_threads_invariant_scalar(
+      [&] { return dqma::quantum::expectation_local(plan, effect, rho); });
+}
+
+TEST(ThreadedKernelDeterminismTest, SandwichAndProjectLocal) {
+  const RegisterShape shape({16, 4, 4});  // D = 256
+  Rng rng(13);
+  const CMat u = dqma::quantum::haar_unitary(4, rng);
+  const CMat rho0 = dqma::quantum::random_density(256, rng);
+  const LocalOpPlan plan(shape, {1});
+  expect_threads_invariant_mat([&] {
+    CMat rho = rho0;
+    dqma::quantum::sandwich_local(plan, u, rho);
+    return rho;
+  });
+  CMat e(4, 4);  // rank-deficient effect so project_local renormalizes
+  e(0, 0) = Complex{1.0, 0.0};
+  e(1, 1) = Complex{0.5, 0.0};
+  expect_threads_invariant_mat([&] {
+    CMat rho = rho0;
+    dqma::quantum::project_local(plan, e, rho);
+    return rho;
+  });
+}
+
+TEST(ThreadedKernelDeterminismTest, BlockedGemmAndAdjointProducts) {
+  Rng rng(14);
+  const CMat a = dqma::quantum::haar_unitary(96, rng);
+  const CMat b = dqma::quantum::haar_unitary(96, rng);
+  expect_threads_invariant_mat([&] { return a * b; });
+  expect_threads_invariant_mat([&] { return a.adjoint_times(b); });
+  expect_threads_invariant_mat([&] { return a.times_adjoint(b); });
+  const CVec v = dqma::quantum::haar_state(96, rng);
+  expect_threads_invariant_vec([&] { return a * v; });
+}
+
+TEST(ThreadedKernelDeterminismTest, PartialTracePasses) {
+  Rng rng(15);
+  const RegisterShape shape({4, 8, 8});
+  const dqma::quantum::Density rho(
+      shape, dqma::quantum::random_density(256, rng));
+  expect_threads_invariant_mat([&] {
+    return dqma::quantum::partial_trace(rho, {1}).matrix();
+  });
+}
+
+TEST(ThreadedKernelDeterminismTest, AnalyzerAssemblyAndMatrixFreeMatvec) {
+  using dqma::protocol::ExactEqPathAnalyzer;
+  Rng rng(16);
+  const CVec hx = CVec::basis(3, 0);
+  CVec hy(3);
+  hy[0] = Complex{0.2, 0.0};
+  hy[1] = Complex{std::sqrt(1.0 - 0.04), 0.0};
+  const CVec probe = dqma::quantum::haar_state(729, rng);  // 3^6, r = 4
+  // Dense streaming assembly (the apply_left_local pass inside).
+  expect_threads_invariant_mat([&] {
+    const ExactEqPathAnalyzer dense(hx, hy, 4, ExactEqPathAnalyzer::Mode::kDense);
+    return dense.acceptance_operator();
+  });
+  // Matrix-free action and the power iteration on it.
+  expect_threads_invariant_vec([&] {
+    const ExactEqPathAnalyzer mf(hx, hy, 4,
+                                 ExactEqPathAnalyzer::Mode::kMatrixFree);
+    return mf.apply_acceptance(probe);
+  });
+  expect_threads_invariant_scalar([&] {
+    const ExactEqPathAnalyzer mf(hx, hy, 4,
+                                 ExactEqPathAnalyzer::Mode::kMatrixFree);
+    return mf.worst_case_accept(/*max_iters=*/32);
+  });
+}
+
+TEST(ThreadedKernelDeterminismTest, IsAlsoInvariantInsideSweepJobs) {
+  // A kernel inside a sweep job runs serially (nesting contract) — its
+  // result must equal the kernel-parallel result from outside a job.
+  Rng rng(17);
+  const CMat a = dqma::quantum::haar_unitary(64, rng);
+  const CMat b = dqma::quantum::haar_unitary(64, rng);
+  CMat outside;
+  {
+    const dqma::sweep::KernelThreadScope scope(8);
+    outside = a * b;
+  }
+  dqma::sweep::ThreadPool pool(4);
+  std::vector<CMat> inside(4);
+  pool.run_indexed(4, [&](std::size_t i) { inside[i] = a * b; });
+  for (const CMat& m : inside) {
+    EXPECT_EQ(outside.linf_distance(m), 0.0);
+  }
 }
 
 TEST(DeriveSeedTest, IsAPureFunction) {

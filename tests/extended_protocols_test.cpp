@@ -66,6 +66,73 @@ TEST(Gf2Test, BitsRoundTrip) {
   EXPECT_EQ(Gf2Matrix::from_bits(m.to_bits(), 6, 9), m);
 }
 
+TEST(Gf2Test, WideBitsRoundTripExercisesWordSplicing) {
+  // The word-parallel from_bits packer splices each destination word from
+  // up to two source words; widths straddling the 64-bit boundaries (and
+  // rows whose bit offsets land mid-word) cover every shift case.
+  Rng rng(17);
+  for (const auto& [rows, cols] :
+       {std::pair{3, 64}, {5, 65}, {4, 100}, {2, 127}, {3, 130}, {7, 63}}) {
+    const Gf2Matrix m = Gf2Matrix::random(rows, cols, rng);
+    EXPECT_EQ(Gf2Matrix::from_bits(m.to_bits(), rows, cols), m)
+        << rows << "x" << cols;
+  }
+}
+
+TEST(Gf2Test, WordParallelRankMatchesBitwiseElimination) {
+  // Reference: the textbook per-bit Gaussian elimination the word-parallel
+  // pivot search replaced.
+  const auto naive_rank = [](const Gf2Matrix& m) {
+    std::vector<std::vector<bool>> a(static_cast<std::size_t>(m.rows()));
+    for (int i = 0; i < m.rows(); ++i) {
+      for (int j = 0; j < m.cols(); ++j) {
+        a[static_cast<std::size_t>(i)].push_back(m.get(i, j));
+      }
+    }
+    int rank = 0;
+    for (int col = 0; col < m.cols() && rank < m.rows(); ++col) {
+      int pivot = -1;
+      for (int i = rank; i < m.rows(); ++i) {
+        if (a[static_cast<std::size_t>(i)][static_cast<std::size_t>(col)]) {
+          pivot = i;
+          break;
+        }
+      }
+      if (pivot < 0) continue;
+      std::swap(a[static_cast<std::size_t>(pivot)],
+                a[static_cast<std::size_t>(rank)]);
+      for (int i = rank + 1; i < m.rows(); ++i) {
+        if (a[static_cast<std::size_t>(i)][static_cast<std::size_t>(col)]) {
+          for (int j = 0; j < m.cols(); ++j) {
+            a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+                a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] ^
+                a[static_cast<std::size_t>(rank)][static_cast<std::size_t>(j)];
+          }
+        }
+      }
+      ++rank;
+    }
+    return rank;
+  };
+  Rng rng(18);
+  for (const auto& [rows, cols] :
+       {std::pair{8, 8}, {12, 70}, {70, 12}, {16, 128}, {30, 30}}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const Gf2Matrix m = Gf2Matrix::random(rows, cols, rng);
+      EXPECT_EQ(m.rank(), naive_rank(m)) << rows << "x" << cols;
+    }
+  }
+  // Sparse matrices exercise the whole-word column skip.
+  for (int trial = 0; trial < 4; ++trial) {
+    Gf2Matrix sparse(20, 200);
+    for (int k = 0; k < 12; ++k) {
+      sparse.set(static_cast<int>(rng.next_below(20)),
+                 static_cast<int>(rng.next_below(200)), true);
+    }
+    EXPECT_EQ(sparse.rank(), naive_rank(sparse));
+  }
+}
+
 TEST(Gf2Test, MultiplicationMatchesManual) {
   // [[1,1],[0,1]] * [[1,0],[1,1]] = [[0,1],[1,1]] over GF(2).
   Gf2Matrix a(2, 2);

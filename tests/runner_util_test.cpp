@@ -109,6 +109,35 @@ TEST(EstimateTest, DeterministicSampleHasZeroWidth) {
 // (Seed-determinism guarantees live in determinism_test.cpp; these cover
 // the distributional properties.)
 
+TEST(EstimateTest, VarianceIsStableForLargeOffsets) {
+  // The one-pass Welford accumulation must not cancel catastrophically:
+  // samples 1e9 and 1e9 + 1 have exact population variance 0.25, which the
+  // former sum_sq/count - mean^2 form destroys entirely at this magnitude
+  // (1e18 - 1e18 in doubles).
+  int calls = 0;
+  const auto est = estimate(
+      [&calls]() { return 1.0e9 + static_cast<double>(calls++ % 2); }, 1000);
+  EXPECT_DOUBLE_EQ(est.mean, 1.0e9 + 0.5);
+  // half_width = 1.96 * sqrt(0.25 / 1000)
+  EXPECT_NEAR(est.half_width_95, 1.96 * std::sqrt(0.25 / 1000.0), 1e-12);
+}
+
+TEST(EstimateTest, RunningStatMatchesEstimate) {
+  // The batched Monte-Carlo paths accumulate through RunningStat directly;
+  // identical samples must yield identical statistics either way.
+  Rng rng_a(99);
+  Rng rng_b(99);
+  const auto est = estimate([&rng_a]() { return rng_a.next_double(); }, 500);
+  dqma::protocol::RunningStat stat;
+  for (int i = 0; i < 500; ++i) {
+    stat.add(rng_b.next_double());
+  }
+  const auto direct = stat.finalize();
+  EXPECT_EQ(est.mean, direct.mean);
+  EXPECT_EQ(est.half_width_95, direct.half_width_95);
+  EXPECT_EQ(est.samples, direct.samples);
+}
+
 TEST(RngTest, SplitProducesIndependentStream) {
   Rng parent(7);
   Rng child = parent.split();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sweep/json.hpp"
+#include "sweep/parallel.hpp"
 #include "sweep/result_sink.hpp"
 #include "sweep/sweep.hpp"
 #include "sweep/thread_pool.hpp"
@@ -91,6 +92,123 @@ TEST(ThreadPoolTest, SingleThreadedPoolRunsInline) {
   std::vector<std::size_t> order;
   pool.run_indexed(5, [&](std::size_t i) { order.push_back(i); });
   EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ChunkBoundariesDependOnlyOnProblemSize) {
+  using dqma::sweep::plan_chunks;
+  // The determinism contract: the partition is a pure function of
+  // (count, grain) — probing it under different kernel-pool sizes must not
+  // change it (it takes no thread-count input at all, by construction).
+  const auto plan = plan_chunks(1000, 1);
+  EXPECT_EQ(plan.chunk_size, 16u);  // ceil(1000 / 64)
+  EXPECT_EQ(plan.chunks, 63u);
+  const auto coarse = plan_chunks(1000, 300);
+  EXPECT_EQ(coarse.chunk_size, 300u);  // grain dominates the 64-chunk cap
+  EXPECT_EQ(coarse.chunks, 4u);
+  EXPECT_EQ(plan_chunks(0, 8).chunks, 0u);
+  EXPECT_EQ(plan_chunks(5, 100).chunks, 1u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const dqma::sweep::KernelThreadScope scope(8);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  dqma::sweep::parallel_for(kCount, 1,
+                            [&](std::size_t begin, std::size_t end) {
+                              for (std::size_t i = begin; i < end; ++i) {
+                                hits[i].fetch_add(1,
+                                                  std::memory_order_relaxed);
+                              }
+                            });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, PropagatesChunkExceptions) {
+  const dqma::sweep::KernelThreadScope scope(4);
+  EXPECT_THROW(dqma::sweep::parallel_for(
+                   256, 1,
+                   [](std::size_t begin, std::size_t) {
+                     if (begin >= 128) {
+                       throw std::runtime_error("chunk failure");
+                     }
+                   }),
+               std::runtime_error);
+  // The pool must stay usable after a failed region.
+  std::atomic<int> ok{0};
+  dqma::sweep::parallel_for(64, 1, [&](std::size_t begin, std::size_t end) {
+    ok.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(ok.load(), 64);
+}
+
+TEST(ParallelForTest, NestedRegionsRunSeriallyWithoutDeadlock) {
+  const dqma::sweep::KernelThreadScope scope(4);
+  std::atomic<int> inner_total{0};
+  dqma::sweep::parallel_for(8, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // Nested region: must execute inline (the calling thread is inside a
+      // batch) and still cover its whole range.
+      dqma::sweep::parallel_for(
+          10, 1, [&](std::size_t b, std::size_t e) {
+            inner_total.fetch_add(static_cast<int>(e - b),
+                                  std::memory_order_relaxed);
+          });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ParallelForTest, InsideSweepJobRunsSeriallyWithoutDeadlock) {
+  // Kernels called from sweep jobs must fall back to inline execution —
+  // same results, no interaction with the job-level pool.
+  ThreadPool pool(4);
+  std::vector<double> results(16, 0.0);
+  pool.run_indexed(16, [&](std::size_t job) {
+    results[job] = dqma::sweep::parallel_reduce<double>(
+        100, 1, 0.0,
+        [job](std::size_t begin, std::size_t end) {
+          double acc = 0.0;
+          for (std::size_t i = begin; i < end; ++i) {
+            acc += static_cast<double>(i * (job + 1));
+          }
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
+  });
+  for (std::size_t job = 0; job < results.size(); ++job) {
+    EXPECT_DOUBLE_EQ(results[job], 4950.0 * static_cast<double>(job + 1));
+  }
+}
+
+TEST(ParallelReduceTest, CombinesPartialsInChunkOrder) {
+  // A non-commutative combine exposes the ordering: concatenation must
+  // come out in ascending chunk order at any thread count.
+  const auto run = [](int threads) {
+    const dqma::sweep::KernelThreadScope scope(threads);
+    return dqma::sweep::parallel_reduce<std::string>(
+        26, 2, std::string(),
+        [](std::size_t begin, std::size_t end) {
+          std::string s;
+          for (std::size_t i = begin; i < end; ++i) {
+            s.push_back(static_cast<char>('a' + i));
+          }
+          return s;
+        },
+        [](std::string a, std::string b) { return a + b; });
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, "abcdefghijklmnopqrstuvwxyz");
+  EXPECT_EQ(run(3), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsIdentity) {
+  const double value = dqma::sweep::parallel_reduce<double>(
+      0, 1, 42.0, [](std::size_t, std::size_t) { return 0.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(value, 42.0);
 }
 
 TEST(ParamGridTest, EnumeratesRowMajorFirstAxisSlowest) {
