@@ -1,0 +1,5 @@
+#!/bin/sh
+# Intentionally refresh the committed smoke baseline after an accepted
+# metric change (then commit the diff and say why in the message). Usage:
+#   bench/baselines/refresh.sh [path/to/dqma_bench]
+exec "${1:-build/bench/dqma_bench}" --experiment all --smoke --json "$(dirname "$0")/smoke.json"

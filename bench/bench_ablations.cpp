@@ -77,6 +77,7 @@ void run(sweep::ExperimentContext& ctx) {
         });
     Table table({"mode", "chain-cheat accept", "best attack accept"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;  // owned by another --shard
       const auto& m = results[i].metrics;
       table.add_row({points[i].get_string("mode"),
                      Table::fmt(m.get_double("chain_cheat_accept")),
@@ -120,6 +121,7 @@ void run(sweep::ExperimentContext& ctx) {
     Table table({"t", "permutation test err", "random-pair err",
                  "advantage factor"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("t")),
                      Table::fmt(m.get_double("permutation_test_err")),
@@ -143,8 +145,11 @@ void run(sweep::ExperimentContext& ctx) {
     sweep::ParamGrid grid;
     grid.axis("spacing", std::vector<int>{1, 2, 3, 4, 8, 16, 32, 64, 128});
     const auto points = grid.enumerate();
+    // Closed-form costs: replicate so every shard renders the full curve
+    // (each point still lands in exactly one shard's document).
     const auto results = ctx.sweep(
-        "d3_relay_spacing", points, [](const sweep::ParamPoint& p, Rng&) {
+        "d3_relay_spacing", points,
+        [](const sweep::ParamPoint& p, Rng&) {
           const int n = 1 << 15;
           const int r = 4096;
           const int spacing = static_cast<int>(p.get_int("spacing"));
@@ -152,7 +157,8 @@ void run(sweep::ExperimentContext& ctx) {
                                                     42 * spacing * spacing);
           return sweep::Metrics().set("total_proof_qubits",
                                       c.total_proof_qubits);
-        });
+        },
+        sweep::SweepPolicy::replicate());
     Table table({"spacing", "total proof (qubits)"});
     for (std::size_t i = 0; i < points.size(); ++i) {
       table.add_row(
@@ -195,6 +201,7 @@ void run(sweep::ExperimentContext& ctx) {
         });
     Table table({"k", "attack accept", "<= 1/3?"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("k")),
                      Table::fmt(m.get_double("attack_accept")),

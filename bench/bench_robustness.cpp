@@ -64,6 +64,7 @@ void run(sweep::ExperimentContext& ctx) {
         });
     Table table({"noise p", "completeness", "attack accept", "separated?"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;  // owned by another --shard
       table.add_row(
           {Table::fmt(points[i].get_double("noise")),
            Table::fmt(results[i].metrics.get_double("completeness")),
@@ -115,7 +116,9 @@ void run(sweep::ExperimentContext& ctx) {
     Table table({"r", "threshold @ k = 4r", "threshold @ paper k"});
     for (std::size_t i = 0; i < points.size(); i += 2) {
       // Points alternate lean/paper within each r (k_mode is the fast
-      // axis of the grid).
+      // axis of the grid). A row needs both, so it renders only where
+      // both points are local to this shard.
+      if (results[i].skipped || results[i + 1].skipped) continue;
       table.add_row(
           {Table::fmt(points[i].get_int("r")),
            Table::fmt(results[i].metrics.get_double("threshold")),

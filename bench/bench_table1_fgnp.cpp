@@ -81,6 +81,7 @@ void run(sweep::ExperimentContext& ctx) {
     Table table({"t", "FGNP per-rep soundness err", "ours per-rep soundness err",
                  "FGNP local proof/rep (qubits)", "ours local proof/rep"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;  // owned by another --shard
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("t")),
                      Table::fmt(m.get_double("fgnp_soundness_err")),
@@ -125,6 +126,7 @@ void run(sweep::ExperimentContext& ctx) {
     Table table(
         {"r", "FGNP per-rep soundness err", "ours per-rep soundness err"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       table.add_row(
           {Table::fmt(points[i].get_int("r")),
            Table::fmt(results[i].metrics.get_double("fgnp_soundness_err")),
@@ -157,6 +159,7 @@ void run(sweep::ExperimentContext& ctx) {
         });
     Table table({"proof bits/node", "soundness error (attacked)", "sound?"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       table.add_row(
           {Table::fmt(points[i].get_int("bits")),
            Table::fmt(results[i].metrics.get_double("soundness_error")),

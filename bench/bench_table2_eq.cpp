@@ -58,7 +58,10 @@ void run(sweep::ExperimentContext& ctx) {
               .set("fingerprint_qubits",
                    EqPathProtocol::fingerprint_qubits(n, 0.3))
               .set("local_proof_qubits", c.local_proof_qubits);
-        });
+        },
+        // Closed-form cost curves (a)-(c): replicate so each shard
+        // renders complete tables while recording only its own points.
+        sweep::SweepPolicy::replicate());
     Table table({"n", "fingerprint qubits", "local proof (qubits)"});
     for (std::size_t i = 0; i < points.size(); ++i) {
       table.add_row(
@@ -84,7 +87,8 @@ void run(sweep::ExperimentContext& ctx) {
           const auto c = EqPathProtocol::costs_for(256, r, 0.3, k);
           return sweep::Metrics().set("reps", k).set("local_proof_qubits",
                                                      c.local_proof_qubits);
-        });
+        },
+        sweep::SweepPolicy::replicate());
     Table table({"r", "k (reps)", "local proof (qubits)", "ratio to r=2"});
     const double base =
         static_cast<double>(results[0].metrics.get_int("local_proof_qubits"));
@@ -114,7 +118,8 @@ void run(sweep::ExperimentContext& ctx) {
           const EqGraphProtocol protocol(g, terminals, 256, 0.3, 42);
           return sweep::Metrics().set("local_proof_qubits",
                                       protocol.costs().local_proof_qubits);
-        });
+        },
+        sweep::SweepPolicy::replicate());
     Table table({"t", "local proof (qubits)"});
     for (std::size_t i = 0; i < points.size(); ++i) {
       table.add_row(
@@ -206,19 +211,29 @@ void run(sweep::ExperimentContext& ctx) {
           return sweep::Metrics().set(
               "accept", attack_job ? protocol.best_attack_accept(inputs)
                                    : protocol.completeness(x));
-        });
+        },
+        // All jobs of one configuration shard together, so the k-fold
+        // recombination below stays computable in the shard owning it.
+        sweep::SweepPolicy::group_by("config"));
 
     // Recombine: completeness of the k-fold protocol is the product of
     // its chunk acceptances; the attack job carries soundness directly.
+    // Under --shard only the shard owning a configuration's group has its
+    // chunk results; it records the derived point, the others declare it.
     Table table({"topology", "r", "t", "completeness", "attack accept",
                  "<= 1/3?"});
     for (std::size_t c = 0; c < configs.size(); ++c) {
       const auto& cfg = configs[c];
       double completeness = 1.0;
       double attack = 0.0;
+      bool local = true;
       for (std::size_t i = 0; i < points.size(); ++i) {
         if (points[i].get_int("config") != static_cast<long long>(c)) {
           continue;
+        }
+        if (results[i].skipped) {
+          local = false;
+          break;
         }
         if (points[i].get_string("job") == "attack") {
           attack = results[i].metrics.get_double("accept");
@@ -226,15 +241,19 @@ void run(sweep::ExperimentContext& ctx) {
           completeness *= results[i].metrics.get_double("accept");
         }
       }
-      ctx.record("soundness_paper_params",
-                 sweep::ParamPoint()
-                     .set("topology", cfg.topology)
-                     .set("r", cfg.r)
-                     .set("t", cfg.t),
-                 sweep::Metrics()
-                     .set("completeness", completeness)
-                     .set("attack_accept", attack)
-                     .set("sound", attack <= 1.0 / 3.0));
+      if (!local) {
+        ctx.skip_record("soundness_paper_params");
+        continue;
+      }
+      ctx.record_owned("soundness_paper_params",
+                       sweep::ParamPoint()
+                           .set("topology", cfg.topology)
+                           .set("r", cfg.r)
+                           .set("t", cfg.t),
+                       sweep::Metrics()
+                           .set("completeness", completeness)
+                           .set("attack_accept", attack)
+                           .set("sound", attack <= 1.0 / 3.0));
       table.add_row({cfg.topology, Table::fmt(cfg.r), Table::fmt(cfg.t),
                      Table::fmt(completeness), Table::fmt(attack),
                      attack <= 1.0 / 3.0 ? "yes" : "NO"});
@@ -262,7 +281,8 @@ void run(sweep::ExperimentContext& ctx) {
           return sweep::Metrics()
               .set("local_proof_qubits", c.local_proof_qubits)
               .set("local_message_bits", c.local_message_bits);
-        });
+        },
+        sweep::SweepPolicy::replicate());
     Table table({"|V|", "r", "local proof (qubits)", "local message (bits)"});
     for (std::size_t i = 0; i < points.size(); ++i) {
       table.add_row(
@@ -325,6 +345,7 @@ void run(sweep::ExperimentContext& ctx) {
     Table table({"d", "r", "proof dim", "chain DP", "exact engine",
                  "|diff|", "honest (= 1)"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;  // owned by another --shard
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("d")),
                      Table::fmt(points[i].get_int("r")),
@@ -398,6 +419,7 @@ void run(sweep::ExperimentContext& ctx) {
     Table table({"d", "r", "strategy", "samples", "chain DP", "circuit MC",
                  "|diff|", "in 95% CI?"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("d")),
                      Table::fmt(points[i].get_int("r")),

@@ -67,6 +67,7 @@ void run(sweep::ExperimentContext& ctx) {
         });
     Table table({"r", "variant", "completeness", "attack accept", "<= 1/3?"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;  // owned by another --shard
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("r")),
                      points[i].get_string("variant"),
@@ -91,7 +92,8 @@ void run(sweep::ExperimentContext& ctx) {
                                     2 * 81 * 16 / 4);
           return sweep::Metrics().set("local_proof_qubits",
                                       protocol.costs().local_proof_qubits);
-        });
+        },
+        sweep::SweepPolicy::replicate());
     Table table({"n", "local proof (qubits)"});
     for (std::size_t i = 0; i < points.size(); ++i) {
       table.add_row(
@@ -134,6 +136,7 @@ void run(sweep::ExperimentContext& ctx) {
     Table table({"t", "true rank", "claimed", "completeness/attack", "value",
                  "total proof (qubits)"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
       const std::string t_str = Table::fmt(points[i].get_int("t"));
       table.add_row({t_str, t_str, t_str, "completeness",

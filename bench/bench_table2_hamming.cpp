@@ -56,7 +56,9 @@ void run(sweep::ExperimentContext& ctx) {
               n, d, 0.3, HammingOneWayProtocol::recommended_copies(d, 0.3));
           return sweep::Metrics().set("message_qubits",
                                       protocol.message_qubits());
-        });
+        },
+        // Closed-form cost curves: replicate (see SweepPolicy).
+        sweep::SweepPolicy::replicate());
     Table table({"n", "d", "message qubits"});
     for (std::size_t i = 0; i < points.size(); ++i) {
       table.add_row(
@@ -92,6 +94,7 @@ void run(sweep::ExperimentContext& ctx) {
         });
     Table table({"t", "predicate", "completeness"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;  // owned by another --shard
       table.add_row(
           {Table::fmt(points[i].get_int("t")),
            results[i].metrics.get_bool("predicate") ? "1" : "0",
@@ -135,12 +138,21 @@ void run(sweep::ExperimentContext& ctx) {
               .set("chunk_mean", est.mean)
               .set("chunk_half_width_95", est.half_width_95)
               .set("samples", chunk_samples);
-        });
+        },
+        // All chunks of one violated distance shard together, so the CI
+        // recombination below stays computable in the shard owning them.
+        sweep::SweepPolicy::group_by("violation_distance"));
     Table table({"violation distance", "attack accept (mean)",
                  "CI half-width", "<= 1/3?"});
     for (std::size_t base = 0; base < points.size();
          base += static_cast<std::size_t>(chunks)) {
       // Chunks of one distance are consecutive (chunk is the fast axis).
+      // Under --shard only the owning shard has them; it records the
+      // combined point, the other shards declare it.
+      if (results[base].skipped) {
+        ctx.skip_record("mc_soundness_combined");
+        continue;
+      }
       double mean = 0.0;
       for (int c = 0; c < chunks; ++c) {
         mean += results[base + static_cast<std::size_t>(c)]
@@ -168,7 +180,7 @@ void run(sweep::ExperimentContext& ctx) {
         half_width = results[base].metrics.get_double("chunk_half_width_95");
       }
       const bool sound = mean - half_width <= 1.0 / 3.0;
-      ctx.record(
+      ctx.record_owned(
           "mc_soundness_combined",
           sweep::ParamPoint().set("violation_distance",
                                   points[base].get_int("violation_distance")),
@@ -202,7 +214,10 @@ void run(sweep::ExperimentContext& ctx) {
           const HammingGraphProtocol protocol(g, terminals, 16, 1, 0.35, 10);
           return sweep::Metrics().set("total_proof_qubits",
                                       protocol.costs().total_proof_qubits);
-        });
+        },
+        // Replicated: the ratio column below reads results[0] from every
+        // shard.
+        sweep::SweepPolicy::replicate());
     Table table({"t", "total proof (qubits)", "ratio to t=2"});
     const double base =
         static_cast<double>(results[0].metrics.get_int("total_proof_qubits"));
@@ -261,6 +276,7 @@ void run(sweep::ExperimentContext& ctx) {
     Table table({"predicate", "yes accept (honest)", "no accept (honest)",
                  "message qubits"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
       table.add_row({points[i].get_string("predicate"),
                      Table::fmt(m.get_double("yes_accept")),
@@ -305,6 +321,7 @@ void run(sweep::ExperimentContext& ctx) {
     Table table({"n", "r", "yes accept", "no accept (mean of 10)",
                  "message bits"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("n")),
                      Table::fmt(points[i].get_int("r")),

@@ -63,6 +63,7 @@ void run(sweep::ExperimentContext& ctx) {
     Table table({"ambient dim m", "yes accept (honest)", "no accept (worst)",
                  "cost (qubits)"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;  // owned by another --shard
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("m")),
                      Table::fmt(m.get_double("yes_accept")),
@@ -98,6 +99,7 @@ void run(sweep::ExperimentContext& ctx) {
     Table table({"r", "reps", "completeness (yes)", "attack accept (no)",
                  "local proof (qubits)"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("r")),
                      Table::fmt(m.get_int("reps")),
@@ -147,6 +149,7 @@ void run(sweep::ExperimentContext& ctx) {
     Table table({"instance", "LSD distance / sqrt2", "final completeness",
                  "final attack accept"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
       const bool yes_instance = m.find("completeness") != nullptr;
       table.add_row(
@@ -174,7 +177,8 @@ void run(sweep::ExperimentContext& ctx) {
           return sweep::Metrics()
               .set("lsd_ambient_dim", rep.lsd_ambient_dim)
               .set("per_node_proof_qubits", rep.per_node_proof_qubits);
-        });
+        },
+        sweep::SweepPolicy::replicate());
     Table table({"C", "r", "LSD dim m", "per-node proof (qubits)"});
     for (std::size_t i = 0; i < points.size(); ++i) {
       const auto& m = results[i].metrics;

@@ -57,7 +57,9 @@ void run(sweep::ExperimentContext& ctx) {
               .set("quantum_total_k1", c1.total_proof_qubits)
               .set("classical_total",
                    static_cast<long long>(r) * static_cast<long long>(n));
-        });
+        },
+        // Closed-form totals: replicate (see SweepPolicy).
+        sweep::SweepPolicy::replicate());
     Table table({"n", "quantum total (paper k)", "quantum total (k=1)",
                  "classical total", "ratio (paper k)", "ratio (k=1)"});
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -96,7 +98,11 @@ void run(sweep::ExperimentContext& ctx) {
                   n, r, 0.3, RelayEqProtocol::paper_spacing(n),
                   RelayEqProtocol::paper_seg_reps(n))
                   .total_proof_qubits);
-        });
+        },
+        // Replicated: every shard computes the full curve so the pairwise
+        // slope records below exist everywhere; record() still assigns
+        // each slope point to exactly one shard.
+        sweep::SweepPolicy::replicate());
     // Slopes are derived pairwise from the sweep results (ordered), so the
     // serial dependency of the old loop disappears.
     Table table({"n range", "slope"});
@@ -146,6 +152,7 @@ void run(sweep::ExperimentContext& ctx) {
         });
     Table table({"r", "relays", "completeness", "attack accept", "<= 1/3?"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;  // owned by another --shard
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("r")),
                      Table::fmt(m.get_int("relays")),
@@ -179,6 +186,7 @@ void run(sweep::ExperimentContext& ctx) {
         });
     Table table({"bits/node", "total bits", "attacked soundness error"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("bits")),
                      Table::fmt(m.get_int("total_proof_bits")),

@@ -64,6 +64,7 @@ void run(sweep::ExperimentContext& ctx) {
         });
     Table table({"qubits", "states", "max overlap", "fooling pair (>0.3)?"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;  // owned by another --shard
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("qubits")),
                      Table::fmt(m.get_int("states")),
@@ -114,6 +115,7 @@ void run(sweep::ExperimentContext& ctx) {
         });
     Table table({"function", "sampled members", "is 1-fooling set"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
       table.add_row({points[i].get_string("function"),
                      Table::fmt(m.get_int("sampled_members")),
@@ -150,6 +152,7 @@ void run(sweep::ExperimentContext& ctx) {
         });
     Table table({"r", "gap at", "honest accept", "splice attack accept"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("r")),
                      Table::fmt(m.get_int("gap_at")),
@@ -188,6 +191,7 @@ void run(sweep::ExperimentContext& ctx) {
     Table table({"r", "worst entangled accept", "best product accept",
                  "entangled gain"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("r")),
                      Table::fmt(m.get_double("worst_entangled_accept")),
@@ -255,6 +259,7 @@ void run(sweep::ExperimentContext& ctx) {
     Table table({"d", "r", "proof dim", "worst entangled (PI-48)",
                  "best product", "entangled gain"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("d")),
                      Table::fmt(points[i].get_int("r")),
@@ -284,7 +289,9 @@ void run(sweep::ExperimentContext& ctx) {
               .set("disj_bound", lb::thm63_disjointness_bound(n))
               .set("ip_bound", lb::thm63_inner_product_bound(n))
               .set("pand_bound", lb::thm63_pattern_and_bound(n));
-        });
+        },
+        // Closed-form bound values: replicate (see SweepPolicy).
+        sweep::SweepPolicy::replicate());
     Table table({"n", "DISJ Omega(n^{1/3})", "IP Omega(n^{1/2})",
                  "PAND Omega(n^{1/3})"});
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -324,6 +331,7 @@ void run(sweep::ExperimentContext& ctx) {
     Table table({"cut i", "gamma1+gamma2+mu (qubits)", "entangled worst",
                  "cut-separable worst"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
       table.add_row({Table::fmt(points[i].get_int("cut")),
                      Table::fmt(m.get_int("total_cost_qubits")),
@@ -352,7 +360,8 @@ void run(sweep::ExperimentContext& ctx) {
           return sweep::Metrics()
               .set("upper_total_proof", c.total_proof_qubits)
               .set("lower_bound", lb::thm51_total_proof_bound(r, n));
-        });
+        },
+        sweep::SweepPolicy::replicate());
     Table table({"n", "r", "upper (Thm 19 total)", "lower (Thm 51 r log n)"});
     for (std::size_t i = 0; i < points.size(); ++i) {
       const auto& m = results[i].metrics;

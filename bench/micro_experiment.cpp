@@ -179,6 +179,7 @@ void run(sweep::ExperimentContext& ctx) {
 
   Table table({"kernel", "size", "iters", "checksum", "us/iter"});
   for (std::size_t i = 0; i < points.size(); ++i) {
+    if (results[i].skipped) continue;  // owned by another --shard
     const double iters =
         static_cast<double>(points[i].get_int("iters"));
     table.add_row({points[i].get_string("kernel"),
@@ -219,6 +220,12 @@ void run(sweep::ExperimentContext& ctx) {
     }
     Table ptable({"kernel", "size", "threads", "checksum", "wall (ms)"});
     for (std::size_t i = 0; i < points.size(); ++i) {
+      // Hand-rolled loop, so the shard partition is hand-rolled too: skip
+      // computing points whose record another shard owns.
+      if (!ctx.owns_next_record("parallel_kernels")) {
+        ctx.skip_record("parallel_kernels");
+        continue;
+      }
       const auto& p = points[i];
       const auto& kernel = p.get_string("kernel");
       const int scale = static_cast<int>(p.get_int("size"));

@@ -111,7 +111,42 @@ std::string Json::dump() const {
   return os.str();
 }
 
-void Json::write_indented(std::ostream& os, int depth) const {
+void Json::write_compact(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::kArray:
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) {
+          os << ',';
+        }
+        array_[i].write_compact(os);
+      }
+      os << ']';
+      break;
+    case Kind::kObject:
+      os << '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) {
+          os << ',';
+        }
+        write_escaped(os, members_[i].first);
+        os << ':';
+        members_[i].second.write_compact(os);
+      }
+      os << '}';
+      break;
+    default:
+      write_scalar(os);
+  }
+}
+
+std::string Json::dump_compact() const {
+  std::ostringstream os;
+  write_compact(os);
+  return os.str();
+}
+
+void Json::write_scalar(std::ostream& os) const {
   switch (kind_) {
     case Kind::kNull:
       os << "null";
@@ -136,6 +171,21 @@ void Json::write_indented(std::ostream& os, int depth) const {
       break;
     case Kind::kString:
       write_escaped(os, string_);
+      break;
+    default:
+      break;
+  }
+}
+
+void Json::write_indented(std::ostream& os, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+    case Kind::kBool:
+    case Kind::kInt:
+    case Kind::kUint:
+    case Kind::kDouble:
+    case Kind::kString:
+      write_scalar(os);
       break;
     case Kind::kArray:
       if (array_.empty()) {

@@ -53,6 +53,12 @@ class Json {
   void write(std::ostream& os) const;
   std::string dump() const;
 
+  /// Single-line form (no whitespace, no trailing newline) — one JSONL
+  /// checkpoint record per line. Same escaping and number formatting as
+  /// write(), so values round-trip identically through either form.
+  void write_compact(std::ostream& os) const;
+  std::string dump_compact() const;
+
  private:
   enum class Kind {
     kNull,
@@ -66,6 +72,7 @@ class Json {
   };
 
   void write_indented(std::ostream& os, int depth) const;
+  void write_scalar(std::ostream& os) const;
 
   Kind kind_;
   bool bool_ = false;

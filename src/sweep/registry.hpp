@@ -15,16 +15,61 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "sweep/result_sink.hpp"
+#include "sweep/shard.hpp"
 #include "sweep/sweep.hpp"
 #include "sweep/thread_pool.hpp"
 
 namespace dqma::sweep {
 
 class ExperimentContext;
+
+/// Shard/resume state shared by every experiment of one driver run;
+/// nullptr members (and a default ShardSpec) mean the classic monolithic
+/// run, whose behavior and bytes are unchanged.
+struct RunControls {
+  ShardSpec shard;
+  CheckpointLog* checkpoint = nullptr;
+};
+
+/// How a series partitions across shards (`--shard i/N`). Every mode
+/// preserves per-job seeding exactly; they differ only in which shard
+/// EXECUTES and which shard RECORDS each point.
+struct SweepPolicy {
+  enum class Mode {
+    /// Each point is its own shard unit, keyed by its RNG seed
+    /// derive_seed(series_seed, index). Other shards skip the point
+    /// entirely; its JobResult comes back `skipped` with empty metrics,
+    /// so table-rendering loops must guard before reading. The default,
+    /// and the right choice for every expensive self-contained series.
+    kPartition,
+    /// Every shard executes all points but records only the ones it owns
+    /// (same per-point keys). For cheap closed-form series whose results
+    /// feed cross-point post-processing in the experiment body (ratio
+    /// columns, derived ctx.record points): the body sees complete
+    /// results in every shard, while each point still lands in exactly
+    /// one document.
+    kReplicate,
+    /// Points sharing a value of `group_param` form one all-or-nothing
+    /// shard unit (key = derive_seed(series_seed, fnv1a64(value))), so a
+    /// reduction over the group can run — and record_owned() its derived
+    /// point — in the one shard that has the whole group.
+    kGroupBy,
+  };
+
+  Mode mode = Mode::kPartition;
+  std::string group_param;
+
+  static SweepPolicy partition() { return {}; }
+  static SweepPolicy replicate() { return {Mode::kReplicate, {}}; }
+  static SweepPolicy group_by(std::string param) {
+    return {Mode::kGroupBy, std::move(param)};
+  }
+};
 
 /// A registered experiment: a stable name (used in CLI selection, JSON and
 /// seed derivation), a one-line description, and the body.
@@ -47,12 +92,19 @@ class ExperimentContext {
  public:
   ExperimentContext(const Experiment& experiment, ThreadPool& pool,
                     ResultSink& sink, std::ostream& out, bool smoke,
-                    std::uint64_t global_seed);
+                    std::uint64_t global_seed,
+                    const RunControls* controls = nullptr);
 
   bool smoke() const { return smoke_; }
   ThreadPool& pool() { return pool_; }
   std::ostream& out() { return out_; }
   std::uint64_t base_seed() const { return base_seed_; }
+  /// True when this run executes one shard of the job space; bodies may
+  /// use it to skip shard-incomplete cosmetics (never to change any
+  /// recorded value).
+  bool sharded() const {
+    return controls_ != nullptr && controls_->shard.active();
+  }
 
   /// smoke() ? smoke_variant : full — mirrors util::smoke_select but keyed
   /// off the context (the driver's --smoke flag or DQMA_BENCH_SMOKE).
@@ -64,12 +116,17 @@ class ExperimentContext {
   /// Runs fn over the points on the pool (deterministic per-job seeding
   /// namespaced by `series`), records every point into the sink with the
   /// series name prepended to its params, and returns the ordered results
-  /// for ASCII rendering.
+  /// for ASCII rendering. Under --shard, `policy` decides which points
+  /// this process executes and records (see SweepPolicy); under --resume,
+  /// points found in the checkpoint log are loaded instead of re-run, and
+  /// every newly completed in-shard point is appended to the log.
   std::vector<JobResult> sweep(const std::string& series,
                                const std::vector<ParamPoint>& points,
-                               const JobFn& fn);
+                               const JobFn& fn,
+                               const SweepPolicy& policy = {});
   std::vector<JobResult> sweep(const std::string& series,
-                               const ParamGrid& grid, const JobFn& fn);
+                               const ParamGrid& grid, const JobFn& fn,
+                               const SweepPolicy& policy = {});
 
   /// sweep()'s counterpart for series with a few huge points: runs fn over
   /// the points SERIALLY on the calling thread — outside the sweep pool,
@@ -81,9 +138,29 @@ class ExperimentContext {
                                       const std::vector<ParamPoint>& points,
                                       const JobFn& fn);
 
-  /// Records one serially-computed point (wall time optional).
+  /// Records one serially-computed point (wall time optional). Under
+  /// --shard the point is assigned to a shard by its own key
+  /// derive_seed(series_seed, per-series record index) — correct for
+  /// values every shard computes anyway (inline closed forms, replicated
+  /// post-processing): each lands in exactly one document.
   void record(const std::string& series, ParamPoint params, Metrics metrics,
               double wall_ms = 0.0);
+
+  /// record() for a derived point only THIS shard can compute (a
+  /// reduction over a kGroupBy series it owns): records unconditionally.
+  /// Every other shard must call skip_record() for the same series at the
+  /// same place so canonical point numbering stays aligned across shards.
+  void record_owned(const std::string& series, ParamPoint params,
+                    Metrics metrics, double wall_ms = 0.0);
+
+  /// Declares a point that record_owned() publishes in some other shard:
+  /// advances the canonical counters without recording anything.
+  void skip_record(const std::string& series);
+
+  /// True when this shard owns the NEXT record() point of `series` — lets
+  /// hand-rolled serial loops skip COMPUTING points another shard records
+  /// (call skip_record() for those to keep the numbering aligned).
+  bool owns_next_record(const std::string& series) const;
 
   /// Rng for ad-hoc serial draws, seeded from the series namespace; stable
   /// across runs and independent of other series.
@@ -95,11 +172,28 @@ class ExperimentContext {
   util::Rng point_rng(const std::string& series, std::size_t index) const;
 
  private:
+  /// The canonical point key of record()-style points; advances the
+  /// per-series record index (shared with record_owned/skip_record so the
+  /// counters agree across shards).
+  std::uint64_t next_record_key(const std::string& series);
+  /// Prefixes the series name and records into the sink at `order`.
+  void add_to_sink(const std::string& series, const ParamPoint& params,
+                   Metrics metrics, double wall_ms, std::size_t order);
+
+  std::string name_;
   ThreadPool& pool_;
   ResultSink& sink_;
   std::ostream& out_;
   bool smoke_;
   std::uint64_t base_seed_;
+  const RunControls* controls_;
+  /// Position the NEXT recorded point would take in the canonical
+  /// (unsharded) run of this experiment. Advances for every declared
+  /// point — executed, resumed, or owned by another shard — so orders
+  /// agree across all shards of a run.
+  std::size_t next_order_ = 0;
+  /// Per-series record() indices (key derivation for ad-hoc points).
+  std::map<std::string, std::uint64_t> record_counts_;
 };
 
 /// Options parsed from the dqma_bench command line.
@@ -111,6 +205,11 @@ struct CliOptions {
   bool timings = false;
   std::uint64_t seed = 0;
   bool list_only = false;
+  std::string shard;                      ///< "i/N"; empty => unsharded
+  std::string resume_path;                ///< JSONL checkpoint log
+  std::vector<std::string> merge_inputs;  ///< --merge mode when non-empty
+  std::string compare_path;               ///< baseline document
+  double tolerance = 1e-9;                ///< --compare floating tolerance
 };
 
 /// Shared driver main: parses argv, runs the selected experiments, writes

@@ -19,8 +19,15 @@ void ResultSink::begin_experiment(std::string name, std::string description) {
 void ResultSink::add_point(ParamPoint params, Metrics metrics,
                            double wall_ms) {
   util::require(open_, "ResultSink::add_point: no open experiment");
+  add_point(std::move(params), std::move(metrics), wall_ms,
+            experiments_.back().points.size());
+}
+
+void ResultSink::add_point(ParamPoint params, Metrics metrics, double wall_ms,
+                           std::size_t order) {
+  util::require(open_, "ResultSink::add_point: no open experiment");
   experiments_.back().points.push_back(
-      {std::move(params), std::move(metrics), wall_ms});
+      {std::move(params), std::move(metrics), wall_ms, order});
 }
 
 void ResultSink::end_experiment(double wall_ms) {
@@ -38,15 +45,28 @@ std::size_t ResultSink::point_count() const {
 }
 
 Json ResultSink::to_json(const WriteOptions& options) const {
+  return trajectory_to_json(experiments_, options);
+}
+
+Json trajectory_to_json(const std::vector<ExperimentRecord>& records,
+                        const ResultSink::WriteOptions& options) {
+  const bool sharded = options.shard_count > 1;
   Json config = Json::object();
   config.add("smoke", Json(options.smoke));
   config.add("base_seed", Json(options.base_seed));
+  if (sharded) {
+    config.add("shard", Json(std::to_string(options.shard_index) + "/" +
+                             std::to_string(options.shard_count)));
+  }
 
   Json experiments = Json::array();
-  for (const auto& experiment : experiments_) {
+  for (const auto& experiment : records) {
     Json points = Json::array();
     for (const auto& point : experiment.points) {
       Json entry = Json::object();
+      if (sharded) {
+        entry.add("order", Json(static_cast<std::uint64_t>(point.order)));
+      }
       entry.add("params", Json::from_named_values(point.params));
       entry.add("metrics", Json::from_named_values(point.metrics));
       if (options.include_timings) {

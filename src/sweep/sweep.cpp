@@ -150,7 +150,24 @@ std::vector<JobResult> run_sweep(ThreadPool& pool,
                                  const std::vector<ParamPoint>& points,
                                  std::uint64_t base_seed, const JobFn& fn) {
   std::vector<JobResult> results(points.size());
-  pool.run_indexed(points.size(), [&](std::size_t i) {
+  std::vector<std::size_t> all(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    all[i] = i;
+  }
+  run_sweep_selected(pool, points, base_seed, fn, all, results);
+  return results;
+}
+
+void run_sweep_selected(ThreadPool& pool,
+                        const std::vector<ParamPoint>& points,
+                        std::uint64_t base_seed, const JobFn& fn,
+                        const std::vector<std::size_t>& selected,
+                        std::vector<JobResult>& results,
+                        const JobCompleteFn& on_complete) {
+  util::require(results.size() == points.size(),
+                "run_sweep_selected: results/points size mismatch");
+  pool.run_indexed(selected.size(), [&](std::size_t slot) {
+    const std::size_t i = selected[slot];
     util::Rng rng(util::derive_seed(base_seed, i));
     const auto start = std::chrono::steady_clock::now();
     results[i].metrics = fn(points[i], rng);
@@ -158,8 +175,38 @@ std::vector<JobResult> run_sweep(ThreadPool& pool,
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
             .count();
+    results[i].skipped = false;
+    if (on_complete) {
+      on_complete(i, results[i]);
+    }
   });
-  return results;
+}
+
+bool serialize_identically(const NamedValues& a, const NamedValues& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  const auto numeric = [](const Value& v) {
+    return v.index() == 1 || v.index() == 2;
+  };
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& [a_name, a_value] = a.entries()[i];
+    const auto& [b_name, b_value] = b.entries()[i];
+    if (a_name != b_name) {
+      return false;
+    }
+    if (a_value.index() == b_value.index()) {
+      if (!(a_value == b_value)) {
+        return false;
+      }
+    } else if (!numeric(a_value) || !numeric(b_value) ||
+               value_to_string(a_value) != value_to_string(b_value)) {
+      // Cross-type values serialize identically only in the int/double
+      // ambiguity case (strings are quoted, booleans are keywords).
+      return false;
+    }
+  }
+  return true;
 }
 
 std::uint64_t fnv1a64(std::string_view text) {

@@ -1,0 +1,417 @@
+#include "util/json_reader.hpp"
+
+#include <charconv>
+#include <cstddef>
+#include <limits>
+#include <system_error>
+
+#include "util/require.hpp"
+
+namespace dqma::util::json {
+namespace {
+
+/// Corrupt input must not overflow the recursive-descent stack; the
+/// trajectory schema is 5 levels deep, so 64 is generous.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+bool Node::as_bool() const {
+  require(kind_ == Kind::kBool, "json::Node::as_bool: not a boolean");
+  return bool_;
+}
+
+long long Node::as_int() const {
+  require(kind_ == Kind::kInt, "json::Node::as_int: not an int64 integer");
+  return int_;
+}
+
+std::uint64_t Node::as_uint() const {
+  if (kind_ == Kind::kUint) {
+    return uint_;
+  }
+  require(kind_ == Kind::kInt && int_ >= 0,
+          "json::Node::as_uint: not a non-negative integer");
+  return static_cast<std::uint64_t>(int_);
+}
+
+double Node::as_double() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kUint:
+      return static_cast<double>(uint_);
+    case Kind::kDouble:
+      return double_;
+    default:
+      require(false, "json::Node::as_double: not a number");
+      return 0.0;
+  }
+}
+
+const std::string& Node::as_string() const {
+  require(kind_ == Kind::kString, "json::Node::as_string: not a string");
+  return string_;
+}
+
+const std::vector<Node>& Node::items() const {
+  require(kind_ == Kind::kArray, "json::Node::items: not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Node>>& Node::members() const {
+  require(kind_ == Kind::kObject, "json::Node::members: not an object");
+  return members_;
+}
+
+const Node* Node::find(std::string_view key) const {
+  require(kind_ == Kind::kObject, "json::Node::find: not an object");
+  for (const auto& [name, value] : members_) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+const Node& Node::at(std::string_view key) const {
+  const Node* node = find(key);
+  require(node != nullptr,
+          "json::Node::at: missing member '" + std::string(key) + "'");
+  return *node;
+}
+
+/// Recursive-descent parser over a string_view; tracks the byte offset for
+/// error messages.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Node parse_document() {
+    Node node = parse_value(0);
+    skip_whitespace();
+    fail_unless(pos_ == text_.size(), "trailing characters after document");
+    return node;
+  }
+
+  Node parse_one(std::size_t& offset) {
+    pos_ = offset;
+    Node node = parse_value(0);
+    skip_whitespace();
+    offset = pos_;
+    return node;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    require(false, "json::parse: " + what + " at byte " +
+                       std::to_string(pos_));
+    // require(false, ...) always throws; keep the compiler convinced.
+    throw std::invalid_argument("unreachable");
+  }
+
+  void fail_unless(bool condition, const char* what) const {
+    if (!condition) {
+      fail(what);
+    }
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+
+  char peek() const {
+    fail_unless(!at_end(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  void expect_literal(std::string_view literal) {
+    fail_unless(text_.substr(pos_, literal.size()) == literal,
+                "invalid literal");
+    pos_ += literal.size();
+  }
+
+  Node parse_value(int depth) {
+    fail_unless(depth < kMaxDepth, "nesting too deep");
+    skip_whitespace();
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"': {
+        Node node;
+        node.kind_ = Node::Kind::kString;
+        node.string_ = parse_string();
+        return node;
+      }
+      case 't': {
+        expect_literal("true");
+        Node node;
+        node.kind_ = Node::Kind::kBool;
+        node.bool_ = true;
+        return node;
+      }
+      case 'f': {
+        expect_literal("false");
+        Node node;
+        node.kind_ = Node::Kind::kBool;
+        node.bool_ = false;
+        return node;
+      }
+      case 'n':
+        expect_literal("null");
+        return Node();
+      default:
+        return parse_number();
+    }
+  }
+
+  Node parse_object(int depth) {
+    take();  // '{'
+    Node node;
+    node.kind_ = Node::Kind::kObject;
+    skip_whitespace();
+    if (peek() == '}') {
+      take();
+      return node;
+    }
+    while (true) {
+      skip_whitespace();
+      fail_unless(peek() == '"', "expected object key");
+      std::string key = parse_string();
+      skip_whitespace();
+      fail_unless(take() == ':', "expected ':' after object key");
+      node.members_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      const char c = take();
+      if (c == '}') {
+        return node;
+      }
+      fail_unless(c == ',', "expected ',' or '}' in object");
+    }
+  }
+
+  Node parse_array(int depth) {
+    take();  // '['
+    Node node;
+    node.kind_ = Node::Kind::kArray;
+    skip_whitespace();
+    if (peek() == ']') {
+      take();
+      return node;
+    }
+    while (true) {
+      node.items_.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char c = take();
+      if (c == ']') {
+        return node;
+      }
+      fail_unless(c == ',', "expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    take();  // '"'
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char escape = take();
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u':
+          append_utf8(out, parse_code_point());
+          break;
+        default:
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return value;
+  }
+
+  /// One \uXXXX escape already consumed up to the 'u'; returns the code
+  /// point, consuming the trailing surrogate of a pair when present.
+  unsigned parse_code_point() {
+    const unsigned first = parse_hex4();
+    if (first < 0xD800 || first > 0xDFFF) {
+      return first;
+    }
+    fail_unless(first < 0xDC00, "unpaired trailing surrogate");
+    fail_unless(!at_end() && take() == '\\' && !at_end() && take() == 'u',
+                "unpaired leading surrogate");
+    const unsigned second = parse_hex4();
+    fail_unless(second >= 0xDC00 && second <= 0xDFFF,
+                "invalid trailing surrogate");
+    return 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Node parse_number() {
+    const std::size_t start = pos_;
+    bool integral = true;
+    if (!at_end() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    // RFC 8259: int part is 0 or a nonzero-led digit run (no leading
+    // zeros).
+    fail_unless(!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9',
+                "invalid number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+      fail_unless(at_end() || text_[pos_] < '0' || text_[pos_] > '9',
+                  "leading zero in number");
+    } else {
+      while (!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (!at_end() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      fail_unless(!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9',
+                  "digit required after decimal point");
+      while (!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (!at_end() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!at_end() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      fail_unless(!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9',
+                  "digit required in exponent");
+      while (!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    const char* first = token.data();
+    const char* last = token.data() + token.size();
+    Node node;
+    if (integral) {
+      // int64 first (the writer's common case), then uint64 for seeds and
+      // job keys above INT64_MAX.
+      long long as_int = 0;
+      auto [int_end, int_ec] = std::from_chars(first, last, as_int);
+      if (int_ec == std::errc() && int_end == last) {
+        node.kind_ = Node::Kind::kInt;
+        node.int_ = as_int;
+        return node;
+      }
+      if (token[0] != '-') {
+        std::uint64_t as_uint = 0;
+        auto [uint_end, uint_ec] = std::from_chars(first, last, as_uint);
+        if (uint_ec == std::errc() && uint_end == last) {
+          node.kind_ = Node::Kind::kUint;
+          node.uint_ = as_uint;
+          return node;
+        }
+      }
+      fail("integer out of range");
+    }
+    double as_double = 0.0;
+    auto [double_end, double_ec] = std::from_chars(first, last, as_double);
+    // Overflow to infinity is out-of-range for from_chars; everything the
+    // writer emits is finite, so reject rather than saturate.
+    fail_unless(double_ec == std::errc() && double_end == last,
+                "number out of range");
+    node.kind_ = Node::Kind::kDouble;
+    node.double_ = as_double;
+    return node;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Node parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Node parse_value(std::string_view text, std::size_t& offset) {
+  return Parser(text).parse_one(offset);
+}
+
+}  // namespace dqma::util::json

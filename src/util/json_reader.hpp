@@ -1,0 +1,107 @@
+// A dependency-free JSON reader — the counterpart of the write-only
+// builder in src/sweep/json.hpp. The repo historically never parsed JSON
+// (CI tooling did); sharded sweep execution changed that: shard merging,
+// checkpoint resume, and the baseline-comparison gate all have to read the
+// schema_version-1 trajectory documents (and the JSONL checkpoint lines)
+// back in.
+//
+// Design constraints, matching the writer:
+//   * zero external dependencies (the container bans new packages);
+//   * exact numeric round-trips — an integer parses back as an integer, a
+//     double written in shortest round-trip form parses back to the
+//     identical bits, and a uint64 above INT64_MAX (seeds, job keys) is
+//     preserved — so parse -> re-serialize reproduces the writer's bytes;
+//   * strict RFC 8259 grammar (no comments, no trailing commas, no bare
+//     NaN/Infinity) with informative errors carrying the byte offset, so a
+//     truncated checkpoint line or a hand-edited baseline fails loudly.
+//
+// util/ sits below sweep/ in the layering, so the reader exposes its own
+// small document type instead of sweep::Json; sweep/trajectory.hpp maps
+// parsed nodes onto the trajectory model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dqma::util::json {
+
+/// A parsed JSON value. Object members keep document order (the writer
+/// emits insertion-ordered objects; preserving order is what makes
+/// parse -> re-serialize byte-stable).
+class Node {
+ public:
+  enum class Kind {
+    kNull,
+    kBool,
+    kInt,     ///< integral literal representable as long long
+    kUint,    ///< integral literal above INT64_MAX (seeds, job keys)
+    kDouble,  ///< literal with a fraction or exponent
+    kString,
+    kArray,
+    kObject
+  };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+  /// True only for integral literals (no fraction/exponent in the source).
+  bool is_integer() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; require() the exact kind (numeric accessors accept
+  /// any representable numeric kind).
+  bool as_bool() const;
+  long long as_int() const;
+  /// Any non-negative integral value, including the kUint range.
+  std::uint64_t as_uint() const;
+  /// Any numeric value, widened to double.
+  double as_double() const;
+  const std::string& as_string() const;
+  const std::vector<Node>& items() const;
+  const std::vector<std::pair<std::string, Node>>& members() const;
+
+  /// Object member lookup (first match, document order); nullptr if the
+  /// key is absent. require()s object kind.
+  const Node* find(std::string_view key) const;
+  /// Like find(), but require()s the key to exist.
+  const Node& at(std::string_view key) const;
+
+  // Construction is internal to the parser.
+  Node() = default;
+
+ private:
+  friend class Parser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  long long int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Node> items_;
+  std::vector<std::pair<std::string, Node>> members_;
+};
+
+/// Parses exactly one JSON document; trailing non-whitespace is an error.
+/// Throws std::invalid_argument (via util::require) with the byte offset
+/// on malformed input. Nesting is capped at a depth of 64 (the trajectory
+/// schema needs 5) so corrupt input cannot overflow the parser stack.
+Node parse(std::string_view text);
+
+/// Parses one JSON value starting at `text[offset]` and advances `offset`
+/// past it (plus surrounding whitespace). The JSONL checkpoint reader uses
+/// this to consume a stream of newline-delimited documents.
+Node parse_value(std::string_view text, std::size_t& offset);
+
+}  // namespace dqma::util::json

@@ -1,0 +1,190 @@
+// The dependency-free JSON reader (util/json_reader.hpp): value fidelity
+// (the exact numeric round trips the byte-identical merge gate relies on),
+// full-document parsing, and strict rejection of malformed input — a
+// corrupt shard artifact or checkpoint line must fail loudly, never load
+// as garbage.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "sweep/json.hpp"
+#include "sweep/sweep.hpp"
+#include "util/json_reader.hpp"
+
+namespace {
+
+using dqma::sweep::Json;
+using dqma::sweep::Value;
+using dqma::sweep::value_to_string;
+using dqma::util::json::Node;
+using dqma::util::json::parse;
+using dqma::util::json::parse_value;
+
+TEST(JsonReaderTest, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-17").as_int(), -17);
+  EXPECT_EQ(parse("0").as_int(), 0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(parse("0.5").as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("-2.25E-2").as_double(), -0.0225);
+}
+
+TEST(JsonReaderTest, IntegerKindsAndRanges) {
+  // Integral literals stay integers (no fraction/exponent in the source);
+  // values above INT64_MAX land in the uint64 kind (seeds, job keys).
+  EXPECT_TRUE(parse("7").is_integer());
+  EXPECT_FALSE(parse("7.0").is_integer());
+  EXPECT_FALSE(parse("7e0").is_integer());
+
+  const auto max_int64 = std::numeric_limits<long long>::max();
+  EXPECT_EQ(parse(std::to_string(max_int64)).as_int(), max_int64);
+
+  const std::uint64_t big = 0xF1E2D3C4B5A69788ULL;
+  const Node node = parse(std::to_string(big));
+  EXPECT_EQ(node.kind(), Node::Kind::kUint);
+  EXPECT_EQ(node.as_uint(), big);
+  // Too large even for uint64.
+  EXPECT_THROW(parse("99999999999999999999999"), std::invalid_argument);
+}
+
+TEST(JsonReaderTest, DoublesRoundTripExactly) {
+  // The writer emits shortest round-trip forms; parsing one back must
+  // reproduce the identical bits — the heart of the byte-stable merge.
+  for (const double value :
+       {0.1, 1.0 / 3.0, 1e-9, 6.02214076e23, 4.9406564584124654e-324,
+        -0.0001257318282375692, 0.4294145107269268}) {
+    const std::string text = value_to_string(Value(value));
+    const Node node = parse(text);
+    EXPECT_EQ(node.as_double(), value) << text;
+    EXPECT_EQ(value_to_string(Value(node.as_double())), text);
+  }
+}
+
+TEST(JsonReaderTest, ParsesNestedDocumentPreservingOrder) {
+  const Node doc = parse(R"({
+    "config": {"smoke": true, "base_seed": 0},
+    "experiments": [
+      {"name": "a", "points": [{"params": {"n": 4}, "metrics": {"v": 0.5}}]},
+      {"name": "b", "points": []}
+    ]
+  })");
+  EXPECT_TRUE(doc.at("config").at("smoke").as_bool());
+  const auto& experiments = doc.at("experiments").items();
+  ASSERT_EQ(experiments.size(), 2u);
+  EXPECT_EQ(experiments[0].at("name").as_string(), "a");
+  EXPECT_EQ(experiments[1].at("points").items().size(), 0u);
+  const Node& point = experiments[0].at("points").items()[0];
+  EXPECT_EQ(point.at("params").at("n").as_int(), 4);
+  // Member order is document order.
+  EXPECT_EQ(doc.members()[0].first, "config");
+  EXPECT_EQ(doc.members()[1].first, "experiments");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), std::invalid_argument);
+}
+
+TEST(JsonReaderTest, RoundTripsThroughTheWriter) {
+  // writer -> reader -> (typed values) for everything the trajectory
+  // schema contains, including escaped strings and a control character.
+  Json object = Json::object();
+  object.add("text", Json(std::string("line\n\ttab \"quoted\" \\ \x07")));
+  object.add("seed", Json(std::uint64_t{0xDEADBEEFDEADBEEFULL}));
+  object.add("count", Json(-12));
+  object.add("ratio", Json(0.30000000000000004));
+  Json array = Json::array();
+  array.push_back(Json(true));
+  array.push_back(Json());
+  object.add("list", std::move(array));
+
+  for (const std::string& text :
+       {object.dump(), object.dump_compact()}) {
+    const Node node = parse(text);
+    EXPECT_EQ(node.at("text").as_string(), "line\n\ttab \"quoted\" \\ \x07");
+    EXPECT_EQ(node.at("seed").as_uint(), 0xDEADBEEFDEADBEEFULL);
+    EXPECT_EQ(node.at("count").as_int(), -12);
+    EXPECT_EQ(node.at("ratio").as_double(), 0.30000000000000004);
+    EXPECT_TRUE(node.at("list").items()[0].as_bool());
+    EXPECT_TRUE(node.at("list").items()[1].is_null());
+  }
+}
+
+TEST(JsonReaderTest, DecodesUnicodeEscapes) {
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse(R"("\u00e9")").as_string(), "\xC3\xA9");      // e-acute
+  EXPECT_EQ(parse(R"("\u20ac")").as_string(), "\xE2\x82\xAC");  // euro sign
+  EXPECT_EQ(parse(R"("\ud83d\ude00")").as_string(),
+            "\xF0\x9F\x98\x80");  // surrogate pair (emoji)
+  // Raw UTF-8 bytes pass through untouched.
+  EXPECT_EQ(parse("\"\xC3\xA9\"").as_string(), "\xC3\xA9");
+  EXPECT_THROW(parse(R"("\ud83d")"), std::invalid_argument);   // lone lead
+  EXPECT_THROW(parse(R"("\ude00")"), std::invalid_argument);   // lone trail
+  EXPECT_THROW(parse(R"("\ud83dx")"), std::invalid_argument);
+  EXPECT_THROW(parse(R"("\u00zz")"), std::invalid_argument);
+}
+
+TEST(JsonReaderTest, RejectsMalformedInput) {
+  for (const char* bad : {
+           "",                      // empty
+           "{",                     // truncated object
+           "[1, 2",                 // truncated array
+           "\"unterminated",        // truncated string
+           "{\"a\": }",             // missing value
+           "{\"a\" 1}",             // missing colon
+           "{a: 1}",                // unquoted key
+           "[1,]",                  // trailing comma
+           "{} {}",                 // trailing garbage
+           "tru",                   // bad literal
+           "nul",                   // bad literal
+           "NaN",                   // no bare NaN (the writer emits null)
+           "Infinity",              //
+           "01",                    // leading zero
+           "1.",                    // digit required after '.'
+           ".5",                    // digit required before '.'
+           "+1",                    // no leading plus
+           "1e",                    // empty exponent
+           "--1",                   //
+           "\"bad \x01 control\"",  // unescaped control character
+           "\"bad \\x escape\"",    // unknown escape
+           "1e999",                 // double overflow
+       }) {
+    EXPECT_THROW(parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(JsonReaderTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  EXPECT_THROW(parse(deep + std::string(100, ']')), std::invalid_argument);
+  // 32 levels is comfortably within the cap.
+  std::string ok(32, '[');
+  ok += std::string(32, ']');
+  EXPECT_TRUE(parse(ok).is_array());
+}
+
+TEST(JsonReaderTest, ParseValueStreamsJsonl) {
+  const std::string lines = "{\"a\": 1}\n{\"b\": 2}\n[3]\n";
+  std::size_t offset = 0;
+  const Node first = parse_value(lines, offset);
+  EXPECT_EQ(first.at("a").as_int(), 1);
+  const Node second = parse_value(lines, offset);
+  EXPECT_EQ(second.at("b").as_int(), 2);
+  const Node third = parse_value(lines, offset);
+  EXPECT_EQ(third.items()[0].as_int(), 3);
+  EXPECT_EQ(offset, lines.size());
+}
+
+TEST(JsonReaderTest, FirstDuplicateKeyWins) {
+  // The writer never emits duplicates; the reader keeps both members and
+  // find() returns the first, matching RFC 8259's laissez-faire stance.
+  const Node node = parse(R"({"k": 1, "k": 2})");
+  EXPECT_EQ(node.at("k").as_int(), 1);
+  EXPECT_EQ(node.members().size(), 2u);
+}
+
+}  // namespace
