@@ -14,6 +14,7 @@ void register_all_experiments() {
     register_ablations();
     register_robustness();
     register_micro();
+    register_serve_throughput();
     return true;
   }();
   (void)registered;

@@ -10,6 +10,7 @@ namespace dqma::bench {
 void register_ablations();
 void register_micro();
 void register_robustness();
+void register_serve_throughput();
 void register_table1_fgnp();
 void register_table2_eq();
 void register_table2_gt_rv();

@@ -1,0 +1,190 @@
+// serve_throughput — drives the dqma_serve request engine (src/serve/)
+// with a synthetic multi-workload request stream and records sustained
+// requests/sec plus p50/p95/p99 response latency.
+//
+// Determinism split. Regular metrics hold only reproducible values: the
+// request/ok counts, the shape-cache counters (single-flight, so misses ==
+// distinct shapes at any thread count), and an FNV-1a checksum over the
+// concatenated response bytes — equal across the threads axis by the serve
+// determinism contract, and the JSON document pins it. The nondeterministic
+// numbers (req/s, latency percentiles) ride exclusively in per-point
+// wall_ms, which the writer emits only under --timings — so the default
+// document stays byte-comparable across runs and hosts.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiments.hpp"
+#include "serve/handlers.hpp"
+#include "serve/server.hpp"
+#include "sweep/registry.hpp"
+#include "util/table.hpp"
+
+namespace dqma::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using util::Table;
+
+/// The i-th request line of the synthetic stream: cycles the three builtin
+/// workloads over a handful of shapes, so the stream exercises both cache
+/// misses (first visit of a shape) and hits (every revisit). Seeds are the
+/// index — fixed across runs, so the response bytes are fixed too.
+std::string request_line(int i) {
+  const int shape = (i / 3) % 2;  // two shape variants per workload
+  switch (i % 3) {
+    case 0:
+      return "{\"workload\":\"auction_gt\",\"id\":\"q" + std::to_string(i) +
+             "\",\"seed\":" + std::to_string(i) +
+             ",\"params\":{\"n\":16,\"r\":" + std::to_string(2 + shape) +
+             ",\"reps\":8,\"bid\":" + std::to_string(50000 + i) +
+             ",\"reserve\":48000}}";
+    case 1:
+      return "{\"workload\":\"config_drift\",\"id\":\"q" + std::to_string(i) +
+             "\",\"seed\":" + std::to_string(i) +
+             ",\"params\":{\"n\":16,\"d\":2,\"drift\":" +
+             std::to_string(1 + 2 * shape) +
+             ",\"r\":2,\"reps\":6,\"samples\":30}}";
+    default:
+      return "{\"workload\":\"replicated_data_audit\",\"id\":\"q" +
+             std::to_string(i) + "\",\"seed\":" + std::to_string(i) +
+             ",\"params\":{\"n\":48,\"nodes\":" + std::to_string(6 + 2 * shape) +
+             ",\"replicas\":3,\"reps\":4,\"tamper_bits\":" +
+             std::to_string(i % 2) + "}}";
+  }
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+void run(sweep::ExperimentContext& ctx) {
+  std::ostream& out = ctx.out();
+  util::print_banner(
+      out, "dqma_serve request engine throughput",
+      "A fixed multi-workload request stream through serve::Server at 1\n"
+      "thread vs the full --threads budget. Counts, cache counters and the\n"
+      "response checksum are deterministic (and equal across the thread\n"
+      "axis); req/s and latency percentiles ride in wall_ms (--timings).");
+
+  serve::register_builtin_workloads();
+  const int requests = ctx.smoke_select(96, 24);
+
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    lines.push_back(request_line(i));
+  }
+
+  Table table({"threads", "requests", "ok", "cache miss", "req/s", "p50 ms",
+               "p95 ms", "p99 ms"});
+  // Hand-rolled serial loop (each point owns a whole Server with its own
+  // pool), so the shard partition is hand-rolled too — mirroring the
+  // parallel_kernels section of the micro experiment.
+  for (const int threads_param : {1, 0}) {
+    sweep::ParamPoint point;
+    point.set("threads", threads_param).set("requests", requests);
+    if (!ctx.owns_next_record("engine")) {
+      ctx.skip_record("engine");
+      for (int s = 0; s < 4; ++s) {
+        ctx.skip_record("stats");
+      }
+      continue;
+    }
+    // threads 0 = the sweep pool's resolved --threads budget, so
+    // `--threads 1` keeps even the "parallel" point serial.
+    const int threads =
+        threads_param == 0 ? ctx.pool().thread_count() : threads_param;
+
+    serve::Server server(serve::ServerConfig{
+        threads, static_cast<std::size_t>(requests) + 1});
+    std::vector<std::string> responses(lines.size());
+    std::vector<Clock::time_point> submitted(lines.size());
+    std::vector<double> latency_ms(lines.size(), 0.0);
+
+    const Clock::time_point start = Clock::now();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      submitted[i] = Clock::now();
+      server.submit(lines[i], [&, i](std::string response) {
+        // Dispatcher-thread write; drain()'s lock hand-off orders it
+        // before the reads below.
+        responses[i] = std::move(response);
+        latency_ms[i] = std::chrono::duration<double, std::milli>(
+                            Clock::now() - submitted[i])
+                            .count();
+      });
+    }
+    server.drain();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    const serve::ServerStats stats = server.stats();
+
+    std::string all_bytes;
+    for (const std::string& response : responses) {
+      all_bytes += response;
+      all_bytes += '\n';
+    }
+    const auto checksum =
+        static_cast<long long>(sweep::fnv1a64(all_bytes));
+
+    std::vector<double> sorted = latency_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const double p50 = percentile(sorted, 0.50);
+    const double p95 = percentile(sorted, 0.95);
+    const double p99 = percentile(sorted, 0.99);
+    const double req_per_s =
+        wall_ms > 0.0 ? 1000.0 * static_cast<double>(requests) / wall_ms
+                      : 0.0;
+
+    ctx.record("engine", point,
+               sweep::Metrics()
+                   .set("ok", static_cast<long long>(stats.ok))
+                   .set("failed", static_cast<long long>(stats.failed))
+                   .set("overloaded",
+                        static_cast<long long>(stats.overloaded))
+                   .set("cache_misses",
+                        static_cast<long long>(stats.cache.misses))
+                   .set("cache_hits",
+                        static_cast<long long>(stats.cache.hits))
+                   .set("response_checksum", checksum),
+               wall_ms);
+    // One stats point per percentile/rate, the value carried in wall_ms
+    // (nondeterministic => --timings only); `stat` names it.
+    const std::pair<const char*, double> stat_points[] = {
+        {"req_per_s", req_per_s}, {"p50_ms", p50}, {"p95_ms", p95},
+        {"p99_ms", p99}};
+    for (const auto& [stat, value] : stat_points) {
+      sweep::ParamPoint stat_point;
+      stat_point.set("threads", threads_param).set("stat", stat);
+      ctx.record("stats", stat_point,
+                 sweep::Metrics().set("samples", requests), value);
+    }
+
+    table.add_row({Table::fmt(threads_param), Table::fmt(requests),
+                   Table::fmt(static_cast<long long>(stats.ok)),
+                   Table::fmt(static_cast<long long>(stats.cache.misses)),
+                   Table::fmt(req_per_s, 1), Table::fmt(p50, 3),
+                   Table::fmt(p95, 3), Table::fmt(p99, 3)});
+  }
+  table.print(out);
+}
+
+}  // namespace
+
+void register_serve_throughput() {
+  sweep::register_experiment(
+      {"serve_throughput",
+       "dqma_serve engine: requests/sec and latency percentiles "
+       "(wall times via --timings)",
+       run});
+}
+
+}  // namespace dqma::bench

@@ -11,7 +11,9 @@
 #include "dqma/gt.hpp"
 #include "util/bitstring.hpp"
 
-int main() {
+#include "example_harness.hpp"
+
+int example_main() {
   using dqma::protocol::GtProtocol;
   using dqma::protocol::GtVariant;
   using dqma::util::Bitstring;

@@ -12,7 +12,9 @@
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
 
-int main() {
+#include "example_harness.hpp"
+
+int example_main() {
   using dqma::network::Graph;
   using dqma::protocol::HammingGraphProtocol;
   using dqma::util::Bitstring;

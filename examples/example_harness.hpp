@@ -1,0 +1,26 @@
+// Shared main() for every examples/ binary.
+//
+// The library reports misuse by throwing (util::require); before this
+// harness each example let exceptions escape main(), so a failing example
+// died in std::terminate with no message and CI's example-label jobs
+// printed nothing useful. Each example now defines example_main() and the
+// harness catches, prints what(), and exits nonzero so CTest still fails.
+#pragma once
+
+#include <exception>
+#include <iostream>
+
+/// The example body, defined by the including .cpp (its former main()).
+int example_main();
+
+int main() {
+  try {
+    return example_main();
+  } catch (const std::exception& error) {
+    std::cerr << "example failed: " << error.what() << "\n";
+    return 1;
+  } catch (...) {
+    std::cerr << "example failed: unknown exception\n";
+    return 1;
+  }
+}

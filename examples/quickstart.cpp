@@ -9,7 +9,9 @@
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
 
-int main() {
+#include "example_harness.hpp"
+
+int example_main() {
   using dqma::protocol::EqPathProtocol;
   using dqma::util::Bitstring;
 

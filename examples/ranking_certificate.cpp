@@ -11,7 +11,9 @@
 #include "network/graph.hpp"
 #include "util/bitstring.hpp"
 
-int main() {
+#include "example_harness.hpp"
+
+int example_main() {
   using dqma::network::Graph;
   using dqma::protocol::RvProtocol;
   using dqma::protocol::rv_predicate;

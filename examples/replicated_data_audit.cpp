@@ -14,7 +14,9 @@
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
 
-int main() {
+#include "example_harness.hpp"
+
+int example_main() {
   using dqma::network::Graph;
   using dqma::protocol::EqGraphProtocol;
   using dqma::util::Bitstring;

@@ -12,7 +12,9 @@
 #include "dqma/from_qma_cc.hpp"
 #include "util/rng.hpp"
 
-int main() {
+#include "example_harness.hpp"
+
+int example_main() {
   using dqma::comm::lsd_qma_instance;
   using dqma::comm::LsdInstance;
   using dqma::protocol::QmaCcPathProtocol;

@@ -24,12 +24,12 @@ double EqOneWayProtocol::accept_product(
   require(message.size() == 1, "EqOneWayProtocol: expected one register");
   require(message.front().dim() == scheme_.dim(),
           "EqOneWayProtocol: message dimension mismatch");
-  if (!has_cache_ || cached_y_ != y) {
-    cached_y_ = y;
-    cached_state_ = scheme_.state(y);
-    has_cache_ = true;
+  std::shared_ptr<const Memo> memo = memo_.load(std::memory_order_acquire);
+  if (memo == nullptr || memo->y != y) {
+    memo = std::make_shared<const Memo>(Memo{y, scheme_.state(y)});
+    memo_.store(memo, std::memory_order_release);
   }
-  const double amp = std::abs(cached_state_.dot(message.front()));
+  const double amp = std::abs(memo->state.dot(message.front()));
   return amp * amp;
 }
 

@@ -3,6 +3,7 @@
 // |h_y>. Perfect completeness; soundness error at most delta^2.
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "comm/one_way.hpp"
@@ -33,11 +34,15 @@ class EqOneWayProtocol final : public OneWayProtocol {
  private:
   fingerprint::FingerprintScheme scheme_;
   // Memo of Bob's reference fingerprint: Monte-Carlo protocol runs call
-  // accept_product with the same y millions of times. Not thread-safe by
-  // design (the simulators are single-threaded per protocol object).
-  mutable Bitstring cached_y_;
-  mutable CVec cached_state_;
-  mutable bool has_cache_ = false;
+  // accept_product with the same y millions of times. Published as an
+  // immutable snapshot behind an atomic shared_ptr so concurrent callers
+  // (e.g. serve requests sharing one cached protocol) never observe a
+  // half-built memo; a different y rebuilds, it never mutates in place.
+  struct Memo {
+    Bitstring y;
+    CVec state;
+  };
+  mutable std::atomic<std::shared_ptr<const Memo>> memo_;
 };
 
 }  // namespace dqma::comm

@@ -80,19 +80,21 @@ double HammingOneWayProtocol::accept_product(
   require(y.size() == n_, "HammingOneWayProtocol: input length mismatch");
   require(static_cast<int>(message.size()) == blocks_ * copies_,
           "HammingOneWayProtocol: register count mismatch");
-  if (!has_cache_ || cached_y_ != y) {
-    cached_y_ = y;
-    cached_refs_.clear();
-    cached_refs_.reserve(static_cast<std::size_t>(blocks_));
+  std::shared_ptr<const Memo> memo = memo_.load(std::memory_order_acquire);
+  if (memo == nullptr || memo->y != y) {
+    auto fresh = std::make_shared<Memo>();
+    fresh->y = y;
+    fresh->refs.reserve(static_cast<std::size_t>(blocks_));
     for (int b = 0; b < blocks_; ++b) {
-      cached_refs_.push_back(scheme_.state(masked(y, b)));
+      fresh->refs.push_back(scheme_.state(masked(y, b)));
     }
-    has_cache_ = true;
+    memo = std::move(fresh);
+    memo_.store(memo, std::memory_order_release);
   }
   // Per block: probability that *all* copies pass Bob's projector.
   std::vector<double> pass(static_cast<std::size_t>(blocks_), 1.0);
   for (int b = 0; b < blocks_; ++b) {
-    const CVec& ref = cached_refs_[static_cast<std::size_t>(b)];
+    const CVec& ref = memo->refs[static_cast<std::size_t>(b)];
     for (int c = 0; c < copies_; ++c) {
       const double amp =
           std::abs(ref.dot(message[static_cast<std::size_t>(b * copies_ + c)]));

@@ -20,6 +20,8 @@
 //    EXPERIMENTS.md reports next to every measurement that depends on it.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <vector>
 
 #include "comm/one_way.hpp"
@@ -60,11 +62,14 @@ class HammingOneWayProtocol final : public OneWayProtocol {
   int copies_;
   fingerprint::FingerprintScheme scheme_;
   std::vector<Bitstring> masks_;  // one n-bit mask per block
-  // Memo of Bob's per-block reference fingerprints (see eq_protocol.hpp;
-  // single-threaded protocol objects).
-  mutable Bitstring cached_y_;
-  mutable std::vector<CVec> cached_refs_;
-  mutable bool has_cache_ = false;
+  // Memo of Bob's per-block reference fingerprints — an immutable snapshot
+  // behind an atomic shared_ptr, safe against concurrent accept_product
+  // calls on a shared protocol object (see eq_protocol.hpp).
+  struct Memo {
+    Bitstring y;
+    std::vector<CVec> refs;
+  };
+  mutable std::atomic<std::shared_ptr<const Memo>> memo_;
 
   Bitstring masked(const Bitstring& x, int b) const;
 };

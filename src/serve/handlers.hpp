@@ -1,0 +1,59 @@
+// The dqma_serve workload registry: named request handlers, each a ported
+// examples/ scenario turned into a parameterized verification service.
+//
+// A handler receives the parsed request, the server's shape cache (for
+// request-independent artifacts: protocol instances with their fingerprint
+// codes, LocalOpPlans and precompiled MC acceptance tables), and a private
+// Rng seeded from (workload name, request seed) only — so its metrics are
+// a pure function of the request line, independent of thread count, cache
+// temperature, and request interleaving.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "serve/shape_cache.hpp"
+#include "sweep/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::serve {
+
+using HandlerFn =
+    std::function<sweep::Metrics(const Request&, ShapeCache&, util::Rng&)>;
+
+struct Workload {
+  std::string name;
+  std::string description;
+  HandlerFn run;
+};
+
+/// Registers a workload; duplicate names are rejected. Call during startup
+/// (registration is not synchronized against concurrent lookups).
+void register_workload(Workload workload);
+
+/// All registered workloads, in registration order.
+const std::vector<Workload>& workloads();
+
+/// Lookup by name; nullptr when unknown.
+const Workload* find_workload(std::string_view name);
+
+/// Registers the built-in workloads (idempotent):
+///   * replicated_data_audit — graph EQ audit on a random tree
+///     (examples/replicated_data_audit.cpp as a service);
+///   * config_drift — Hamming-distance drift check
+///     (examples/config_drift.cpp);
+///   * auction_gt — sealed-bid greater-than on a relay chain
+///     (examples/auction_gt.cpp).
+void register_builtin_workloads();
+
+/// Runs one request line end to end: parse, dispatch, serialize. Never
+/// throws — malformed or failing requests become error responses (and set
+/// *ok to false when the caller asks). This is THE definition of the
+/// response bytes; server, bench, and tests all funnel through it.
+std::string handle_request_line(std::string_view line, ShapeCache& cache,
+                                bool* ok = nullptr);
+
+}  // namespace dqma::serve

@@ -1,0 +1,56 @@
+#include "serve/request.hpp"
+
+#include "sweep/json.hpp"
+#include "sweep/trajectory.hpp"
+#include "util/json_reader.hpp"
+#include "util/require.hpp"
+
+namespace dqma::serve {
+
+Request parse_request(std::string_view line) {
+  const util::json::Node node = util::json::parse(line);
+  util::require(node.is_object(), "request: not a JSON object");
+
+  Request request;
+  for (const auto& [key, value] : node.members()) {
+    if (key == "workload") {
+      request.workload = value.as_string();
+    } else if (key == "id") {
+      request.id = value.as_string();
+    } else if (key == "seed") {
+      request.seed = value.as_uint();
+    } else if (key == "params") {
+      request.params = sweep::named_values_from_json(value);
+    } else {
+      // Reject instead of ignoring: a typoed field silently changing the
+      // workload's defaults would be a miserable bug to chase.
+      util::require(false, "request: unknown field '" + key + "'");
+    }
+  }
+  util::require(!request.workload.empty(),
+                "request: missing or empty 'workload'");
+  return request;
+}
+
+std::string ok_response(const std::string& id,
+                        const sweep::Metrics& metrics) {
+  sweep::Json response = sweep::Json::object();
+  response.add("id", sweep::Json(id));
+  response.add("ok", sweep::Json(true));
+  response.add("metrics", sweep::Json::from_named_values(metrics));
+  return response.dump_compact();
+}
+
+std::string error_response(const std::string& id, std::string_view error,
+                           bool retry) {
+  sweep::Json response = sweep::Json::object();
+  response.add("id", sweep::Json(id));
+  response.add("ok", sweep::Json(false));
+  response.add("error", sweep::Json(std::string(error)));
+  if (retry) {
+    response.add("retry", sweep::Json(true));
+  }
+  return response.dump_compact();
+}
+
+}  // namespace dqma::serve

@@ -1,0 +1,49 @@
+// The dqma_serve line protocol: one JSON object per request line, one
+// compact JSON object per response line.
+//
+// Request:  {"workload": "<name>", "id": "<echoed>", "seed": <uint64>,
+//            "params": {<scalars>}}
+//   * workload is required; everything else is optional (id defaults to
+//     "", seed to 0, params to empty — handlers fill in their defaults).
+// Response: {"id": "...", "ok": true,  "metrics": {...}}
+//       or  {"id": "...", "ok": false, "error": "..."(, "retry": true)}
+//   * "retry": true marks transient failures (backpressure overload); the
+//     client may resubmit. Malformed or unknown requests are permanent
+//     errors without the flag.
+//
+// Determinism contract: a response line is a pure function of its request
+// line — parsing is strict RFC 8259 (util/json_reader), handler RNG is
+// seeded from (workload, seed) only, and serialization reuses the
+// deterministic sweep JSON writer — so replaying a request stream yields
+// byte-identical responses at any server thread count, warm or cold cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sweep/sweep.hpp"
+
+namespace dqma::serve {
+
+/// One parsed verification request.
+struct Request {
+  std::string id;          ///< echoed verbatim in the response
+  std::string workload;    ///< handler name (see handlers.hpp)
+  sweep::ParamPoint params;
+  std::uint64_t seed = 0;  ///< request-level RNG seed
+};
+
+/// Parses one request line; throws std::invalid_argument (util::require)
+/// on malformed JSON, a missing/empty workload, or unknown fields.
+Request parse_request(std::string_view line);
+
+/// The success response line (no trailing newline).
+std::string ok_response(const std::string& id, const sweep::Metrics& metrics);
+
+/// The error response line (no trailing newline). `retry` marks transient
+/// failures (overload) the client may resubmit.
+std::string error_response(const std::string& id, std::string_view error,
+                           bool retry = false);
+
+}  // namespace dqma::serve

@@ -1,0 +1,143 @@
+#include "serve/server.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "serve/handlers.hpp"
+#include "serve/request.hpp"
+#include "util/json_reader.hpp"
+
+namespace dqma::serve {
+namespace {
+
+/// Best-effort id extraction for rejection responses: the request is never
+/// executed, but a client correlating by id should still see which request
+/// bounced. Malformed lines yield "".
+std::string peek_id(std::string_view line) {
+  try {
+    const util::json::Node node = util::json::parse(line);
+    if (node.is_object()) {
+      for (const auto& [key, value] : node.members()) {
+        if (key == "id") {
+          return value.as_string();
+        }
+      }
+    }
+  } catch (const std::exception&) {
+  }
+  return "";
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(config),
+      pool_(config.threads),
+      dispatcher_([this] { dispatcher_loop(); }) {
+  if (config_.max_pending == 0) {
+    config_.max_pending = 1;
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+bool Server::submit(std::string line, ResponseFn respond) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) {
+      lock.unlock();
+      respond(error_response(peek_id(line), "server shutting down",
+                             /*retry=*/false));
+      return false;
+    }
+    if (queue_.size() >= config_.max_pending) {
+      ++overloaded_;
+      lock.unlock();
+      respond(error_response(peek_id(line), "server overloaded",
+                             /*retry=*/true));
+      return false;
+    }
+    ++accepted_;
+    queue_.push_back(Pending{std::move(line), std::move(respond)});
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+void Server::dispatcher_loop() {
+  std::vector<Pending> batch;
+  std::vector<std::string> responses;
+  std::vector<unsigned char> oks;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ && drained
+      }
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+      busy_ = true;
+    }
+
+    responses.assign(batch.size(), std::string());
+    oks.assign(batch.size(), 0);
+    pool_.run_indexed(batch.size(), [&](std::size_t i) {
+      bool request_ok = false;
+      responses[i] = handle_request_line(batch[i].line, cache_, &request_ok);
+      oks[i] = request_ok ? 1 : 0;
+    });
+
+    // Deliver in arrival order: per-connection FIFO, hence deterministic
+    // response streams. A throwing callback must not wedge drain().
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      try {
+        batch[i].respond(std::move(responses[i]));
+      } catch (const std::exception&) {
+      }
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      for (const unsigned char request_ok : oks) {
+        ++(request_ok ? ok_ : failed_);
+      }
+      busy_ = false;
+    }
+    idle_cv_.notify_all();
+    batch.clear();
+  }
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+void Server::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && !dispatcher_.joinable()) {
+      return;
+    }
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+}
+
+ServerStats Server::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ServerStats stats;
+  stats.accepted = accepted_;
+  stats.overloaded = overloaded_;
+  stats.ok = ok_;
+  stats.failed = failed_;
+  stats.cache = cache_.stats();
+  return stats;
+}
+
+}  // namespace dqma::serve

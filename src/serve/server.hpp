@@ -1,0 +1,109 @@
+// The dqma_serve request engine: a bounded pending queue feeding a
+// dispatcher thread that fans batches of requests out over a ThreadPool.
+//
+// Concurrency model. Transports (stdin reader, socket acceptor) call
+// submit() from any thread; the single dispatcher thread owns the
+// ThreadPool (run_indexed is single-owner) and repeatedly drains the queue
+// into a batch, computes every response in parallel, then delivers the
+// responses in arrival order. Because each response line is a pure
+// function of its request line (handlers.hpp) and delivery preserves
+// per-connection arrival order, a client's response stream is
+// byte-identical across runs, thread counts, and cache temperature.
+//
+// Backpressure. The queue is bounded (ServerConfig::max_pending): submit()
+// on a full queue does not block or drop silently — it synthesizes an
+// overload error response carrying "retry": true so well-behaved clients
+// back off and resubmit.
+//
+// Shutdown. shutdown() stops accepting, lets the dispatcher drain every
+// queued and in-flight request, and joins it — the SIGTERM path loses no
+// accepted work.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/shape_cache.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace dqma::serve {
+
+struct ServerConfig {
+  /// Threads applied to each batch; <= 0 selects hardware concurrency.
+  int threads = 0;
+  /// Queue bound; submissions beyond it get an overload error response.
+  std::size_t max_pending = 1024;
+};
+
+struct ServerStats {
+  std::uint64_t accepted = 0;    ///< requests queued for dispatch
+  std::uint64_t overloaded = 0;  ///< rejected: queue full
+  std::uint64_t ok = 0;          ///< "ok": true responses delivered
+  std::uint64_t failed = 0;      ///< "ok": false responses delivered
+  ShapeCache::Stats cache;
+};
+
+/// Receives exactly one response line (no trailing newline). Invoked from
+/// the dispatcher thread for accepted requests, inline on the submitting
+/// thread for rejected ones — implementations synchronize their sink.
+using ResponseFn = std::function<void(std::string)>;
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+
+  /// Drains and joins (equivalent to shutdown()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues one request line; `respond` is invoked exactly once. A full
+  /// queue (or a server already shutting down) rejects the request with an
+  /// error response instead — the return value says which happened.
+  bool submit(std::string line, ResponseFn respond);
+
+  /// Blocks until every accepted request has been responded to.
+  void drain();
+
+  /// Stops accepting, drains, joins the dispatcher. Idempotent.
+  void shutdown();
+
+  ServerStats stats() const;
+  ShapeCache& cache() { return cache_; }
+  int thread_count() const { return pool_.thread_count(); }
+
+ private:
+  struct Pending {
+    std::string line;
+    ResponseFn respond;
+  };
+
+  void dispatcher_loop();
+
+  ServerConfig config_;
+  sweep::ThreadPool pool_;
+  ShapeCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  ///< dispatcher waits for work/stop
+  std::condition_variable idle_cv_;   ///< drain() waits for quiescence
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  bool busy_ = false;  ///< dispatcher is executing a batch
+  std::uint64_t accepted_ = 0;
+  std::uint64_t overloaded_ = 0;
+  std::uint64_t ok_ = 0;
+  std::uint64_t failed_ = 0;
+
+  std::thread dispatcher_;  // last member: starts after state is ready
+};
+
+}  // namespace dqma::serve

@@ -1,0 +1,27 @@
+#include "serve/shape_cache.hpp"
+
+namespace dqma::serve {
+
+std::shared_ptr<ShapeCache::Slot> ShapeCache::claim_slot(
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slots_.find(key);
+  if (it != slots_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return slots_.emplace(key, std::make_shared<Slot>()).first->second;
+}
+
+ShapeCache::Stats ShapeCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{hits_, misses_, static_cast<std::uint64_t>(slots_.size())};
+}
+
+void ShapeCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  slots_.clear();
+}
+
+}  // namespace dqma::serve

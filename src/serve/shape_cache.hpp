@@ -1,0 +1,72 @@
+// A thread-safe, single-flight cache for request-independent artifacts
+// keyed by shape.
+//
+// Protocol construction is where dqma requests spend most of their time on
+// repeated shapes: fingerprint codes, deduplicated LocalOpPlans, and the
+// precompiled Monte-Carlo acceptance tables inside ForallFProtocol all
+// depend only on the instance SHAPE (dimensions, path length, repetition
+// count — never on the inputs or the request seed). The cache holds one
+// shared immutable instance per shape key so concurrent requests reuse it.
+//
+// Single-flight: the first thread to request a key builds the value while
+// later threads for the same key block on a per-key once_flag instead of
+// duplicating the (expensive) construction. This also makes the hit/miss
+// counters deterministic for a fixed request stream at any thread count:
+// misses == distinct keys ever requested, hits == lookups - misses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace dqma::serve {
+
+class ShapeCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t entries = 0;
+  };
+
+  /// Returns the cached value for `key`, building it with `make` (-> T or
+  /// something convertible to std::shared_ptr<const T>) on first request.
+  /// Keys must be unique across types — prefix them with the workload or
+  /// artifact name (e.g. "eq_graph/n=256/..."). If `make` throws, the
+  /// exception propagates and the once_flag stays unset, so the next
+  /// caller retries the build.
+  template <typename T, typename MakeFn>
+  std::shared_ptr<const T> get_or_build(const std::string& key,
+                                        MakeFn&& make) {
+    const std::shared_ptr<Slot> slot = claim_slot(key);
+    std::call_once(slot->once, [&] {
+      slot->value = std::shared_ptr<const void>(
+          std::make_shared<const T>(make()));
+    });
+    return std::static_pointer_cast<const T>(slot->value);
+  }
+
+  Stats stats() const;
+
+  /// Drops every entry (and resets nothing else: counters keep counting).
+  void clear();
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    std::shared_ptr<const void> value;
+  };
+
+  /// Finds or creates the slot for `key`, counting a hit or a miss.
+  std::shared_ptr<Slot> claim_slot(const std::string& key);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Slot>> slots_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dqma::serve

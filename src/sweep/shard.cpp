@@ -1,10 +1,18 @@
 #include "sweep/shard.hpp"
 
 #include <charconv>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define DQMA_HAVE_FSYNC 1
+#endif
 
 #include "sweep/json.hpp"
 #include "sweep/trajectory.hpp"
@@ -16,6 +24,19 @@ namespace {
 
 /// Log format version; bumped only if the line schema changes.
 constexpr int kCheckpointVersion = 1;
+
+/// fsync is on unless DQMA_CHECKPOINT_FSYNC is set to 0/off/false: flush()
+/// alone hands the bytes to the OS page cache, so a host crash (power
+/// loss, kernel panic) could lose checkpoint lines the process already
+/// reported durable to a resume orchestrator.
+bool fsync_requested() {
+  const char* value = std::getenv("DQMA_CHECKPOINT_FSYNC");
+  if (value == nullptr) {
+    return true;
+  }
+  return std::strcmp(value, "0") != 0 && std::strcmp(value, "off") != 0 &&
+         std::strcmp(value, "false") != 0;
+}
 
 bool parse_int(std::string_view text, int& out) {
   const char* first = text.data();
@@ -127,6 +148,16 @@ CheckpointLog::CheckpointLog(std::string path, std::uint64_t base_seed,
   out_.open(path_, std::ios::app);
   util::require(static_cast<bool>(out_),
                 "cannot open checkpoint log " + path_ + " for appending");
+#ifdef DQMA_HAVE_FSYNC
+  if (fsync_requested()) {
+    // A second descriptor on the same file: fsync(2) commits the file's
+    // data regardless of which fd wrote it, so the ofstream keeps its
+    // buffered formatting path and this fd exists only to sync.
+    sync_fd_ = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
+    util::require(sync_fd_ >= 0,
+                  "cannot open checkpoint log " + path_ + " for fsync");
+  }
+#endif
   if (!have_header) {
     Json header = Json::object();
     header.add("dqma_checkpoint", Json(kCheckpointVersion));
@@ -135,8 +166,26 @@ CheckpointLog::CheckpointLog(std::string path, std::uint64_t base_seed,
     header.add("shard", Json(shard.label()));
     header.write_compact(out_);
     out_ << '\n';
-    out_.flush();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    commit_locked();
   }
+}
+
+CheckpointLog::~CheckpointLog() {
+#ifdef DQMA_HAVE_FSYNC
+  if (sync_fd_ >= 0) {
+    ::close(sync_fd_);
+  }
+#endif
+}
+
+void CheckpointLog::commit_locked() {
+  out_.flush();
+#ifdef DQMA_HAVE_FSYNC
+  if (sync_fd_ >= 0) {
+    ::fsync(sync_fd_);
+  }
+#endif
 }
 
 const CheckpointLog::Entry* CheckpointLog::find(const std::string& experiment,
@@ -161,7 +210,7 @@ void CheckpointLog::append(const std::string& experiment,
 
   const std::lock_guard<std::mutex> lock(mutex_);
   out_ << text << '\n';
-  out_.flush();
+  commit_locked();
 }
 
 }  // namespace dqma::sweep

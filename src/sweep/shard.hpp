@@ -50,8 +50,9 @@ struct ShardSpec {
 /// The append-only JSONL result log: one header line pinning the run
 /// configuration, then one compact JSON line per completed point. Opening
 /// an existing log indexes its entries so the run skips finished points
-/// (`--resume`); every newly completed point is appended and flushed
-/// immediately, so a killed run loses at most the point in flight. Only
+/// (`--resume`); every newly completed point is appended, flushed, and —
+/// unless DQMA_CHECKPOINT_FSYNC=0 — fsync()ed, so even a host crash (not
+/// just a killed process) loses at most the point in flight. Only
 /// newline-terminated lines count as committed: a torn final line (the
 /// crash case) is dropped AND truncated from the file before appending
 /// resumes, so the log stays replayable across repeated crash/resume
@@ -70,8 +71,17 @@ class CheckpointLog {
   /// Loads `path` if it exists (validating the header against the given
   /// configuration) and opens it for appending, writing the header first
   /// when the file is new or empty.
+  ///
+  /// Durability: every append is fsync()ed by default, so a line the
+  /// process reported durable survives a host crash, not just a process
+  /// kill. Set DQMA_CHECKPOINT_FSYNC=0 to trade that guarantee for append
+  /// throughput (flush-only, the pre-fix behavior).
   CheckpointLog(std::string path, std::uint64_t base_seed, bool smoke,
                 const ShardSpec& shard);
+  ~CheckpointLog();
+
+  CheckpointLog(const CheckpointLog&) = delete;
+  CheckpointLog& operator=(const CheckpointLog&) = delete;
 
   /// The completed entry for (experiment, canonical order), or nullptr.
   /// The caller verifies the entry's key against the job's partition key —
@@ -86,12 +96,20 @@ class CheckpointLog {
 
   std::size_t loaded_entries() const { return entries_.size(); }
   const std::string& path() const { return path_; }
+  /// True when appends are fsync()ed (the default; DQMA_CHECKPOINT_FSYNC=0
+  /// disables). False also on platforms without fsync.
+  bool syncing() const { return sync_fd_ >= 0; }
 
  private:
+  /// Commits buffered bytes to the OS (flush) and, when syncing, to stable
+  /// storage (fsync). Callers hold mutex_.
+  void commit_locked();
+
   std::string path_;
   std::map<std::pair<std::string, std::size_t>, Entry> entries_;
   std::mutex mutex_;
   std::ofstream out_;
+  int sync_fd_ = -1;  ///< second fd on path_ used only for fsync()
 };
 
 }  // namespace dqma::sweep

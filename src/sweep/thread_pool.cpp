@@ -35,29 +35,41 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::run_inline(std::size_t count,
+                            const std::function<void(std::size_t)>& job) {
+  const BatchMark mark;
+  std::exception_ptr error;
+  for (std::size_t i = 0; i < count; ++i) {
+    try {
+      job(i);
+    } catch (...) {
+      if (!error) {
+        error = std::current_exception();
+      }
+    }
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
 void ThreadPool::run_indexed(std::size_t count,
                              const std::function<void(std::size_t)>& job) {
   if (count == 0) {
     return;
   }
+  if (executing_batch()) {
+    // Reentrant dispatch: the calling thread is already running a batch
+    // job (of this pool or any other). Publishing a second batch on the
+    // same pool would deadlock — the owner path below waits for workers
+    // that are themselves waiting on this job — so nested batches run
+    // serially inline, mirroring parallel_for's nested-region fallback.
+    run_inline(count, job);
+    return;
+  }
   if (workers_.empty()) {
-    // Single-threaded pool: run inline with the same failure contract as
-    // the pooled path — every job runs, the first exception is rethrown
-    // after the batch drains.
-    const BatchMark mark;
-    std::exception_ptr error;
-    for (std::size_t i = 0; i < count; ++i) {
-      try {
-        job(i);
-      } catch (...) {
-        if (!error) {
-          error = std::current_exception();
-        }
-      }
-    }
-    if (error) {
-      std::rethrow_exception(error);
-    }
+    // Single-threaded pool: inline is the pooled path.
+    run_inline(count, job);
     return;
   }
   {

@@ -44,7 +44,10 @@ class ThreadPool {
   /// Runs job(0) .. job(count - 1), each exactly once, distributed across
   /// the pool; returns when all have finished. If any job throws, the first
   /// exception (in completion order) is rethrown here after the batch
-  /// drains. Not reentrant: jobs must not call run_indexed on their pool.
+  /// drains. Reentrant calls — a job calling run_indexed, on its own pool
+  /// or any other — run the nested batch serially inline on the calling
+  /// thread (matching parallel_for's nested-region fallback) instead of
+  /// deadlocking on the already-claimed batch state.
   void run_indexed(std::size_t count,
                    const std::function<void(std::size_t)>& job);
 
@@ -69,6 +72,11 @@ class ThreadPool {
   /// Returns the number of jobs this thread executed.
   std::size_t claim_and_run(const std::function<void(std::size_t)>& job,
                             std::size_t count);
+  /// Serial fallback with the pooled failure contract (every job runs, the
+  /// first exception is rethrown after the batch drains): single-threaded
+  /// pools and reentrant run_indexed calls.
+  static void run_inline(std::size_t count,
+                         const std::function<void(std::size_t)>& job);
 
   std::vector<std::thread> workers_;
 

@@ -11,8 +11,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -374,6 +378,113 @@ TEST(ShardEndToEndTest, FailsFastOnBadOutputPath) {
   EXPECT_EQ(run_cli({"--shard", "0/2", "--compare", "whatever.json"}), 2);
   EXPECT_EQ(g_grid_jobs.load(), 0)
       << "validation failures must not start any experiment work";
+}
+
+TEST(CheckpointLogTest, FsyncsByDefaultWithEnvOptOut) {
+  using dqma::sweep::CheckpointLog;
+  using dqma::sweep::JobResult;
+
+  const auto make_log = [](const std::string& name) {
+    const std::string path = temp_path(name);
+    std::remove(path.c_str());
+    return std::make_unique<CheckpointLog>(path, /*base_seed=*/7,
+                                           /*smoke=*/true, ShardSpec{});
+  };
+
+#if defined(__unix__) || defined(__APPLE__)
+  // Regression: append() used to only flush, so a committed line could die
+  // with the host. The default now fsyncs every append...
+  {
+    const auto log = make_log("fsync_default.jsonl");
+    EXPECT_TRUE(log->syncing());
+  }
+  // ...and DQMA_CHECKPOINT_FSYNC=0 restores flush-only appends for
+  // throughput (0 / "off" / "false"; anything else keeps the default).
+  ::setenv("DQMA_CHECKPOINT_FSYNC", "0", 1);
+  {
+    const auto log = make_log("fsync_off.jsonl");
+    EXPECT_FALSE(log->syncing());
+  }
+  ::setenv("DQMA_CHECKPOINT_FSYNC", "1", 1);
+  {
+    const auto log = make_log("fsync_on.jsonl");
+    EXPECT_TRUE(log->syncing());
+  }
+  ::unsetenv("DQMA_CHECKPOINT_FSYNC");
+#endif
+
+  // Entries appended in either mode are committed and reload identically.
+  const std::string path = temp_path("fsync_reload.jsonl");
+  std::remove(path.c_str());
+  {
+    CheckpointLog log(path, 7, true, ShardSpec{});
+    JobResult result;
+    result.metrics.set("value", 0.5);
+    log.append("exp", "series", /*order=*/0, /*key=*/42,
+               ParamPoint().set("x", 1), result);
+  }
+  CheckpointLog reloaded(path, 7, true, ShardSpec{});
+  ASSERT_EQ(reloaded.loaded_entries(), 1u);
+  const CheckpointLog::Entry* entry = reloaded.find("exp", 0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->key, 42u);
+  EXPECT_EQ(entry->metrics.get_double("value"), 0.5);
+}
+
+TEST(TrajectoryTest, NonFiniteMetricsRoundTripThroughWriterAndReader) {
+  // The writer emits null for inf/nan (json.cpp: RFC 8259 has no non-finite
+  // literals); the reader maps null back to NaN; the comparison gate treats
+  // NaN == NaN as equivalent. This pins the full cycle: the FIRST
+  // serialization collapses every non-finite to null, and from then on the
+  // round trip is exact — resumed/merged/compared documents never drift.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+  Trajectory original;
+  original.base_seed = 3;
+  ExperimentRecord record;
+  record.name = "exp";
+  record.description = "non-finite metrics";
+  SinkPoint point;
+  point.params.set("n", 1);
+  point.metrics.set("nan_metric", kNaN)
+      .set("pos_inf", kInf)
+      .set("neg_inf", -kInf)
+      .set("finite", 0.25);
+  record.points.push_back(point);
+  original.experiments.push_back(record);
+
+  const std::string bytes = original.to_json().dump_compact();
+  // All three non-finites serialize as null; the finite value survives.
+  EXPECT_NE(bytes.find("\"nan_metric\":null"), std::string::npos) << bytes;
+  EXPECT_NE(bytes.find("\"pos_inf\":null"), std::string::npos);
+  EXPECT_NE(bytes.find("\"neg_inf\":null"), std::string::npos);
+  EXPECT_NE(bytes.find("\"finite\":0.25"), std::string::npos);
+
+  const Trajectory parsed =
+      Trajectory::from_json(dqma::util::json::parse(bytes));
+  const auto& metrics = parsed.experiments.at(0).points.at(0).metrics;
+  EXPECT_TRUE(std::isnan(metrics.get_double("nan_metric")));
+  EXPECT_TRUE(std::isnan(metrics.get_double("pos_inf")));
+  EXPECT_EQ(metrics.get_double("finite"), 0.25);
+
+  std::ostringstream diag;
+  // NaN round-trips losslessly; the infinities collapsed to NaN, so
+  // comparing the in-memory original against its round trip flags exactly
+  // the two inf metrics and nothing else.
+  EXPECT_EQ(compare_trajectories(original, parsed, CompareOptions{}, diag),
+            2u)
+      << diag.str();
+
+  // After the first pass the cycle is a fixed point: bytes are stable and
+  // the comparison gate reports zero differences.
+  const std::string bytes_again = parsed.to_json().dump_compact();
+  EXPECT_EQ(bytes, bytes_again);
+  const Trajectory reparsed =
+      Trajectory::from_json(dqma::util::json::parse(bytes_again));
+  EXPECT_EQ(compare_trajectories(parsed, reparsed, CompareOptions{}, diag),
+            0u)
+      << diag.str();
 }
 
 TEST(CompareTrajectoriesTest, TolerancePolicyPerMetricType) {

@@ -94,6 +94,67 @@ TEST(ThreadPoolTest, SingleThreadedPoolRunsInline) {
   EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
 }
 
+TEST(ThreadPoolTest, ReentrantRunIndexedRunsInlineInsteadOfDeadlocking) {
+  // Regression: a job calling run_indexed on its own pool used to publish
+  // a nested batch into the already-claimed batch state and deadlock
+  // waiting for workers that were all busy inside the outer batch. The
+  // nesting contract now matches parallel_for: nested regions run
+  // serially inline on the calling thread.
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 8;
+  std::vector<std::atomic<int>> inner_hits(kOuter * kInner);
+  pool.run_indexed(kOuter, [&](std::size_t outer) {
+    pool.run_indexed(kInner, [&](std::size_t inner) {
+      EXPECT_TRUE(ThreadPool::executing_batch());
+      inner_hits[outer * kInner + inner].fetch_add(
+          1, std::memory_order_relaxed);
+    });
+  });
+  for (std::size_t i = 0; i < inner_hits.size(); ++i) {
+    ASSERT_EQ(inner_hits[i].load(), 1) << "inner job " << i;
+  }
+  // The pool must stay usable after reentrant batches.
+  std::atomic<int> ok{0};
+  pool.run_indexed(8, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPoolTest, ReentrantCallAcrossPoolsRunsInline) {
+  // The guard is per-thread, not per-pool: a job of pool A dispatching on
+  // pool B would park A's worker inside B's batch — B's jobs could in turn
+  // hold A's state, so any cross-pool dispatch from inside a batch runs
+  // inline too.
+  ThreadPool outer(3);
+  ThreadPool inner(3);
+  std::atomic<int> nested{0};
+  outer.run_indexed(9, [&](std::size_t) {
+    inner.run_indexed(5, [&](std::size_t) {
+      nested.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(nested.load(), 9 * 5);
+}
+
+TEST(ThreadPoolTest, ReentrantExceptionsFollowTheBatchContract) {
+  // Nested inline batches keep run_indexed's failure semantics: every job
+  // runs, the first exception is rethrown after the nested batch drains.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.run_indexed(1,
+                       [&](std::size_t) {
+                         pool.run_indexed(6, [&](std::size_t i) {
+                           ran.fetch_add(1, std::memory_order_relaxed);
+                           if (i == 2) {
+                             throw std::runtime_error("nested boom");
+                           }
+                         });
+                       }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 6);
+}
+
 TEST(ParallelForTest, ChunkBoundariesDependOnlyOnProblemSize) {
   using dqma::sweep::plan_chunks;
   // The determinism contract: the partition is a pure function of
