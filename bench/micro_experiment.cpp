@@ -8,6 +8,8 @@
 // iterations) plus a checksum of the computed values — so the default
 // (timing-free) JSON still pins the kernels' numerical outputs.
 #include <chrono>
+#include <cmath>
+#include <utility>
 #include <vector>
 
 #include "dqma/attacks.hpp"
@@ -17,6 +19,7 @@
 #include "fingerprint/fingerprint.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/permanent.hpp"
+#include "linalg/simd.hpp"
 #include "qtest/permutation_test.hpp"
 #include "qtest/swap_test.hpp"
 #include "quantum/local_ops.hpp"
@@ -303,6 +306,159 @@ void run(sweep::ExperimentContext& ctx) {
                       Table::fmt(checksum), Table::fmt(wall_ms, 2)});
     }
     ptable.print(out);
+  }
+
+  {
+    util::print_banner(
+        out, "simd roofline: kernels x dispatch level, single-threaded",
+        "The split-complex engine's core kernels at every dispatch level\n"
+        "(linalg/simd.hpp), one kernel thread, level pinned per point via\n"
+        "LevelScope. Checksums and the flop/byte counts are deterministic\n"
+        "per level; GFLOP/s and GB/s ride in the wall_ms of the\n"
+        "simd_roofline_stats points (JSON: --timings only). Levels the\n"
+        "host cannot run are clamped to the best supported one.");
+    // Same hand-rolled serial loop + shard protocol as parallel_kernels:
+    // each point pins thread count and dispatch level, outside the JobFn
+    // contract. The level axis is innermost and the triple (kernel) shares
+    // one input stream via point_rng(i - i % 3), so the cross-level
+    // agreement (within rounding) is visible in the JSON itself.
+    std::vector<sweep::ParamPoint> points;
+    for (const char* kernel : {"apply_local", "gemm", "matvec"}) {
+      for (const char* level : {"scalar", "avx2", "avx512"}) {
+        points.push_back(
+            sweep::ParamPoint().set("kernel", kernel).set("level", level));
+      }
+    }
+    Table rtable({"kernel", "level", "ran at", "checksum", "GFLOP/s", "GB/s"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (!ctx.owns_next_record("simd_roofline")) {
+        ctx.skip_record("simd_roofline");
+        for (int s = 0; s < 2; ++s) {
+          ctx.skip_record("simd_roofline_stats");
+        }
+        continue;
+      }
+      const auto& p = points[i];
+      const auto& kernel = p.get_string("kernel");
+      const linalg::simd::Level requested =
+          linalg::simd::parse_level(p.get_string("level"));
+      // Clamp, never skip: the point grid (and so the JSON shape) is
+      // identical on every host; an unsupported level simply re-measures
+      // the best supported one. Checksums agree across levels within
+      // rounding, so clamped points still --compare clean against a
+      // baseline from a wider host.
+      const linalg::simd::Level exec =
+          linalg::simd::clamp_to_supported(requested);
+      const linalg::simd::LevelScope level_scope(exec);
+      const sweep::KernelThreadScope thread_scope(1);
+      Rng rng = ctx.point_rng("simd_roofline", i - (i % 3));
+      double checksum = 0.0;
+      long long flops = 0;  // per iteration
+      long long bytes = 0;  // per iteration
+      long long iters = 0;
+      double wall_ms = 0.0;
+      const auto clock_ms = [start = std::chrono::steady_clock::now()] {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+      };
+      if (kernel == "apply_local") {
+        // The gather/block-apply/scatter core: 16-dim two-register unitary
+        // over a D-amplitude state. 8 flops per complex MAC, b=16 MACs per
+        // amplitude; each amplitude is read and written once per pass.
+        const int d = ctx.smoke_select(1 << 16, 1 << 14);
+        int nregs = 0;
+        while ((1 << (2 * nregs)) < d) ++nregs;
+        const quantum::RegisterShape shape(
+            std::vector<int>(static_cast<std::size_t>(nregs), 4));
+        const linalg::CMat u = quantum::haar_unitary(16, rng);
+        linalg::CVec psi(d);
+        psi[0] = linalg::Complex{1.0, 0.0};
+        std::vector<quantum::LocalOpPlan> pair_plans;
+        for (int a = 0; a < nregs; ++a) {
+          pair_plans.emplace_back(
+              shape, std::vector<int>{a, (a + nregs / 2) % nregs});
+        }
+        iters = ctx.smoke_select(12, 6);
+        flops = 128LL * d;
+        bytes = 32LL * d;
+        const double t0 = clock_ms();
+        for (long long it = 0; it < iters; ++it) {
+          quantum::apply_local(
+              pair_plans[static_cast<std::size_t>(it % nregs)], u, psi);
+        }
+        wall_ms = clock_ms() - t0;
+        linalg::CMat e00(4, 4);
+        e00(0, 0) = linalg::Complex{1.0, 0.0};
+        const quantum::LocalOpPlan probe(shape, {0});
+        checksum = quantum::expectation_local(probe, e00, psi);
+      } else if (kernel == "gemm") {
+        // Dense n x n product through the blocked split-complex path.
+        const int n = ctx.smoke_select(256, 128);
+        const linalg::CMat a = quantum::haar_unitary(n, rng);
+        const linalg::CMat b = quantum::haar_unitary(n, rng);
+        iters = 2;
+        flops = 8LL * n * n * n;
+        bytes = 48LL * n * n;
+        const double t0 = clock_ms();
+        for (long long it = 0; it < iters; ++it) {
+          const linalg::CMat c = it % 2 == 0 ? a * b : a.adjoint_times(b);
+          checksum += c(0, 0).real() + c(n - 1, n - 1).imag();
+        }
+        wall_ms = clock_ms() - t0;
+      } else {  // matvec
+        // DenseOperator::apply (the power-iteration workhorse): one packed
+        // split read of the n x n matrix per pass.
+        const int n = ctx.smoke_select(1024, 512);
+        const linalg::CMat a = quantum::random_density(n, rng);
+        const linalg::DenseOperator op(a);
+        linalg::CVec x = quantum::haar_state(n, rng);
+        iters = ctx.smoke_select(100, 40);
+        flops = 8LL * n * n;
+        bytes = 16LL * n * n;
+        const double t0 = clock_ms();
+        for (long long it = 0; it < iters; ++it) {
+          linalg::CVec y = op.apply(x);
+          y.normalize();
+          x = std::move(y);
+        }
+        wall_ms = clock_ms() - t0;
+        checksum = x.norm() + std::abs(x[0]);
+      }
+      // record_owned, not record: the stats points below can only be
+      // computed by the shard that timed this point, so the whole triple
+      // is owned by the main point's key (other shards skip_record all
+      // three above).
+      ctx.record_owned("simd_roofline", p,
+                       sweep::Metrics()
+                           .set("checksum", checksum)
+                           .set("flops_per_iter", flops)
+                           .set("bytes_per_iter", bytes)
+                           .set("iters", iters));
+      const double wall_s = wall_ms / 1000.0;
+      const double gflops =
+          wall_s > 0.0
+              ? static_cast<double>(flops * iters) / wall_s / 1.0e9
+              : 0.0;
+      const double gbps =
+          wall_s > 0.0
+              ? static_cast<double>(bytes * iters) / wall_s / 1.0e9
+              : 0.0;
+      const std::pair<const char*, double> stat_points[] = {
+          {"gflops", gflops}, {"gbytes_per_s", gbps}};
+      for (const auto& [stat, value] : stat_points) {
+        sweep::ParamPoint stat_point;
+        stat_point.set("kernel", kernel)
+            .set("level", p.get_string("level"))
+            .set("stat", stat);
+        ctx.record_owned("simd_roofline_stats", stat_point,
+                         sweep::Metrics().set("iters", iters), value);
+      }
+      rtable.add_row({kernel, p.get_string("level"),
+                      linalg::simd::level_name(exec), Table::fmt(checksum),
+                      Table::fmt(gflops, 2), Table::fmt(gbps, 2)});
+    }
+    rtable.print(out);
   }
 }
 

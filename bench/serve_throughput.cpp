@@ -144,7 +144,11 @@ void run(sweep::ExperimentContext& ctx) {
         wall_ms > 0.0 ? 1000.0 * static_cast<double>(requests) / wall_ms
                       : 0.0;
 
-    ctx.record("engine", point,
+    // record_owned, not record: ownership of this point and its four
+    // stats points below is decided once by the "engine" key check at
+    // the top of the loop; the stats keys may hash to another shard,
+    // which has already skip_record'd them.
+    ctx.record_owned("engine", point,
                sweep::Metrics()
                    .set("ok", static_cast<long long>(stats.ok))
                    .set("failed", static_cast<long long>(stats.failed))
@@ -164,8 +168,8 @@ void run(sweep::ExperimentContext& ctx) {
     for (const auto& [stat, value] : stat_points) {
       sweep::ParamPoint stat_point;
       stat_point.set("threads", threads_param).set("stat", stat);
-      ctx.record("stats", stat_point,
-                 sweep::Metrics().set("samples", requests), value);
+      ctx.record_owned("stats", stat_point,
+                       sweep::Metrics().set("samples", requests), value);
     }
 
     table.add_row({Table::fmt(threads_param), Table::fmt(requests),

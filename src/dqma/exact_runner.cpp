@@ -259,13 +259,17 @@ CVec ExactEqPathAnalyzer::apply_acceptance(const CVec& psi) const {
 }
 
 double ExactEqPathAnalyzer::worst_case_accept(int max_iters) const {
+  // Both operator forms feed the same LinearOperator-based power
+  // iteration: DenseOperator packs op_ to split-complex once (SIMD matvec
+  // per iteration), CallbackOperator streams through apply_acceptance.
   if (dense_) {
-    return std::min(1.0, linalg::max_eigenvalue_psd(op_, max_iters));
+    const linalg::DenseOperator op(op_);
+    return std::min(1.0, linalg::max_eigenvalue_psd(op, max_iters));
   }
-  const double lambda = linalg::max_eigenvalue_psd(
+  const linalg::CallbackOperator op(
       [this](const CVec& psi) { return apply_acceptance(psi); },
-      static_cast<int>(proof_dim_), max_iters);
-  return std::min(1.0, lambda);
+      static_cast<int>(proof_dim_));
+  return std::min(1.0, linalg::max_eigenvalue_psd(op, max_iters));
 }
 
 double ExactEqPathAnalyzer::product_accept(const std::vector<CVec>& regs) const {

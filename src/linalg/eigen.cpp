@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
+#include "sweep/parallel.hpp"
 #include "util/require.hpp"
 #include "util/tolerance.hpp"
 
@@ -144,9 +146,12 @@ CVec power_start_vector(int n) {
 /// Shared power-iteration core: one operator application per iteration (the
 /// Rayleigh-quotient product of iteration k is reused as iteration k+1's
 /// image), Rayleigh-quotient convergence test, deterministic start vector.
-/// Writes the final normalized iterate into *vec_out when requested.
-double power_iterate(const std::function<CVec(const CVec&)>& apply, int dim,
-                     int max_iters, double tol, CVec* vec_out) {
+/// Writes the final normalized iterate into *vec_out when requested. Any
+/// iterative backend added later (Lanczos per ROADMAP item 2) slots in
+/// beside this, consuming the same LinearOperator interface.
+double power_iterate(const LinearOperator& op, int max_iters, double tol,
+                     CVec* vec_out) {
+  const int dim = op.dim();
   if (dim == 0) {
     if (vec_out != nullptr) {
       *vec_out = CVec();
@@ -154,7 +159,7 @@ double power_iterate(const std::function<CVec(const CVec&)>& apply, int dim,
     return 0.0;
   }
   CVec x = power_start_vector(dim);
-  CVec image = apply(x);
+  CVec image = op.apply(x);
   double lambda = 0.0;
   for (int it = 0; it < max_iters; ++it) {
     const double norm = image.norm();
@@ -166,7 +171,7 @@ double power_iterate(const std::function<CVec(const CVec&)>& apply, int dim,
       return 0.0;
     }
     x = image * Complex{1.0 / norm, 0.0};
-    image = apply(x);
+    image = op.apply(x);
     const double next = std::real(x.dot(image));
     const bool converged = std::abs(next - lambda) <= tol * std::max(1.0, next);
     lambda = next;
@@ -182,21 +187,78 @@ double power_iterate(const std::function<CVec(const CVec&)>& apply, int dim,
 
 }  // namespace
 
+DenseOperator::DenseOperator(const CMat& a)
+    : a_(a), level_(simd::active()) {
+  require(a.rows() == a.cols(), "DenseOperator: matrix not square");
+  // Pack once when a vector level is active and the dot length pays for
+  // it; every apply() below reuses the SoA copy.
+  if (level_ != simd::Level::kScalar && a.cols() >= 8) {
+    pack_ = SplitBuffer(static_cast<long long>(a.rows()) * a.cols());
+    simd::deinterleave(level_, &a(0, 0), pack_.size(), pack_.re(),
+                       pack_.im());
+    packed_ = true;
+  }
+}
+
+int DenseOperator::dim() const { return a_.rows(); }
+
+CVec DenseOperator::apply(const CVec& x) const {
+  require(x.dim() == a_.cols(), "DenseOperator::apply: dimension mismatch");
+  if (!packed_) {
+    return a_ * x;
+  }
+  const long long n = a_.cols();
+  SplitBuffer xs(n);
+  simd::deinterleave(level_, &x[0], n, xs.re(), xs.im());
+  CVec out(a_.rows());
+  // Row panels in parallel, one full vectorized dot per row — the same
+  // thread-count-invariance argument as the scalar matvec. level_ was
+  // resolved on the constructing thread; pool workers just use it.
+  sweep::parallel_for(
+      static_cast<std::size_t>(a_.rows()),
+      sweep::grain_for_ops(static_cast<std::size_t>(n)),
+      [&](std::size_t i_begin, std::size_t i_end) {
+        for (std::size_t ii = i_begin; ii < i_end; ++ii) {
+          const long long i = static_cast<long long>(ii);
+          out[static_cast<int>(ii)] =
+              simd::dot(level_, false, pack_.re() + i * n, pack_.im() + i * n,
+                        xs.re(), xs.im(), n);
+        }
+      });
+  return out;
+}
+
+CallbackOperator::CallbackOperator(std::function<CVec(const CVec&)> apply,
+                                   int dim)
+    : apply_(std::move(apply)), dim_(dim) {
+  require(dim >= 0, "CallbackOperator: negative dimension");
+}
+
+int CallbackOperator::dim() const { return dim_; }
+
+CVec CallbackOperator::apply(const CVec& x) const { return apply_(x); }
+
+double max_eigenvalue_psd(const LinearOperator& op, int max_iters,
+                          double tol) {
+  return power_iterate(op, max_iters, tol, nullptr);
+}
+
+double top_eigenpair_psd(const LinearOperator& op, CVec& vec, int max_iters,
+                         double tol) {
+  return power_iterate(op, max_iters, tol, &vec);
+}
+
 double max_eigenvalue_psd(const CMat& a, int max_iters, double tol) {
-  require(a.rows() == a.cols(), "max_eigenvalue_psd: matrix not square");
-  return power_iterate([&a](const CVec& v) { return a * v; }, a.rows(),
-                       max_iters, tol, nullptr);
+  return max_eigenvalue_psd(DenseOperator(a), max_iters, tol);
 }
 
 double max_eigenvalue_psd(const std::function<CVec(const CVec&)>& apply,
                           int dim, int max_iters, double tol) {
-  return power_iterate(apply, dim, max_iters, tol, nullptr);
+  return max_eigenvalue_psd(CallbackOperator(apply, dim), max_iters, tol);
 }
 
 double top_eigenpair_psd(const CMat& a, CVec& vec, int max_iters, double tol) {
-  require(a.rows() == a.cols(), "top_eigenpair_psd: matrix not square");
-  return power_iterate([&a](const CVec& v) { return a * v; }, a.rows(),
-                       max_iters, tol, &vec);
+  return top_eigenpair_psd(DenseOperator(a), vec, max_iters, tol);
 }
 
 CMat sqrt_psd(const CMat& a) {

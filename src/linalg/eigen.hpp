@@ -9,7 +9,9 @@
 #include <functional>
 #include <vector>
 
+#include "linalg/aligned.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/simd.hpp"
 #include "linalg/vector.hpp"
 
 namespace dqma::linalg {
@@ -25,24 +27,78 @@ struct EigenSystem {
 /// dimensions up to a few hundred; complexity O(d^3) per sweep.
 EigenSystem eigh(const CMat& a);
 
-/// Largest eigenvalue of a Hermitian PSD matrix by power iteration with a
-/// deterministic start vector and Rayleigh-quotient convergence test.
+/// The single operator interface the iterative spectral routines consume.
+/// Dense matrices and matrix-free callbacks (the exact engine's acceptance
+/// operator on proof spaces too large to materialize) both implement it,
+/// so every backend — power iteration today, a Lanczos backend later (see
+/// ROADMAP item 2) — is written once against apply() + dim() and works for
+/// both. Non-owning adapters: the wrapped matrix/callback must outlive the
+/// operator.
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+  /// Dimension of the (square) operator.
+  virtual int dim() const = 0;
+  /// y = A x.
+  virtual CVec apply(const CVec& x) const = 0;
+};
+
+/// Dense-matrix operator. At construction it resolves the SIMD dispatch
+/// level (on the constructing thread — see linalg/simd.hpp) and, when a
+/// vector level is active, packs the matrix rows to split-complex SoA
+/// once; apply() then runs the matvec as one vectorized dot per row.
+/// Repeated applications (power iteration) amortize the single pack. Each
+/// output entry is one full serial dot, so results are thread-count
+/// invariant at any fixed dispatch level.
+class DenseOperator : public LinearOperator {
+ public:
+  explicit DenseOperator(const CMat& a);
+
+  int dim() const override;
+  CVec apply(const CVec& x) const override;
+
+ private:
+  const CMat& a_;
+  simd::Level level_;
+  bool packed_ = false;
+  SplitBuffer pack_;  ///< row-major SoA copy of a_ when packed_
+};
+
+/// Matrix-free operator from an apply callback.
+class CallbackOperator : public LinearOperator {
+ public:
+  CallbackOperator(std::function<CVec(const CVec&)> apply, int dim);
+
+  int dim() const override;
+  CVec apply(const CVec& x) const override;
+
+ private:
+  std::function<CVec(const CVec&)> apply_;
+  int dim_;
+};
+
+/// Largest eigenvalue of a Hermitian PSD operator by power iteration with
+/// a deterministic start vector and Rayleigh-quotient convergence test.
 /// `max_iters` bounds work; accuracy ~`tol` on the eigenvalue.
+double max_eigenvalue_psd(const LinearOperator& op, int max_iters = 2000,
+                          double tol = 1e-10);
+
+/// Top eigenpair of a Hermitian PSD operator by power iteration: returns
+/// the eigenvalue and writes the (normalized) eigenvector into `vec`. The
+/// cheap replacement for a full eigh() when only the dominant direction is
+/// needed (alternating-optimization inner loops).
+double top_eigenpair_psd(const LinearOperator& op, CVec& vec,
+                         int max_iters = 2000, double tol = 1e-12);
+
+/// Convenience overload: wraps `a` in a DenseOperator.
 double max_eigenvalue_psd(const CMat& a, int max_iters = 2000,
                           double tol = 1e-10);
 
-/// Matrix-free variant: largest eigenvalue of a Hermitian PSD operator given
-/// only its action on a vector. Shares the dense overload's iteration (one
-/// `apply` per iteration — the Rayleigh product doubles as the next image,
-/// deterministic start vector); used by the exact engine for proof spaces
-/// too large to materialize.
+/// Convenience overload: wraps the callback in a CallbackOperator.
 double max_eigenvalue_psd(const std::function<CVec(const CVec&)>& apply,
                           int dim, int max_iters = 2000, double tol = 1e-10);
 
-/// Top eigenpair of a Hermitian PSD matrix by power iteration: returns the
-/// eigenvalue and writes the (normalized) eigenvector into `vec`. The cheap
-/// replacement for a full eigh() when only the dominant direction is needed
-/// (alternating-optimization inner loops).
+/// Convenience overload: wraps `a` in a DenseOperator.
 double top_eigenpair_psd(const CMat& a, CVec& vec, int max_iters = 2000,
                          double tol = 1e-12);
 

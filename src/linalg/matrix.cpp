@@ -3,12 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/aligned.hpp"
+#include "linalg/simd.hpp"
 #include "sweep/parallel.hpp"
 #include "util/require.hpp"
 
 namespace dqma::linalg {
 
 using util::require;
+
+namespace {
+
+/// The split-complex (SIMD) product paths pay a one-time SoA pack/unpack
+/// pass per operand; below these shapes the pack traffic wins over the
+/// vector arithmetic, so the scalar std::complex path (which is also the
+/// kScalar dispatch reference) runs instead. Pure shape function — never
+/// thread-count dependent, so per-level determinism is preserved.
+bool worth_splitting(simd::Level level, int rows, int inner, int cols) {
+  return level != simd::Level::kScalar && rows >= 1 && inner >= 2 &&
+         cols >= 8;
+}
+
+}  // namespace
 
 CMat::CMat(int rows, int cols) : rows_(rows), cols_(cols) {
   require(rows >= 0 && cols >= 0, "CMat: negative dimensions");
@@ -100,6 +116,42 @@ CMat CMat::operator*(const CMat& other) const {
   constexpr int kKB = 64;
   const std::size_t row_ops =
       static_cast<std::size_t>(cols_) * static_cast<std::size_t>(other.cols_);
+  // SIMD level resolved once on the calling thread (LevelScope overrides
+  // do not propagate to pool workers) and captured by both paths.
+  const simd::Level level = simd::active();
+  if (worth_splitting(level, rows_, cols_, other.cols_)) {
+    // Split path: deinterleave the right factor and accumulate into a
+    // split output, turning the inner j-loop into pure-FMA axpy over the
+    // packed row of `other`. The exact-zero skip on the left factor (cheap
+    // products with embedded local operators) and the ascending-k order
+    // per output element both carry over verbatim.
+    const long long n = other.cols_;
+    SplitBuffer b_pack(static_cast<long long>(cols_) * n);
+    simd::deinterleave(level, &other(0, 0), b_pack.size(), b_pack.re(),
+                       b_pack.im());
+    SplitBuffer out_pack(static_cast<long long>(rows_) * n);
+    sweep::parallel_for(
+        static_cast<std::size_t>(rows_), sweep::grain_for_ops(row_ops),
+        [&](std::size_t row_begin, std::size_t row_end) {
+          for (int kb = 0; kb < cols_; kb += kKB) {
+            const int kend = std::min(cols_, kb + kKB);
+            for (std::size_t r = row_begin; r < row_end; ++r) {
+              const long long i = static_cast<long long>(r);
+              for (int k = kb; k < kend; ++k) {
+                const Complex aik = (*this)(static_cast<int>(i), k);
+                if (aik == Complex{0.0, 0.0}) continue;
+                simd::axpy(level, aik.real(), aik.imag(),
+                           b_pack.re() + static_cast<long long>(k) * n,
+                           b_pack.im() + static_cast<long long>(k) * n,
+                           out_pack.re() + i * n, out_pack.im() + i * n, n);
+              }
+            }
+          }
+        });
+    simd::interleave(level, out_pack.re(), out_pack.im(), out_pack.size(),
+                     &out(0, 0));
+    return out;
+  }
   sweep::parallel_for(
       static_cast<std::size_t>(rows_), sweep::grain_for_ops(row_ops),
       [&](std::size_t row_begin, std::size_t row_end) {
@@ -133,6 +185,37 @@ CMat CMat::adjoint_times(const CMat& other) const {
   // materialized.
   const std::size_t row_ops =
       static_cast<std::size_t>(rows_) * static_cast<std::size_t>(other.cols_);
+  const simd::Level level = simd::active();
+  if (worth_splitting(level, cols_, rows_, other.cols_)) {
+    // Same split-axpy formulation as operator*; the conjugated coefficient
+    // is just (re, -im) on the axpy scalar, so no adjoint copy appears
+    // here either. k stays outer: ascending-k per (i, j) at any thread
+    // count.
+    const long long n = other.cols_;
+    SplitBuffer b_pack(static_cast<long long>(rows_) * n);
+    simd::deinterleave(level, &other(0, 0), b_pack.size(), b_pack.re(),
+                       b_pack.im());
+    SplitBuffer out_pack(static_cast<long long>(cols_) * n);
+    sweep::parallel_for(
+        static_cast<std::size_t>(cols_), sweep::grain_for_ops(row_ops),
+        [&](std::size_t i_begin, std::size_t i_end) {
+          for (int k = 0; k < rows_; ++k) {
+            const Complex* a_row = &(*this)(k, 0);
+            for (std::size_t ii = i_begin; ii < i_end; ++ii) {
+              const long long i = static_cast<long long>(ii);
+              const Complex aki = a_row[ii];
+              if (aki == Complex{0.0, 0.0}) continue;
+              simd::axpy(level, aki.real(), -aki.imag(),
+                         b_pack.re() + static_cast<long long>(k) * n,
+                         b_pack.im() + static_cast<long long>(k) * n,
+                         out_pack.re() + i * n, out_pack.im() + i * n, n);
+            }
+          }
+        });
+    simd::interleave(level, out_pack.re(), out_pack.im(), out_pack.size(),
+                     &out(0, 0));
+    return out;
+  }
   sweep::parallel_for(
       static_cast<std::size_t>(cols_), sweep::grain_for_ops(row_ops),
       [&](std::size_t i_begin, std::size_t i_end) {
@@ -163,6 +246,35 @@ CMat CMat::times_adjoint(const CMat& other) const {
   // thread-count-invariant).
   const std::size_t row_ops =
       static_cast<std::size_t>(other.rows_) * static_cast<std::size_t>(cols_);
+  const simd::Level level = simd::active();
+  if (worth_splitting(level, rows_, other.rows_, cols_)) {
+    // Both factors read along contiguous rows, so pack each whole matrix
+    // to SoA once and every output entry becomes one vectorized dot:
+    // out(i, j) = sum_k a(i,k) * conj(b(j,k)) = dot(conj_a, b_row_j,
+    // a_row_i). Full serial dot per entry keeps thread-count invariance.
+    const long long k_len = cols_;
+    SplitBuffer a_pack(static_cast<long long>(rows_) * k_len);
+    SplitBuffer b_pack(static_cast<long long>(other.rows_) * k_len);
+    simd::deinterleave(level, &(*this)(0, 0), a_pack.size(), a_pack.re(),
+                       a_pack.im());
+    simd::deinterleave(level, &other(0, 0), b_pack.size(), b_pack.re(),
+                       b_pack.im());
+    sweep::parallel_for(
+        static_cast<std::size_t>(rows_), sweep::grain_for_ops(row_ops),
+        [&](std::size_t i_begin, std::size_t i_end) {
+          for (std::size_t ii = i_begin; ii < i_end; ++ii) {
+            const long long i = static_cast<long long>(ii);
+            for (int j = 0; j < other.rows_; ++j) {
+              out(static_cast<int>(i), j) = simd::dot(
+                  level, true,
+                  b_pack.re() + static_cast<long long>(j) * k_len,
+                  b_pack.im() + static_cast<long long>(j) * k_len,
+                  a_pack.re() + i * k_len, a_pack.im() + i * k_len, k_len);
+            }
+          }
+        });
+    return out;
+  }
   sweep::parallel_for(
       static_cast<std::size_t>(rows_), sweep::grain_for_ops(row_ops),
       [&](std::size_t i_begin, std::size_t i_end) {

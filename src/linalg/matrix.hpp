@@ -42,10 +42,8 @@ class CMat {
               static_cast<std::size_t>(j)];
   }
 
-  /// Raw row-major 64-byte-aligned storage (for the stride kernels in
-  /// quantum/local_ops).
-  Complex* data() { return a_.data(); }
-  const Complex* data() const { return a_.data(); }
+  // Note: there is deliberately no raw data() accessor; kernels view this
+  // storage through linalg/complex_view.hpp (see the note in vector.hpp).
 
   CMat& operator+=(const CMat& other);
   CMat& operator-=(const CMat& other);

@@ -37,10 +37,9 @@ class CVec {
     return a_[static_cast<std::size_t>(i)];
   }
 
-  /// Raw 64-byte-aligned storage (for the stride kernels in
-  /// quantum/local_ops and the blocked linalg loops).
-  Complex* data() { return a_.data(); }
-  const Complex* data() const { return a_.data(); }
+  // Note: there is deliberately no raw data() accessor. Kernels take this
+  // buffer through linalg/complex_view.hpp views, which carry the memory
+  // layout (AoS here, SoA for SplitBuffer) so consumers never name one.
 
   CVec& operator+=(const CVec& other);
   CVec& operator-=(const CVec& other);

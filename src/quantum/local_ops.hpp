@@ -18,6 +18,18 @@
 //   * project_local    — rho <- (E rho E^dagger) / tr(...), returning the
 //     branch probability.
 //
+// State/density arguments are layout-aware views (linalg/complex_view.hpp):
+// CVec / CMat convert implicitly (AoS), SplitBuffer converts to an SoA
+// view, and no caller ever names a layout. Each kernel resolves the SIMD
+// dispatch level once on the calling thread (linalg/simd.hpp) and picks a
+// path: the scalar AoS loops are kept verbatim as the kScalar reference
+// (byte-identical to the pre-SIMD engine), the vector levels run gather /
+// block-apply / scatter over split-complex buffers, and operators too
+// sparse to pay for dense vector arithmetic (PackedOp::dense_enough) stay
+// on the zero-skip loops. Every path fixes its summation order as a pure
+// function of the shape, so each (level, layout) pair is deterministic
+// across the kernel-thread axis.
+//
 // embed_operator remains as the reference implementation; the randomized
 // property tests in tests/local_ops_test.cpp cross-validate every entry
 // point against it on random shapes and register subsets.
@@ -25,6 +37,7 @@
 
 #include <vector>
 
+#include "linalg/complex_view.hpp"
 #include "linalg/matrix.hpp"
 #include "quantum/state.hpp"
 
@@ -62,41 +75,45 @@ class LocalOpPlan {
   std::vector<long long> free_off_;
 };
 
-/// psi <- (op tensor I) psi in place. O(D * b) plus the op's sparsity wins
-/// (exact-zero entries are skipped, so permutation blocks cost O(D)).
-void apply_local(const LocalOpPlan& plan, const CMat& op, CVec& psi);
+/// psi <- (op tensor I) psi in place over a flat state view. O(D * b) plus
+/// the op's sparsity wins (exact-zero entries are skipped, so permutation
+/// blocks cost O(D)).
+void apply_local(const LocalOpPlan& plan, const CMat& op,
+                 linalg::MutComplexView psi);
 
 /// Convenience overload that builds the plan on the fly.
 void apply_local(const RegisterShape& shape, const CMat& op,
-                 const std::vector<int>& regs, CVec& psi);
+                 const std::vector<int>& regs, linalg::MutComplexView psi);
 
-/// <psi| (effect tensor I) |psi>, real part. O(D * b).
+/// <psi| (effect tensor I) |psi> for a flat state view, or
+/// tr((effect tensor I) rho) for a matrix-shaped view — dispatched on the
+/// view's shape. Real part; O(D * b) resp. O(D^2 * b). Chunk partials are
+/// combined in chunk order, so the value is thread-count invariant.
 double expectation_local(const LocalOpPlan& plan, const CMat& effect,
-                         const CVec& psi);
+                         linalg::ConstComplexView state);
 
-/// tr((effect tensor I) rho) for a density matrix, real part. O(D * b).
-double expectation_local(const LocalOpPlan& plan, const CMat& effect,
-                         const linalg::CMat& rho);
+/// a <- (op tensor I) a (rows mixed) over a matrix-shaped view. With
+/// `adjoint_op`, uses op^dagger without materializing it.
+/// O(D * b * cols(a)).
+void apply_left_local(const LocalOpPlan& plan, const CMat& op,
+                      linalg::MutComplexView a, bool adjoint_op = false);
 
-/// a <- (op tensor I) a (rows mixed). With `adjoint_op`, uses op^dagger
-/// without materializing it. O(D * b * cols(a)).
-void apply_left_local(const LocalOpPlan& plan, const CMat& op, linalg::CMat& a,
-                      bool adjoint_op = false);
-
-/// a <- a (op tensor I) (columns mixed). With `adjoint_op`, uses op^dagger
-/// without materializing it. O(D * b * rows(a)).
+/// a <- a (op tensor I) (columns mixed) over a matrix-shaped view. With
+/// `adjoint_op`, uses op^dagger without materializing it.
+/// O(D * b * rows(a)).
 void apply_right_local(const LocalOpPlan& plan, const CMat& op,
-                       linalg::CMat& a, bool adjoint_op = false);
+                       linalg::MutComplexView a, bool adjoint_op = false);
 
 /// rho <- (u tensor I) rho (u^dagger tensor I) in place through one reused
 /// row workspace — no embedded operator, no adjoint copy, no temporaries of
 /// the full matrix. O(D^2 * b).
-void sandwich_local(const LocalOpPlan& plan, const CMat& u, linalg::CMat& rho);
+void sandwich_local(const LocalOpPlan& plan, const CMat& u,
+                    linalg::MutComplexView rho);
 
 /// rho <- (E rho E^dagger) / p with p = tr(E rho E^dagger); returns p.
 /// If p is ~0 the state is left untouched and 0 is returned (matching
 /// Density::project's contract).
 double project_local(const LocalOpPlan& plan, const CMat& effect,
-                     linalg::CMat& rho);
+                     linalg::MutComplexView rho);
 
 }  // namespace dqma::quantum

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "linalg/complex_view.hpp"
 #include "quantum/local_ops.hpp"
 #include "sweep/parallel.hpp"
 #include "util/require.hpp"
@@ -59,7 +60,10 @@ Density reduce_to(const Density& rho, const std::vector<int>& kept) {
   const auto& traced_off = plan.free_offsets();
 
   CMat out(static_cast<int>(out_dim), static_cast<int>(out_dim));
-  const CMat& full = rho.matrix();
+  // Layout-agnostic view over the full density (flat strided gathers, so
+  // the kernel never names the storage layout).
+  const linalg::ConstComplexView full = rho.matrix();
+  const long long full_cols = full.cols();
   // Output rows are independent (each entry one serial diagonal sum), so
   // row panels run in parallel with thread-count-invariant values.
   const std::size_t row_ops =
@@ -74,8 +78,7 @@ Density reduce_to(const Density& rho, const std::vector<int>& kept) {
             const long long base_j = kept_off[static_cast<std::size_t>(j)];
             Complex acc{0.0, 0.0};
             for (const long long off : traced_off) {
-              acc += full(static_cast<int>(base_i + off),
-                          static_cast<int>(base_j + off));
+              acc += full.load((base_i + off) * full_cols + (base_j + off));
             }
             out(static_cast<int>(i), static_cast<int>(j)) = acc;
           }

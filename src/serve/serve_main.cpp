@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "linalg/simd.hpp"
 #include "serve/handlers.hpp"
 #include "serve/server.hpp"
 
@@ -426,6 +427,14 @@ int serve_main(int argc, char** argv) {
   if (options.help) {
     print_usage(std::cout);
     return 0;
+  }
+  // Resolve the kernel SIMD level now (DQMA_SIMD over CPU detection) so a
+  // bad env value fails at startup instead of inside a request handler.
+  try {
+    linalg::simd::resolve_startup("");
+  } catch (const std::exception& e) {
+    std::cerr << "dqma_serve: " << e.what() << "\n";
+    return 2;
   }
 
   register_builtin_workloads();

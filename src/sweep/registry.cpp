@@ -15,6 +15,7 @@
 #include <string>
 #include <system_error>
 
+#include "linalg/simd.hpp"
 #include "sweep/trajectory.hpp"
 #include "util/require.hpp"
 #include "util/table.hpp"
@@ -294,6 +295,10 @@ void print_usage(std::ostream& os, const char* forced_experiment) {
         "any diff\n"
         "  --tolerance <x>          floating tolerance for --compare "
         "(default 1e-9)\n"
+        "  --simd <level>           kernel dispatch level: scalar|avx2|"
+        "avx512|native\n"
+        "                           (default: DQMA_SIMD env var, else CPU "
+        "detection)\n"
         "  --help                   this message\n";
 }
 
@@ -345,6 +350,10 @@ bool parse_cli(int argc, const char* const* argv, bool allow_select,
       const char* value = next_value("--resume");
       if (value == nullptr) return false;
       options.resume_path = value;
+    } else if (arg == "--simd") {
+      const char* value = next_value("--simd");
+      if (value == nullptr) return false;
+      options.simd = value;
     } else if (arg == "--compare") {
       const char* value = next_value("--compare");
       if (value == nullptr) return false;
@@ -512,6 +521,15 @@ int cli_main(int argc, const char* const* argv,
   }
   if (!validate_options(options, error)) {
     std::cerr << "dqma_bench: " << error << "\n";
+    return 2;
+  }
+  // SIMD dispatch resolution (--simd over DQMA_SIMD over CPU detection),
+  // up front so a bad level name or an unsupported request fails here with
+  // a readable message instead of inside a kernel.
+  try {
+    linalg::simd::resolve_startup(options.simd);
+  } catch (const std::exception& e) {
+    std::cerr << "dqma_bench: " << e.what() << "\n";
     return 2;
   }
 

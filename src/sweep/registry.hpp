@@ -210,6 +210,7 @@ struct CliOptions {
   std::vector<std::string> merge_inputs;  ///< --merge mode when non-empty
   std::string compare_path;               ///< baseline document
   double tolerance = 1e-9;                ///< --compare floating tolerance
+  std::string simd;  ///< SIMD level override; empty => DQMA_SIMD / native
 };
 
 /// Shared driver main: parses argv, runs the selected experiments, writes
