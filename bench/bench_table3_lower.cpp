@@ -10,6 +10,8 @@
 //   rows 5-7 (Thm 63: DISJ / IP / PAND): bound values via the one-sided
 //     smooth discrepancy reductions.
 #include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "dma/dma_protocols.hpp"
@@ -17,14 +19,20 @@
 #include "dqma/exact_runner.hpp"
 #include "dqma/qma_star.hpp"
 #include "experiments.hpp"
+#include "linalg/lanczos.hpp"
 #include "linalg/vector.hpp"
 #include "lowerbound/accounting.hpp"
 #include "lowerbound/counting.hpp"
 #include "lowerbound/fooling.hpp"
+#include "quantum/density.hpp"
+#include "quantum/partial_trace.hpp"
+#include "quantum/random.hpp"
 #include "sweep/registry.hpp"
 #include "util/bitstring.hpp"
 #include "util/rng.hpp"
+#include "util/scratch.hpp"
 #include "util/table.hpp"
+#include "util/tolerance.hpp"
 
 namespace dqma::bench {
 namespace {
@@ -221,8 +229,8 @@ void run(sweep::ExperimentContext& ctx) {
         "Row 4+ (matrix-free): entangled vs product beyond the dense cap",
         "The same entangled-vs-product gap on proof spaces too large for a\n"
         "dense acceptance operator: the matrix-free engine streams the\n"
-        "local effects (worst case = power iteration on the operator's\n"
-        "action, capped at 48 applications; product case = factorized\n"
+        "local effects (worst case = deterministic Lanczos on the\n"
+        "operator's action, matvecs recorded; product case = factorized\n"
         "alternating optimization). delta = 0.2.");
     std::vector<sweep::ParamPoint> all_points;
     for (const auto& [d, r] :
@@ -248,16 +256,20 @@ void run(sweep::ExperimentContext& ctx) {
           b[1] = linalg::Complex{std::sqrt(1.0 - 0.04), 0.0};
           const ExactEqPathAnalyzer exact(a, b, r,
                                           ExactEqPathAnalyzer::Mode::kMatrixFree);
-          const double worst = exact.worst_case_accept(/*max_iters=*/48);
+          linalg::SpectralStats stats;
+          const double worst =
+              exact.worst_case_accept(linalg::SpectralOptions{}, &stats);
           const double product = exact.best_product_accept(rng, 4, 40);
           return sweep::Metrics()
               .set("proof_dim", exact.proof_dim())
               .set("worst_entangled_accept", worst)
               .set("best_product_accept", product)
-              .set("entangled_gain", worst - product);
+              .set("entangled_gain", worst - product)
+              .set("solver_matvecs", stats.matvecs)
+              .set("solver_converged", stats.converged);
         });
-    Table table({"d", "r", "proof dim", "worst entangled (PI-48)",
-                 "best product", "entangled gain"});
+    Table table({"d", "r", "proof dim", "worst entangled (Lanczos)",
+                 "matvecs", "best product", "entangled gain"});
     for (std::size_t i = 0; i < points.size(); ++i) {
       if (results[i].skipped) continue;
       const auto& m = results[i].metrics;
@@ -265,6 +277,7 @@ void run(sweep::ExperimentContext& ctx) {
                      Table::fmt(points[i].get_int("r")),
                      Table::fmt(m.get_int("proof_dim")),
                      Table::fmt(m.get_double("worst_entangled_accept")),
+                     Table::fmt(m.get_int("solver_matvecs")),
                      Table::fmt(m.get_double("best_product_accept")),
                      Table::fmt(m.get_double("entangled_gain"))});
     }
@@ -369,6 +382,180 @@ void run(sweep::ExperimentContext& ctx) {
                      Table::fmt(points[i].get_int("r")),
                      Table::fmt(m.get_int("upper_total_proof")),
                      Table::fmt(m.get_double("lower_bound"))});
+    }
+    table.print(out);
+  }
+
+  {
+    util::print_banner(
+        out, "Spectral engine: Lanczos vs power on the acceptance operators",
+        "Both solvers of linalg/lanczos.hpp on the Row 4 / Row 4+ operators\n"
+        "at tol 1e-9: the top eigenvalues agree to 1e-9 while the\n"
+        "deterministic Lanczos engine needs a fraction of the operator\n"
+        "applications. Matvec counts are exact integers (level- and\n"
+        "thread-invariant by the determinism contract).");
+    std::vector<sweep::ParamPoint> all_points;
+    for (const int r : {2, 3, 4, 5}) {
+      all_points.push_back(sweep::ParamPoint().set("d", 2).set("r", r));
+    }
+    for (const auto& [d, r] :
+         {std::pair{4, 4}, std::pair{6, 4}, std::pair{4, 5}}) {
+      all_points.push_back(sweep::ParamPoint().set("d", d).set("r", r));
+    }
+    const auto points = ctx.smoke_select(
+        all_points, {sweep::ParamPoint().set("d", 2).set("r", 2),
+                     sweep::ParamPoint().set("d", 2).set("r", 3),
+                     sweep::ParamPoint().set("d", 6).set("r", 4)});
+    const auto results = ctx.serial_sweep(
+        "eigensolver_agreement", points,
+        [](const sweep::ParamPoint& p, Rng&) {
+          const int d = static_cast<int>(p.get_int("d"));
+          const int r = static_cast<int>(p.get_int("r"));
+          CVec a = CVec::basis(d, 0);
+          CVec b(d);
+          b[0] = linalg::Complex{0.2, 0.0};
+          b[1] = linalg::Complex{std::sqrt(1.0 - 0.04), 0.0};
+          const ExactEqPathAnalyzer exact(a, b, r);
+          linalg::SpectralOptions lanczos_opts;
+          lanczos_opts.method = linalg::SpectralOptions::Method::kLanczos;
+          lanczos_opts.max_iters = 20000;
+          lanczos_opts.tol = 1e-9;
+          linalg::SpectralOptions power_opts = lanczos_opts;
+          power_opts.method = linalg::SpectralOptions::Method::kPower;
+          linalg::SpectralStats lanczos_stats;
+          linalg::SpectralStats power_stats;
+          const double via_lanczos =
+              exact.worst_case_accept(lanczos_opts, &lanczos_stats);
+          const double via_power =
+              exact.worst_case_accept(power_opts, &power_stats);
+          return sweep::Metrics()
+              .set("proof_dim", exact.proof_dim())
+              .set("lanczos_value", via_lanczos)
+              .set("power_value", via_power)
+              .set("value_diff", std::abs(via_lanczos - via_power))
+              .set("lanczos_matvecs", lanczos_stats.matvecs)
+              .set("power_matvecs", power_stats.matvecs)
+              .set("lanczos_converged", lanczos_stats.converged)
+              .set("power_converged", power_stats.converged);
+        });
+    Table table({"d", "r", "proof dim", "Lanczos", "power", "|diff|",
+                 "L matvecs", "P matvecs", "P/L"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
+      const auto& m = results[i].metrics;
+      const double ratio =
+          static_cast<double>(m.get_int("power_matvecs")) /
+          static_cast<double>(std::max(1LL, m.get_int("lanczos_matvecs")));
+      table.add_row({Table::fmt(points[i].get_int("d")),
+                     Table::fmt(points[i].get_int("r")),
+                     Table::fmt(m.get_int("proof_dim")),
+                     Table::fmt(m.get_double("lanczos_value")),
+                     Table::fmt(m.get_double("power_value")),
+                     Table::fmt(m.get_double("value_diff")),
+                     Table::fmt(m.get_int("lanczos_matvecs")),
+                     Table::fmt(m.get_int("power_matvecs")),
+                     Table::fmt(ratio, 1)});
+    }
+    table.print(out);
+  }
+
+  {
+    util::print_banner(
+        out, "Tiled density passes: a mixed state past the dense wall",
+        "A diagonal mixed state pushed through apply / expectation /\n"
+        "reduce_to with closed-form cross-checks. The 2^15 point runs only\n"
+        "when scratch is enabled (--scratch or DQMA_SCRATCH_DIR): the\n"
+        "density then tiles through a memory-mapped scratch file. In-core\n"
+        "points produce bit-identical values either way (the contract\n"
+        "tests/tiled_density_test.cpp pins byte for byte).");
+    std::vector<sweep::ParamPoint> all_points;
+    for (const int n : {10, 15}) {
+      all_points.push_back(sweep::ParamPoint().set("qubits", n));
+    }
+    const auto points = ctx.smoke_select(
+        all_points, {sweep::ParamPoint().set("qubits", 10)});
+    const auto results = ctx.serial_sweep(
+        "tiled_density", points, [](const sweep::ParamPoint& p, Rng& rng) {
+          const int n = static_cast<int>(p.get_int("qubits"));
+          const long long dim = 1LL << n;
+          sweep::Metrics metrics;
+          if (dim > util::kMaxDenseExactDim && !util::ScratchTile::enabled()) {
+            return metrics.set("completed", false)
+                .set("tiled", false)
+                .set("expectation", 0.0)
+                .set("expectation_error", 0.0)
+                .set("reduced_error", 0.0);
+          }
+          std::vector<double> probs(static_cast<std::size_t>(dim));
+          double sum = 0.0;
+          for (long long i = 0; i < dim; ++i) {
+            probs[static_cast<std::size_t>(i)] =
+                1.0 + 0.5 * std::cos(0.001 * static_cast<double>(i));
+            sum += probs[static_cast<std::size_t>(i)];
+          }
+          for (double& prob : probs) prob /= sum;
+          const quantum::RegisterShape shape(
+              std::vector<int>(static_cast<std::size_t>(n), 2));
+          // Whenever scratch is on, force the tiled path even for in-core
+          // dims so the point exercises the mmap pass; values are
+          // bit-identical either way by the storage contract.
+          std::unique_ptr<quantum::TiledDensityScope> scope;
+          if (util::ScratchTile::enabled()) {
+            scope = std::make_unique<quantum::TiledDensityScope>(0);
+          }
+          quantum::Density rho = quantum::Density::diagonal(shape, probs);
+          const linalg::CMat u = quantum::haar_unitary(4, rng);
+          rho.apply(u, {0, 1});
+          linalg::CMat effect(4, 4);
+          effect(0, 0) = linalg::Complex{1.0, 0.0};
+          const double measured = rho.expectation(effect, {0, 1});
+          // Closed form: tr((E tensor I) U rho U^dagger) for diagonal rho
+          // is sum_i p_i M(a(i), a(i)) with M = U^dagger E U and a(i) the
+          // block index of registers {0, 1} (the high-order qubits).
+          const linalg::CMat m = u.adjoint() * effect * u;
+          double reference = 0.0;
+          std::vector<double> block_sums(4, 0.0);
+          for (long long i = 0; i < dim; ++i) {
+            const auto block = static_cast<std::size_t>(i >> (n - 2));
+            reference += probs[static_cast<std::size_t>(i)] *
+                         m(static_cast<int>(block), static_cast<int>(block))
+                             .real();
+            block_sums[block] += probs[static_cast<std::size_t>(i)];
+          }
+          // Reducing to registers {0, 1} gives U diag(block sums) U^dagger.
+          const quantum::Density reduced = quantum::reduce_to(rho, {0, 1});
+          linalg::CMat diag(4, 4);
+          for (int a = 0; a < 4; ++a) {
+            diag(a, a) =
+                linalg::Complex{block_sums[static_cast<std::size_t>(a)], 0.0};
+          }
+          const linalg::CMat expected = (u * diag).times_adjoint(u);
+          double reduced_error = 0.0;
+          for (int a = 0; a < 4; ++a) {
+            for (int b = 0; b < 4; ++b) {
+              reduced_error = std::max(
+                  reduced_error,
+                  std::abs(reduced.matrix()(a, b) - expected(a, b)));
+            }
+          }
+          return metrics.set("completed", true)
+              .set("tiled", rho.tiled())
+              .set("expectation", measured)
+              .set("expectation_error", std::abs(measured - reference))
+              .set("reduced_error", reduced_error);
+        });
+    Table table({"qubits", "dim", "completed", "tiled", "tr(E U rho U+)",
+                 "closed-form err", "reduce_to err"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
+      const auto& m = results[i].metrics;
+      const int n = static_cast<int>(points[i].get_int("qubits"));
+      table.add_row({Table::fmt(n), Table::fmt(1LL << n),
+                     m.get_bool("completed") ? "yes" : "no (needs --scratch)",
+                     m.get_bool("tiled") ? "yes" : "no",
+                     Table::fmt(m.get_double("expectation")),
+                     Table::fmt(m.get_double("expectation_error")),
+                     Table::fmt(m.get_double("reduced_error"))});
     }
     table.print(out);
   }

@@ -18,6 +18,7 @@
 #include "experiments.hpp"
 #include "fingerprint/fingerprint.hpp"
 #include "linalg/eigen.hpp"
+#include "linalg/lanczos.hpp"
 #include "linalg/permanent.hpp"
 #include "linalg/simd.hpp"
 #include "qtest/permutation_test.hpp"
@@ -459,6 +460,73 @@ void run(sweep::ExperimentContext& ctx) {
                       Table::fmt(gflops, 2), Table::fmt(gbps, 2)});
     }
     rtable.print(out);
+  }
+
+  {
+    util::print_banner(
+        out, "eigensolver: power vs Lanczos at power-of-two proof dims",
+        "Both spectral solvers (linalg/lanczos.hpp) on matrix-free\n"
+        "acceptance operators at proof dims 2^10 .. 2^16, tol 1e-9.\n"
+        "Matvec counts are exact integers (level- and thread-invariant);\n"
+        "wall times ride in the JSON under --timings.");
+    std::vector<sweep::ParamPoint> points;
+    const auto add_pair = [&](int d, int r) {
+      for (const char* solver : {"power", "lanczos"}) {
+        points.push_back(sweep::ParamPoint()
+                             .set("d", d)
+                             .set("r", r)
+                             .set("solver", solver));
+      }
+    };
+    // (d, r) -> proof dim d^{2(r-1)}: 2^10, 2^12, 2^14, 2^16. Smoke stops
+    // at 2^12; the two large instances are full-run only.
+    add_pair(32, 2);
+    add_pair(8, 3);
+    if (!ctx.smoke()) {
+      add_pair(128, 2);
+      add_pair(16, 3);
+    }
+    // Few huge points, one threaded matvec engine inside each: run them
+    // serially so the kernels fan out (same contract as the table3_lower
+    // matrix_free_large series).
+    const auto results = ctx.serial_sweep(
+        "eigensolver", points, [](const sweep::ParamPoint& p, Rng&) {
+          const int d = static_cast<int>(p.get_int("d"));
+          const int r = static_cast<int>(p.get_int("r"));
+          linalg::CVec a = linalg::CVec::basis(d, 0);
+          linalg::CVec b(d);
+          b[0] = linalg::Complex{0.2, 0.0};
+          b[1] = linalg::Complex{std::sqrt(1.0 - 0.04), 0.0};
+          const protocol::ExactEqPathAnalyzer exact(
+              a, b, r, protocol::ExactEqPathAnalyzer::Mode::kMatrixFree);
+          linalg::SpectralOptions opts;
+          opts.method = p.get_string("solver") == "power"
+                            ? linalg::SpectralOptions::Method::kPower
+                            : linalg::SpectralOptions::Method::kLanczos;
+          opts.max_iters = 20000;
+          opts.tol = 1e-9;
+          linalg::SpectralStats stats;
+          const double value = exact.worst_case_accept(opts, &stats);
+          return sweep::Metrics()
+              .set("proof_dim", exact.proof_dim())
+              .set("value", value)
+              .set("matvecs", stats.matvecs)
+              .set("converged", stats.converged);
+        });
+    Table etable({"d", "r", "proof dim", "solver", "top eigenvalue",
+                  "matvecs", "converged"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (results[i].skipped) continue;
+      const auto& m = results[i].metrics;
+      etable.add_row({Table::fmt(points[i].get_int("d")),
+                      Table::fmt(points[i].get_int("r")),
+                      Table::fmt(m.get_int("proof_dim")),
+                      points[i].get_string("solver"),
+                      Table::fmt(m.get_double("value")),
+                      Table::fmt(m.get_int("matvecs")),
+                      m.get_bool("converged") ? "yes" : "NO"});
+    }
+    etable.print(out);
   }
 }
 

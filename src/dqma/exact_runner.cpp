@@ -138,10 +138,15 @@ ExactEqPathAnalyzer::ExactEqPathAnalyzer(CVec hx, CVec hy, int r, Mode mode)
   first_ = CMat::identity(d_);
   first_ += CMat::projector(hx);
   first_ *= Complex{0.5, 0.0};
-  // Middle swap-test effect on a register pair.
-  swap_effect_ = quantum::swap_unitary(d_);
-  swap_effect_ += CMat::identity(d_ * d_);
-  swap_effect_ *= Complex{0.5, 0.0};
+  // Middle swap-test effect on a register pair — only materialized when a
+  // pattern can actually contain one (inner_ >= 2): r == 2 paths have a
+  // single inner node and skipping the d^2 x d^2 build lets wide-d shallow
+  // instances through without the quadratic blowup.
+  if (inner_ >= 2) {
+    swap_effect_ = quantum::swap_unitary(d_);
+    swap_effect_ += CMat::identity(d_ * d_);
+    swap_effect_ *= Complex{0.5, 0.0};
+  }
   // Final measurement on sent_{r-1}.
   final_ = CMat::projector(hy);
 
@@ -259,17 +264,24 @@ CVec ExactEqPathAnalyzer::apply_acceptance(const CVec& psi) const {
 }
 
 double ExactEqPathAnalyzer::worst_case_accept(int max_iters) const {
-  // Both operator forms feed the same LinearOperator-based power
-  // iteration: DenseOperator packs op_ to split-complex once (SIMD matvec
-  // per iteration), CallbackOperator streams through apply_acceptance.
+  linalg::SpectralOptions opts;
+  opts.max_iters = max_iters;
+  return worst_case_accept(opts);
+}
+
+double ExactEqPathAnalyzer::worst_case_accept(
+    const linalg::SpectralOptions& opts, linalg::SpectralStats* stats) const {
+  // Both operator forms feed the same spectral dispatcher: DenseOperator
+  // packs op_ to split-complex once (SIMD matvec per iteration),
+  // CallbackOperator streams through apply_acceptance.
   if (dense_) {
     const linalg::DenseOperator op(op_);
-    return std::min(1.0, linalg::max_eigenvalue_psd(op, max_iters));
+    return std::min(1.0, linalg::top_eigenvalue_psd(op, opts, nullptr, stats));
   }
   const linalg::CallbackOperator op(
       [this](const CVec& psi) { return apply_acceptance(psi); },
       static_cast<int>(proof_dim_));
-  return std::min(1.0, linalg::max_eigenvalue_psd(op, max_iters));
+  return std::min(1.0, linalg::top_eigenvalue_psd(op, opts, nullptr, stats));
 }
 
 double ExactEqPathAnalyzer::product_accept(const std::vector<CVec>& regs) const {

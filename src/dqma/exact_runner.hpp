@@ -36,6 +36,7 @@
 
 #include <vector>
 
+#include "linalg/lanczos.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 #include "quantum/local_ops.hpp"
@@ -78,10 +79,18 @@ class ExactEqPathAnalyzer {
   /// pattern-streamed application.
   CVec apply_acceptance(const CVec& psi) const;
 
-  /// max over all (entangled) proofs of Pr[accept]. Power iteration on the
-  /// operator's action; `max_iters` bounds the work in matrix-free mode
-  /// (the estimate is a lower bound that is tight at convergence).
+  /// max over all (entangled) proofs of Pr[accept]. Top eigenvalue of the
+  /// acceptance operator via the spectral dispatcher (linalg/lanczos.hpp:
+  /// deterministic Lanczos, power fallback on tiny proof spaces);
+  /// `max_iters` bounds the work (the estimate is a lower bound that is
+  /// tight at convergence).
   double worst_case_accept(int max_iters = 2000) const;
+
+  /// Same quantity with explicit solver options; fills *stats (matvec
+  /// counts, iterations) when given, so callers can record solver cost as
+  /// JSON metrics.
+  double worst_case_accept(const linalg::SpectralOptions& opts,
+                           linalg::SpectralStats* stats = nullptr) const;
 
   /// max over product proofs, by alternating optimization with `restarts`
   /// random restarts. A lower bound on worst_case_accept() that is tight in

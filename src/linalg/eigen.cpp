@@ -5,6 +5,7 @@
 #include <numeric>
 #include <utility>
 
+#include "linalg/lanczos.hpp"
 #include "sweep/parallel.hpp"
 #include "util/require.hpp"
 #include "util/tolerance.hpp"
@@ -128,89 +129,40 @@ EigenSystem eigh(const CMat& input) {
   return out;
 }
 
-namespace {
-
-/// Deterministic dense start vector shared by the power-iteration variants:
-/// equal superposition with varying phases, so it overlaps any eigenvector
-/// with overwhelming probability.
-CVec power_start_vector(int n) {
-  CVec x(n);
-  for (int i = 0; i < n; ++i) {
-    const double angle = 0.7 * static_cast<double>(i) + 0.3;
-    x[i] = Complex{std::cos(angle), std::sin(angle)};
-  }
-  x.normalize();
-  return x;
-}
-
-/// Shared power-iteration core: one operator application per iteration (the
-/// Rayleigh-quotient product of iteration k is reused as iteration k+1's
-/// image), Rayleigh-quotient convergence test, deterministic start vector.
-/// Writes the final normalized iterate into *vec_out when requested. Any
-/// iterative backend added later (Lanczos per ROADMAP item 2) slots in
-/// beside this, consuming the same LinearOperator interface.
-double power_iterate(const LinearOperator& op, int max_iters, double tol,
-                     CVec* vec_out) {
-  const int dim = op.dim();
-  if (dim == 0) {
-    if (vec_out != nullptr) {
-      *vec_out = CVec();
-    }
-    return 0.0;
-  }
-  CVec x = power_start_vector(dim);
-  CVec image = op.apply(x);
-  double lambda = 0.0;
-  for (int it = 0; it < max_iters; ++it) {
-    const double norm = image.norm();
-    if (norm < 1e-300) {
-      // The operator annihilates the iterate; spectrum is ~0 on it.
-      if (vec_out != nullptr) {
-        *vec_out = x;
-      }
-      return 0.0;
-    }
-    x = image * Complex{1.0 / norm, 0.0};
-    image = op.apply(x);
-    const double next = std::real(x.dot(image));
-    const bool converged = std::abs(next - lambda) <= tol * std::max(1.0, next);
-    lambda = next;
-    if (converged && it > 2) {
-      break;
-    }
-  }
-  if (vec_out != nullptr) {
-    *vec_out = x;
-  }
-  return lambda;
-}
-
-}  // namespace
-
 DenseOperator::DenseOperator(const CMat& a)
     : a_(a), level_(simd::active()) {
   require(a.rows() == a.cols(), "DenseOperator: matrix not square");
   // Pack once when a vector level is active and the dot length pays for
-  // it; every apply() below reuses the SoA copy.
+  // it; every apply() below reuses the SoA copy. The input scratch xs_ is
+  // sized here too, so iterative solves are allocation-free per matvec.
   if (level_ != simd::Level::kScalar && a.cols() >= 8) {
     pack_ = SplitBuffer(static_cast<long long>(a.rows()) * a.cols());
     simd::deinterleave(level_, &a(0, 0), pack_.size(), pack_.re(),
                        pack_.im());
     packed_ = true;
+    xs_ = SplitBuffer(a.cols());
   }
 }
 
 int DenseOperator::dim() const { return a_.rows(); }
 
 CVec DenseOperator::apply(const CVec& x) const {
+  CVec out(a_.rows());
+  apply_into(x, out);
+  return out;
+}
+
+void DenseOperator::apply_into(const CVec& x, CVec& out) const {
   require(x.dim() == a_.cols(), "DenseOperator::apply: dimension mismatch");
   if (!packed_) {
-    return a_ * x;
+    out = a_ * x;
+    return;
   }
   const long long n = a_.cols();
-  SplitBuffer xs(n);
-  simd::deinterleave(level_, &x[0], n, xs.re(), xs.im());
-  CVec out(a_.rows());
+  simd::deinterleave(level_, &x[0], n, xs_.re(), xs_.im());
+  if (out.dim() != a_.rows()) {
+    out = CVec(a_.rows());
+  }
   // Row panels in parallel, one full vectorized dot per row — the same
   // thread-count-invariance argument as the scalar matvec. level_ was
   // resolved on the constructing thread; pool workers just use it.
@@ -222,10 +174,9 @@ CVec DenseOperator::apply(const CVec& x) const {
           const long long i = static_cast<long long>(ii);
           out[static_cast<int>(ii)] =
               simd::dot(level_, false, pack_.re() + i * n, pack_.im() + i * n,
-                        xs.re(), xs.im(), n);
+                        xs_.re(), xs_.im(), n);
         }
       });
-  return out;
 }
 
 CallbackOperator::CallbackOperator(std::function<CVec(const CVec&)> apply,
@@ -240,12 +191,18 @@ CVec CallbackOperator::apply(const CVec& x) const { return apply_(x); }
 
 double max_eigenvalue_psd(const LinearOperator& op, int max_iters,
                           double tol) {
-  return power_iterate(op, max_iters, tol, nullptr);
+  SpectralOptions opts;
+  opts.max_iters = max_iters;
+  opts.tol = tol;
+  return top_eigenvalue_psd(op, opts);
 }
 
 double top_eigenpair_psd(const LinearOperator& op, CVec& vec, int max_iters,
                          double tol) {
-  return power_iterate(op, max_iters, tol, &vec);
+  SpectralOptions opts;
+  opts.max_iters = max_iters;
+  opts.tol = tol;
+  return top_eigenvalue_psd(op, opts, &vec);
 }
 
 double max_eigenvalue_psd(const CMat& a, int max_iters, double tol) {

@@ -1,5 +1,6 @@
 // Hermitian eigensolver (cyclic complex Jacobi) plus spectral utilities:
-// top eigenvalue via power iteration, PSD matrix square root, trace norm.
+// top eigenvalue via the iterative solvers in linalg/lanczos.hpp (Lanczos
+// with a power-iteration fallback), PSD matrix square root, trace norm.
 //
 // These are the numerical workhorses behind trace distance, fidelity, and
 // the exact worst-case-prover optimizer (which maximizes acceptance over all
@@ -30,10 +31,10 @@ EigenSystem eigh(const CMat& a);
 /// The single operator interface the iterative spectral routines consume.
 /// Dense matrices and matrix-free callbacks (the exact engine's acceptance
 /// operator on proof spaces too large to materialize) both implement it,
-/// so every backend — power iteration today, a Lanczos backend later (see
-/// ROADMAP item 2) — is written once against apply() + dim() and works for
-/// both. Non-owning adapters: the wrapped matrix/callback must outlive the
-/// operator.
+/// so every backend — the Lanczos solver in linalg/lanczos.hpp and the
+/// power-iteration fallback — is written once against apply() + dim() and
+/// works for both. Non-owning adapters: the wrapped matrix/callback must
+/// outlive the operator.
 class LinearOperator {
  public:
   virtual ~LinearOperator() = default;
@@ -41,27 +42,39 @@ class LinearOperator {
   virtual int dim() const = 0;
   /// y = A x.
   virtual CVec apply(const CVec& x) const = 0;
+  /// out = A x, reusing out's storage when already sized. Iterative solvers
+  /// call this so per-matvec allocations amortize to once per solve;
+  /// backends that can, override it allocation-free.
+  virtual void apply_into(const CVec& x, CVec& out) const { out = apply(x); }
 };
 
 /// Dense-matrix operator. At construction it resolves the SIMD dispatch
 /// level (on the constructing thread — see linalg/simd.hpp) and, when a
 /// vector level is active, packs the matrix rows to split-complex SoA
 /// once; apply() then runs the matvec as one vectorized dot per row.
-/// Repeated applications (power iteration) amortize the single pack. Each
-/// output entry is one full serial dot, so results are thread-count
+/// Repeated applications (iterative eigensolvers) amortize the single pack.
+/// Each output entry is one full serial dot, so results are thread-count
 /// invariant at any fixed dispatch level.
+///
+/// apply_into() reuses a per-operator split-complex input scratch, so an
+/// iterative solve allocates once per solve instead of once per matvec.
+/// Consequently a single DenseOperator must not be applied from two threads
+/// concurrently (solvers are serial per operator; distinct operators are
+/// fine).
 class DenseOperator : public LinearOperator {
  public:
   explicit DenseOperator(const CMat& a);
 
   int dim() const override;
   CVec apply(const CVec& x) const override;
+  void apply_into(const CVec& x, CVec& out) const override;
 
  private:
   const CMat& a_;
   simd::Level level_;
   bool packed_ = false;
-  SplitBuffer pack_;  ///< row-major SoA copy of a_ when packed_
+  SplitBuffer pack_;        ///< row-major SoA copy of a_ when packed_
+  mutable SplitBuffer xs_;  ///< reusable split-complex copy of the input
 };
 
 /// Matrix-free operator from an apply callback.
@@ -77,16 +90,18 @@ class CallbackOperator : public LinearOperator {
   int dim_;
 };
 
-/// Largest eigenvalue of a Hermitian PSD operator by power iteration with
-/// a deterministic start vector and Rayleigh-quotient convergence test.
-/// `max_iters` bounds work; accuracy ~`tol` on the eigenvalue.
+/// Largest eigenvalue of a Hermitian PSD operator. Routes through the
+/// spectral dispatcher in linalg/lanczos.hpp with automatic method choice:
+/// deterministic Lanczos with full reorthogonalization above the tiny-dim
+/// threshold, power iteration below it. `max_iters` bounds work; `tol` is
+/// the residual threshold (||A x - theta x|| <= tol * max(1, theta)).
 double max_eigenvalue_psd(const LinearOperator& op, int max_iters = 2000,
                           double tol = 1e-10);
 
-/// Top eigenpair of a Hermitian PSD operator by power iteration: returns
-/// the eigenvalue and writes the (normalized) eigenvector into `vec`. The
-/// cheap replacement for a full eigh() when only the dominant direction is
-/// needed (alternating-optimization inner loops).
+/// Top eigenpair of a Hermitian PSD operator via the same dispatcher:
+/// returns the eigenvalue and writes the (normalized) eigenvector into
+/// `vec`. The cheap replacement for a full eigh() when only the dominant
+/// direction is needed (alternating-optimization inner loops).
 double top_eigenpair_psd(const LinearOperator& op, CVec& vec,
                          int max_iters = 2000, double tol = 1e-12);
 

@@ -18,6 +18,7 @@
 #include "linalg/simd.hpp"
 #include "sweep/trajectory.hpp"
 #include "util/require.hpp"
+#include "util/scratch.hpp"
 #include "util/table.hpp"
 
 namespace dqma::sweep {
@@ -299,6 +300,12 @@ void print_usage(std::ostream& os, const char* forced_experiment) {
         "avx512|native\n"
         "                           (default: DQMA_SIMD env var, else CPU "
         "detection)\n"
+        "  --scratch <dir>          enable memory-mapped scratch tiles in "
+        "<dir>,\n"
+        "                           unlocking dense density passes past the "
+        "in-core\n"
+        "                           cap (default: DQMA_SCRATCH_DIR env var, "
+        "else off)\n"
         "  --help                   this message\n";
 }
 
@@ -350,6 +357,10 @@ bool parse_cli(int argc, const char* const* argv, bool allow_select,
       const char* value = next_value("--resume");
       if (value == nullptr) return false;
       options.resume_path = value;
+    } else if (arg == "--scratch") {
+      const char* value = next_value("--scratch");
+      if (value == nullptr) return false;
+      options.scratch = value;
     } else if (arg == "--simd") {
       const char* value = next_value("--simd");
       if (value == nullptr) return false;
@@ -531,6 +542,12 @@ int cli_main(int argc, const char* const* argv,
   } catch (const std::exception& e) {
     std::cerr << "dqma_bench: " << e.what() << "\n";
     return 2;
+  }
+  // Scratch opt-in for tiled density passes: the flag wins over the
+  // DQMA_SCRATCH_DIR environment variable (which ScratchTile reads lazily
+  // when no override is set).
+  if (!options.scratch.empty()) {
+    util::ScratchTile::set_directory(options.scratch);
   }
 
   if (!options.merge_inputs.empty()) {

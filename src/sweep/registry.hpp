@@ -211,6 +211,7 @@ struct CliOptions {
   std::string compare_path;               ///< baseline document
   double tolerance = 1e-9;                ///< --compare floating tolerance
   std::string simd;  ///< SIMD level override; empty => DQMA_SIMD / native
+  std::string scratch;  ///< scratch dir for tiled passes; empty => env var
 };
 
 /// Shared driver main: parses argv, runs the selected experiments, writes

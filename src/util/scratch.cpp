@@ -1,0 +1,81 @@
+#include "util/scratch.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace dqma::util {
+
+namespace {
+
+std::string g_dir;           // NOLINT: process-wide scratch configuration
+bool g_dir_overridden = false;
+
+std::string resolved_dir() {
+  if (g_dir_overridden) {
+    return g_dir;
+  }
+  const char* env = std::getenv("DQMA_SCRATCH_DIR");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+}  // namespace
+
+bool ScratchTile::enabled() { return !resolved_dir().empty(); }
+
+std::string ScratchTile::directory() { return resolved_dir(); }
+
+void ScratchTile::set_directory(std::string dir) {
+  g_dir = std::move(dir);
+  g_dir_overridden = true;
+}
+
+ScratchTile::ScratchTile(long long bytes) : bytes_(bytes) {
+  require(bytes > 0, "ScratchTile: size must be positive");
+  const std::string dir = resolved_dir();
+  require(!dir.empty(),
+          "ScratchTile: no scratch directory configured — pass --scratch DIR "
+          "or set DQMA_SCRATCH_DIR");
+  int fd = -1;
+#ifdef O_TMPFILE
+  // Never linked into the filesystem at all when the kernel supports it.
+  fd = ::open(dir.c_str(), O_TMPFILE | O_RDWR | O_EXCL,
+              S_IRUSR | S_IWUSR);
+#endif
+  if (fd < 0) {
+    // Portable fallback: named temp file, unlinked immediately so nothing
+    // survives a crash.
+    const std::string tmpl = dir + "/dqma-scratch-XXXXXX";
+    std::vector<char> path(tmpl.begin(), tmpl.end());
+    path.push_back('\0');
+    fd = ::mkstemp(path.data());
+    require(fd >= 0, "ScratchTile: cannot create a scratch file in " + dir);
+    ::unlink(path.data());
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    require(false, "ScratchTile: cannot size the scratch file in " + dir +
+                       " (disk full?)");
+  }
+  void* map = ::mmap(nullptr, static_cast<std::size_t>(bytes),
+                     PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  require(map != MAP_FAILED, "ScratchTile: mmap failed for " + dir);
+  map_ = map;
+}
+
+ScratchTile::~ScratchTile() {
+  if (map_ != nullptr) {
+    ::munmap(map_, static_cast<std::size_t>(bytes_));
+  }
+}
+
+}  // namespace dqma::util

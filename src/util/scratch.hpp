@@ -1,0 +1,47 @@
+// Memory-mapped scratch buffers for out-of-core dense passes.
+//
+// A ScratchTile is an anonymous (unlinked) file in the configured scratch
+// directory, sized with ftruncate (so untouched pages are holes) and mapped
+// MAP_SHARED. Dense density-operator storage above the in-core cap lives in
+// one of these: row panels stream through the page cache instead of
+// requiring a full O(D^2) resident allocation, and the kernel writes cold
+// panels back to disk under memory pressure.
+//
+// Scratch is an explicit opt-in: the --scratch CLI flag or the
+// DQMA_SCRATCH_DIR environment variable names the directory (a fast local
+// filesystem; the file is unlinked at creation so crashes leak nothing).
+// When neither is set, enabled() is false and tiled paths refuse to run.
+#pragma once
+
+#include <string>
+
+namespace dqma::util {
+
+class ScratchTile {
+ public:
+  /// Creates and maps a zero-filled scratch buffer of `bytes` bytes.
+  /// Throws when scratch is not enabled or the file cannot be created.
+  explicit ScratchTile(long long bytes);
+  ~ScratchTile();
+  ScratchTile(const ScratchTile&) = delete;
+  ScratchTile& operator=(const ScratchTile&) = delete;
+
+  void* data() { return map_; }
+  const void* data() const { return map_; }
+  long long size_bytes() const { return bytes_; }
+
+  /// True when a scratch directory is configured and tiled passes may run.
+  static bool enabled();
+  /// The configured scratch directory ("" when disabled).
+  static std::string directory();
+  /// Overrides the scratch directory ("" disables). The --scratch CLI flag
+  /// and tests route through this; an override wins over the environment
+  /// variable. Call at startup (not concurrently with tile creation).
+  static void set_directory(std::string dir);
+
+ private:
+  void* map_ = nullptr;
+  long long bytes_ = 0;
+};
+
+}  // namespace dqma::util

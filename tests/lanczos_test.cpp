@@ -1,0 +1,240 @@
+// Tests for the deterministic Lanczos eigensolver (linalg/lanczos.hpp):
+// agreement with the dense Jacobi eigh at 1e-9, degenerate/rank-deficient
+// PSD operators, dimension edges, byte-determinism across the kernel-thread
+// axis, matvec-count advantage over power iteration, and the tightened
+// power-iteration stop rule on a gap-1e-12 two-cluster spectrum.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dqma/exact_runner.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/simd.hpp"
+#include "quantum/random.hpp"
+#include "support/test_support.hpp"
+#include "sweep/parallel.hpp"
+
+namespace {
+
+using dqma::linalg::CallbackOperator;
+using dqma::linalg::CMat;
+using dqma::linalg::Complex;
+using dqma::linalg::CVec;
+using dqma::linalg::DenseOperator;
+using dqma::linalg::SpectralOptions;
+using dqma::linalg::SpectralStats;
+using dqma::linalg::top_eigenvalue_psd;
+using dqma::test::Rng;
+using dqma::test::SeededTest;
+using Method = SpectralOptions::Method;
+namespace simd = dqma::linalg::simd;
+
+SpectralOptions options_for(Method method, int max_iters = 4000,
+                            double tol = 1e-10) {
+  SpectralOptions opts;
+  opts.method = method;
+  opts.max_iters = max_iters;
+  opts.tol = tol;
+  return opts;
+}
+
+class LanczosTest : public SeededTest {};
+
+TEST_F(LanczosTest, MatchesEighOnRandomDensities) {
+  for (const int dim : {3, 8, 17, 24, 40}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const CMat rho = dqma::quantum::random_density(dim, rng());
+      const double exact = dqma::linalg::eigh(rho).values.back();
+      const DenseOperator op(rho);
+      SpectralStats stats;
+      const double via_lanczos =
+          top_eigenvalue_psd(op, options_for(Method::kLanczos), nullptr, &stats);
+      EXPECT_NEAR(via_lanczos, exact, 1e-9) << "dim " << dim;
+      EXPECT_TRUE(stats.converged) << "dim " << dim;
+      EXPECT_TRUE(stats.used_lanczos);
+      // The default entry point agrees too (kAuto routes through Lanczos
+      // above the tiny-dim threshold, power below it).
+      EXPECT_NEAR(dqma::linalg::max_eigenvalue_psd(rho), exact, 1e-9);
+    }
+  }
+}
+
+TEST_F(LanczosTest, RitzVectorIsAnEigenvector) {
+  const CMat rho = dqma::quantum::random_density(32, rng());
+  const DenseOperator op(rho);
+  CVec vec;
+  SpectralStats stats;
+  const double theta = top_eigenvalue_psd(op, options_for(Method::kLanczos),
+                                          &vec, &stats);
+  EXPECT_NEAR(vec.norm(), 1.0, 1e-12);
+  const CVec image = op.apply(vec);
+  EXPECT_LT(image.linf_distance(vec * Complex{theta, 0.0}), 1e-8);
+}
+
+TEST_F(LanczosTest, RankDeficientAndDegenerateOperators) {
+  // Rank-3 mixture in a 24-dim space: Lanczos exhausts the (tiny) Krylov
+  // space and must still match eigh.
+  const auto states = dqma::test::haar_states(24, 3, rng());
+  CMat low_rank(24, 24);
+  for (const CVec& v : states) {
+    CMat term = CMat::projector(v);
+    term *= Complex{1.0 / 3.0, 0.0};
+    low_rank += term;
+  }
+  const double exact = dqma::linalg::eigh(low_rank).values.back();
+  SpectralStats stats;
+  const double via_lanczos = top_eigenvalue_psd(
+      DenseOperator(low_rank), options_for(Method::kLanczos), nullptr, &stats);
+  EXPECT_NEAR(via_lanczos, exact, 1e-9);
+  EXPECT_TRUE(stats.converged);
+
+  // Degenerate top eigenvalue (multiplicity 3).
+  const CMat basis = dqma::linalg::eigh(dqma::quantum::random_density(20, rng())).vectors;
+  std::vector<Complex> diag(20, Complex{0.25, 0.0});
+  diag[0] = diag[7] = diag[13] = Complex{1.0, 0.0};
+  const CMat degenerate =
+      (basis * CMat::diagonal(diag)).times_adjoint(basis);
+  const double via_degenerate = top_eigenvalue_psd(
+      DenseOperator(degenerate), options_for(Method::kLanczos));
+  EXPECT_NEAR(via_degenerate, 1.0, 1e-9);
+
+  // The zero operator: annihilation converges via Krylov breakdown.
+  const CMat zero(16, 16);
+  SpectralStats zero_stats;
+  const double via_zero = top_eigenvalue_psd(
+      DenseOperator(zero), options_for(Method::kLanczos), nullptr, &zero_stats);
+  EXPECT_NEAR(via_zero, 0.0, 1e-12);
+  EXPECT_TRUE(zero_stats.converged);
+}
+
+TEST_F(LanczosTest, DimensionEdges) {
+  const CallbackOperator empty([](const CVec& x) { return x; }, 0);
+  for (const Method method : {Method::kAuto, Method::kPower, Method::kLanczos}) {
+    SpectralStats stats;
+    EXPECT_EQ(top_eigenvalue_psd(empty, options_for(method), nullptr, &stats),
+              0.0);
+    EXPECT_TRUE(stats.converged);
+  }
+  CMat single(1, 1);
+  single(0, 0) = Complex{0.7, 0.0};
+  for (const Method method : {Method::kAuto, Method::kPower, Method::kLanczos}) {
+    EXPECT_NEAR(top_eigenvalue_psd(DenseOperator(single), options_for(method)),
+                0.7, 1e-12);
+  }
+}
+
+TEST_F(LanczosTest, ByteDeterminismAcrossKernelThreads) {
+  const CMat rho = dqma::quantum::random_density(64, rng());
+  const std::vector<simd::Level> levels = {
+      simd::Level::kScalar, simd::clamp_to_supported(simd::Level::kAvx2)};
+  for (const simd::Level level : levels) {
+    const simd::LevelScope level_scope(level);
+    std::vector<std::vector<double>> runs;
+    std::vector<long long> matvecs;
+    for (const int threads : {1, 3, 8}) {
+      const dqma::sweep::KernelThreadScope thread_scope(threads);
+      // The operator packs at construction under the active level; the
+      // parallel row panels inside apply() are what the thread axis probes.
+      const DenseOperator op(rho);
+      CVec vec;
+      SpectralStats stats;
+      const double theta = top_eigenvalue_psd(
+          op, options_for(Method::kLanczos), &vec, &stats);
+      std::vector<double> bytes;
+      bytes.push_back(theta);
+      for (int i = 0; i < vec.dim(); ++i) {
+        bytes.push_back(vec[i].real());
+        bytes.push_back(vec[i].imag());
+      }
+      runs.push_back(std::move(bytes));
+      matvecs.push_back(stats.matvecs);
+    }
+    for (std::size_t k = 1; k < runs.size(); ++k) {
+      ASSERT_EQ(runs[k].size(), runs[0].size());
+      EXPECT_EQ(std::memcmp(runs[k].data(), runs[0].data(),
+                            runs[0].size() * sizeof(double)),
+                0)
+          << "thread-axis byte drift at level " << simd::level_name(level);
+      EXPECT_EQ(matvecs[k], matvecs[0]);
+    }
+  }
+}
+
+TEST_F(LanczosTest, MatvecCountsBeatPowerIteration) {
+  // Monotonicity on generic dense PSD operators...
+  for (const int dim : {32, 64, 128}) {
+    const CMat rho = dqma::quantum::random_density(dim, rng());
+    const DenseOperator op(rho);
+    SpectralStats lanczos_stats;
+    SpectralStats power_stats;
+    const double via_lanczos = top_eigenvalue_psd(
+        op, options_for(Method::kLanczos, 20000, 1e-9), nullptr, &lanczos_stats);
+    const double via_power = top_eigenvalue_psd(
+        op, options_for(Method::kPower, 20000, 1e-9), nullptr, &power_stats);
+    EXPECT_TRUE(lanczos_stats.converged);
+    EXPECT_TRUE(power_stats.converged);
+    EXPECT_NEAR(via_lanczos, via_power, 1e-9);
+    EXPECT_LE(lanczos_stats.matvecs, power_stats.matvecs) << "dim " << dim;
+  }
+  // ...and the >= 3x advantage on an acceptance operator of the kind the
+  // table3_lower benchmarks solve (r = 4 equality path, proof dim 64).
+  const CVec hx = dqma::test::reference_haar_state(2, 11);
+  const CVec hy = dqma::test::reference_haar_state(2, 12);
+  const dqma::protocol::ExactEqPathAnalyzer analyzer(hx, hy, 4);
+  SpectralStats lanczos_stats;
+  SpectralStats power_stats;
+  const double via_lanczos = analyzer.worst_case_accept(
+      options_for(Method::kLanczos, 20000, 1e-9), &lanczos_stats);
+  const double via_power = analyzer.worst_case_accept(
+      options_for(Method::kPower, 20000, 1e-9), &power_stats);
+  EXPECT_TRUE(lanczos_stats.converged);
+  EXPECT_TRUE(power_stats.converged);
+  EXPECT_NEAR(via_lanczos, via_power, 1e-9);
+  EXPECT_LE(3 * lanczos_stats.matvecs, power_stats.matvecs);
+}
+
+TEST_F(LanczosTest, PowerResidualRuleHandlesTwoClusterSpectrum) {
+  // Top cluster {1, 1 - 1e-12} with a 0.999 decoy underneath: the old
+  // Rayleigh-delta-only rule could stop while the iterate still carried an
+  // O(1e-4) decoy component (eigenvalue error far above 1e-9); the residual
+  // check keeps iterating until the decoy is actually gone.
+  std::vector<Complex> diag(32, Complex{0.3, 0.0});
+  diag[0] = Complex{1.0, 0.0};
+  diag[1] = Complex{1.0 - 1e-12, 0.0};
+  diag[2] = Complex{0.999, 0.0};
+  const CMat basis =
+      dqma::linalg::eigh(dqma::quantum::random_density(32, rng())).vectors;
+  const CMat two_cluster =
+      (basis * CMat::diagonal(diag)).times_adjoint(basis);
+  const DenseOperator op(two_cluster);
+  SpectralStats power_stats;
+  const double via_power = top_eigenvalue_psd(
+      op, options_for(Method::kPower, 60000, 1e-10), nullptr, &power_stats);
+  EXPECT_TRUE(power_stats.converged);
+  EXPECT_NEAR(via_power, 1.0, 1e-9);
+  // Lanczos needs orders of magnitude fewer applications on the same input.
+  SpectralStats lanczos_stats;
+  const double via_lanczos = top_eigenvalue_psd(
+      op, options_for(Method::kLanczos, 20000, 1e-10), nullptr, &lanczos_stats);
+  EXPECT_TRUE(lanczos_stats.converged);
+  EXPECT_NEAR(via_lanczos, 1.0, 1e-9);
+  EXPECT_LT(lanczos_stats.matvecs, 100);
+  EXPECT_LT(10 * lanczos_stats.matvecs, power_stats.matvecs);
+}
+
+TEST_F(LanczosTest, ApplyIntoReusesStorageAndMatchesApply) {
+  const CMat rho = dqma::quantum::random_density(40, rng());
+  const DenseOperator op(rho);
+  const CVec x = dqma::quantum::haar_state(40, rng());
+  const CVec via_apply = op.apply(x);
+  CVec out;
+  op.apply_into(x, out);
+  EXPECT_EQ(std::memcmp(&out[0], &via_apply[0], 40 * sizeof(Complex)), 0);
+  // Second call reuses `out`'s storage and the operator's input scratch.
+  op.apply_into(x, out);
+  EXPECT_EQ(std::memcmp(&out[0], &via_apply[0], 40 * sizeof(Complex)), 0);
+}
+
+}  // namespace
