@@ -10,6 +10,7 @@
 //   rows 5-7 (Thm 63: DISJ / IP / PAND): bound values via the one-sided
 //     smooth discrepancy reductions.
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -486,6 +487,7 @@ void run(sweep::ExperimentContext& ctx) {
                 .set("expectation_error", 0.0)
                 .set("reduced_error", 0.0);
           }
+          try {
           std::vector<double> probs(static_cast<std::size_t>(dim));
           double sum = 0.0;
           for (long long i = 0; i < dim; ++i) {
@@ -543,6 +545,16 @@ void run(sweep::ExperimentContext& ctx) {
               .set("expectation", measured)
               .set("expectation_error", std::abs(measured - reference))
               .set("reduced_error", reduced_error);
+          } catch (const util::ScratchAllocationError& e) {
+            // Scratch configured but unusable (ENOSPC): only this job fails;
+            // the rest of the sweep — and the run — continues.
+            std::fprintf(stderr, "tiled_density qubits=%d: %s\n", n, e.what());
+            return metrics.set("completed", false)
+                .set("tiled", false)
+                .set("expectation", 0.0)
+                .set("expectation_error", 0.0)
+                .set("reduced_error", 0.0);
+          }
         });
     Table table({"qubits", "dim", "completed", "tiled", "tr(E U rho U+)",
                  "closed-form err", "reduce_to err"});

@@ -8,6 +8,7 @@
 namespace dqma::bench {
 
 void register_ablations();
+void register_coordinator_recovery();
 void register_micro();
 void register_robustness();
 void register_serve_throughput();

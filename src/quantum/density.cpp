@@ -1,6 +1,8 @@
 #include "quantum/density.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -37,6 +39,31 @@ std::unique_ptr<util::ScratchTile> make_tile(long long d) {
                                              static_cast<long long>(sizeof(Complex)));
 }
 
+/// Tile allocation with graceful degradation: when the scratch directory is
+/// configured but cannot hold the tile (ENOSPC, quota), densities that still
+/// fit the in-core cap silently fall back to resident storage (the two
+/// layouts are byte-identical by the tiled-density gates); larger densities
+/// rethrow so only the single job fails, with a diagnostic naming the dim.
+std::unique_ptr<util::ScratchTile> try_make_tile(long long d) {
+  try {
+    return make_tile(d);
+  } catch (const util::ScratchAllocationError& e) {
+    if (d > util::kMaxDenseExactDim) {
+      throw util::ScratchAllocationError(
+          std::string(e.what()) + " — dim " + std::to_string(d) +
+          " exceeds the in-core cap kMaxDenseExactDim, so this job cannot "
+          "fall back to resident storage; the job fails, the run continues");
+    }
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "dqma: %s; falling back to in-core density storage\n",
+                   e.what());
+    }
+    return nullptr;
+  }
+}
+
 Complex* tile_data(util::ScratchTile& tile) {
   return static_cast<Complex*>(tile.data());
 }
@@ -55,9 +82,20 @@ Density::~Density() = default;
 Density::Density(const Density& other) : shape_(other.shape_) {
   if (other.tile_ != nullptr) {
     const long long d = shape_.total_dim();
-    tile_ = make_tile(d);
-    std::memcpy(tile_->data(), other.tile_->data(),
-                static_cast<std::size_t>(tile_->size_bytes()));
+    tile_ = try_make_tile(d);
+    if (tile_ != nullptr) {
+      std::memcpy(tile_->data(), other.tile_->data(),
+                  static_cast<std::size_t>(tile_->size_bytes()));
+    } else {
+      const Complex* src = tile_data(*other.tile_);
+      CMat rho(static_cast<int>(d), static_cast<int>(d));
+      for (long long i = 0; i < d; ++i) {
+        for (long long j = 0; j < d; ++j) {
+          rho(static_cast<int>(i), static_cast<int>(j)) = src[i * d + j];
+        }
+      }
+      rho_ = std::move(rho);
+    }
   } else {
     rho_ = other.rho_;
   }
@@ -101,15 +139,17 @@ Density Density::maximally_mixed(RegisterShape shape) {
           "scratch opt-in — --scratch / DQMA_SCRATCH_DIR — for the tiled "
           "path up to kMaxTiledDenseDim)");
   if (wants_tile(d)) {
-    Density out;
-    out.shape_ = std::move(shape);
-    out.tile_ = make_tile(d);
-    Complex* data = tile_data(*out.tile_);
-    const Complex p = Complex{1.0, 0.0} * Complex{1.0 / static_cast<double>(d), 0.0};
-    for (long long i = 0; i < d; ++i) {
-      data[i * d + i] = p;  // off-diagonal pages stay zero-filled holes
+    if (auto tile = try_make_tile(d)) {
+      Density out;
+      out.shape_ = std::move(shape);
+      out.tile_ = std::move(tile);
+      Complex* data = tile_data(*out.tile_);
+      const Complex p = Complex{1.0, 0.0} * Complex{1.0 / static_cast<double>(d), 0.0};
+      for (long long i = 0; i < d; ++i) {
+        data[i * d + i] = p;  // off-diagonal pages stay zero-filled holes
+      }
+      return out;
     }
-    return out;
   }
   CMat rho = CMat::identity(static_cast<int>(d));
   rho *= Complex{1.0 / static_cast<double>(d), 0.0};
@@ -132,14 +172,16 @@ Density Density::diagonal(RegisterShape shape,
   }
   require(std::abs(sum - 1.0) < 1e-9, "Density::diagonal: trace is not 1");
   if (wants_tile(d)) {
-    Density out;
-    out.shape_ = std::move(shape);
-    out.tile_ = make_tile(d);
-    Complex* data = tile_data(*out.tile_);
-    for (long long i = 0; i < d; ++i) {
-      data[i * d + i] = Complex{probs[static_cast<std::size_t>(i)], 0.0};
+    if (auto tile = try_make_tile(d)) {
+      Density out;
+      out.shape_ = std::move(shape);
+      out.tile_ = std::move(tile);
+      Complex* data = tile_data(*out.tile_);
+      for (long long i = 0; i < d; ++i) {
+        data[i * d + i] = Complex{probs[static_cast<std::size_t>(i)], 0.0};
+      }
+      return out;
     }
-    return out;
   }
   CMat rho(static_cast<int>(d), static_cast<int>(d));
   for (long long i = 0; i < d; ++i) {
@@ -156,10 +198,14 @@ Density Density::from_pure(const PureState& psi) {
   const long long d = psi.shape().total_dim();
   if (wants_tile(d)) {
     require(d <= dense_cap(), "Density: dimension exceeds the dense-engine cap");
+    auto tile = try_make_tile(d);
+    if (tile == nullptr) {
+      return Density(psi.shape(), CMat::projector(psi.amplitudes()));
+    }
     const CVec& amps = psi.amplitudes();
     Density out;
     out.shape_ = psi.shape();
-    out.tile_ = make_tile(d);
+    out.tile_ = std::move(tile);
     Complex* data = tile_data(*out.tile_);
     // Same elementwise expression (and zero-skip) as CMat::outer, streamed
     // by row panels: byte-identical to the in-core projector.
@@ -194,10 +240,13 @@ Density::Density(RegisterShape shape, CMat rho)
               std::abs(rho_.trace().imag()) < 1e-7,
           "Density: trace is not 1");
   if (wants_tile(d)) {
-    tile_ = make_tile(d);
-    std::memcpy(tile_->data(), &rho_(0, 0),
-                static_cast<std::size_t>(tile_->size_bytes()));
-    rho_ = CMat();
+    // Already resident: a failed tile allocation just keeps the in-core copy.
+    tile_ = try_make_tile(d);
+    if (tile_ != nullptr) {
+      std::memcpy(tile_->data(), &rho_(0, 0),
+                  static_cast<std::size_t>(tile_->size_bytes()));
+      rho_ = CMat();
+    }
   }
 }
 

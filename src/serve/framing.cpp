@@ -1,0 +1,73 @@
+#include "serve/framing.hpp"
+
+#include <utility>
+
+namespace dqma::serve {
+
+void LineDecoder::feed(std::string_view bytes) {
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t newline = bytes.find('\n', pos);
+    if (discarding_) {
+      if (newline == std::string_view::npos) {
+        return;  // still inside the oversized line; drop everything
+      }
+      discarding_ = false;
+      pos = newline + 1;
+      continue;
+    }
+    if (newline == std::string_view::npos) {
+      const std::size_t chunk = bytes.size() - pos;
+      if (pending_.size() + chunk > max_line_) {
+        // Report the moment the cap is crossed — the daemon answers while
+        // the oversized line is still streaming in — then resync at '\n'.
+        ready_.push_back(Line{std::string(), true});
+        pending_.clear();
+        discarding_ = true;
+        return;
+      }
+      pending_.append(bytes.data() + pos, chunk);
+      return;
+    }
+    const std::size_t line_bytes = pending_.size() + (newline - pos);
+    if (line_bytes > max_line_) {
+      ready_.push_back(Line{std::string(), true});
+      pending_.clear();
+    } else {
+      std::string text = std::move(pending_);
+      text.append(bytes.data() + pos, newline - pos);
+      pending_.clear();
+      ready_.push_back(Line{std::move(text), false});
+    }
+    pos = newline + 1;
+  }
+}
+
+std::optional<LineDecoder::Line> LineDecoder::next() {
+  if (ready_.empty()) {
+    return std::nullopt;
+  }
+  Line line = std::move(ready_.front());
+  ready_.pop_front();
+  return line;
+}
+
+std::optional<LineDecoder::Line> LineDecoder::finish() {
+  if (!ready_.empty()) {
+    Line line = std::move(ready_.front());
+    ready_.pop_front();
+    return line;
+  }
+  if (discarding_) {
+    discarding_ = false;  // tail of an already-reported oversized line
+    return std::nullopt;
+  }
+  if (pending_.empty()) {
+    return std::nullopt;
+  }
+  Line line{std::move(pending_), false};
+  pending_.clear();
+  return line;
+}
+
+}  // namespace dqma::serve

@@ -1,0 +1,57 @@
+// Bounded line framing for the dqma_serve transports.
+//
+// The daemon's protocol is one JSON object per '\n'-terminated line. A
+// client (or attacker) that streams gigabytes without a newline must not
+// grow an unbounded reassembly buffer: LineDecoder caps the line length
+// (default 1 MiB — far above any legal request), reports an oversized line
+// as a single event the moment the cap is crossed (so the daemon can answer
+// with a framed error while the bytes are still arriving), discards the
+// rest of that line, and resynchronizes at the next newline. Memory use is
+// O(max_line) regardless of input.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dqma::serve {
+
+class LineDecoder {
+ public:
+  /// 1 MiB: generous for line-delimited JSON requests, small enough that a
+  /// daemon with thousands of connections cannot be memory-exhausted.
+  static constexpr std::size_t kDefaultMaxLine = 1u << 20;
+
+  struct Line {
+    std::string text;       ///< the complete line, '\n' stripped
+    bool oversized = false; ///< true: the line crossed the cap; text is empty
+  };
+
+  explicit LineDecoder(std::size_t max_line = kDefaultMaxLine)
+      : max_line_(max_line) {}
+
+  /// Feeds raw transport bytes; complete lines (and oversize events) become
+  /// retrievable via next().
+  void feed(std::string_view bytes);
+
+  /// Pops the next decoded line in arrival order, or nullopt when more
+  /// bytes are needed.
+  std::optional<Line> next();
+
+  /// Flushes the trailing unterminated line at end of stream (legal for the
+  /// stdin/file transports). Returns nullopt when nothing is buffered or
+  /// the tail belonged to an already-reported oversized line.
+  std::optional<Line> finish();
+
+  std::size_t max_line() const { return max_line_; }
+
+ private:
+  std::size_t max_line_;
+  std::string pending_;      // bytes after the last newline, <= max_line_
+  bool discarding_ = false;  // inside an oversized line, waiting for '\n'
+  std::deque<Line> ready_;
+};
+
+}  // namespace dqma::serve

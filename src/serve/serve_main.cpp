@@ -27,8 +27,11 @@
 #include <vector>
 
 #include "linalg/simd.hpp"
+#include "serve/framing.hpp"
 #include "serve/handlers.hpp"
+#include "serve/request.hpp"
 #include "serve/server.hpp"
+#include "util/fault.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define DQMA_SERVE_POSIX 1
@@ -170,15 +173,40 @@ void install_signal_handlers() {}
 // stream live, and stdout is fully buffered when redirected.
 // ---------------------------------------------------------------------------
 
+/// The framed answer to a line that crossed the LineDecoder cap. The line
+/// was discarded before parsing, so no request id can be echoed.
+std::string oversized_response(const LineDecoder& decoder) {
+  return error_response(
+      "", "request line exceeds " + std::to_string(decoder.max_line()) +
+              " bytes; line discarded");
+}
+
 void submit_stream_line(Server& server, std::string line,
                         std::mutex& out_mutex) {
   if (line.empty()) {
     return;  // blank keep-alive lines are legal
   }
+  util::fault::point(util::fault::Site::kServe);
   server.submit(std::move(line), [&out_mutex](std::string response) {
     const std::lock_guard<std::mutex> lock(out_mutex);
     std::cout << response << '\n' << std::flush;
   });
+}
+
+/// Routes one decoded stream event: oversized lines answer immediately with
+/// a framed error (they never reach the parser), normal lines are
+/// submitted. The error bypasses the dispatch queue, so its position
+/// relative to in-flight responses is unspecified — like any response to a
+/// malformed stream.
+void handle_stream_line(Server& server, LineDecoder& decoder,
+                        LineDecoder::Line line, std::mutex& out_mutex) {
+  if (line.oversized) {
+    const std::string response = oversized_response(decoder);
+    const std::lock_guard<std::mutex> lock(out_mutex);
+    std::cout << response << '\n' << std::flush;
+    return;
+  }
+  submit_stream_line(server, std::move(line.text), out_mutex);
 }
 
 #ifdef DQMA_SERVE_POSIX
@@ -194,7 +222,7 @@ int run_stream_fd(int fd, Server& server) {
     return 1;
   }
   std::mutex out_mutex;
-  std::string pending;
+  LineDecoder decoder;
   char buffer[4096];
   while (g_stop == 0) {
     pollfd fds[2] = {pollfd{g_signal_pipe[0], POLLIN, 0},
@@ -225,19 +253,15 @@ int run_stream_fd(int fd, Server& server) {
     if (n == 0) {
       break;  // EOF (for a FIFO: every writer closed)
     }
-    pending.append(buffer, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (std::size_t newline = pending.find('\n', start);
-         newline != std::string::npos;
-         newline = pending.find('\n', start)) {
-      submit_stream_line(server, pending.substr(start, newline - start),
-                         out_mutex);
-      start = newline + 1;
+    decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    while (auto line = decoder.next()) {
+      handle_stream_line(server, decoder, std::move(*line), out_mutex);
     }
-    pending.erase(0, start);
   }
-  if (g_stop == 0 && !pending.empty()) {
-    submit_stream_line(server, std::move(pending), out_mutex);  // no final \n
+  if (g_stop == 0) {
+    while (auto line = decoder.finish()) {  // trailing line without '\n'
+      handle_stream_line(server, decoder, std::move(*line), out_mutex);
+    }
   }
   server.drain();
   std::cout.flush();
@@ -251,10 +275,21 @@ int run_stream_fd(int fd, Server& server) {
 
 int run_stream(std::istream& in, Server& server) {
   std::mutex out_mutex;
-  std::string line;
-  while (std::getline(in, line)) {
-    submit_stream_line(server, std::move(line), out_mutex);
-    line.clear();
+  LineDecoder decoder;
+  char buffer[4096];
+  while (in) {
+    in.read(buffer, sizeof(buffer));
+    const std::streamsize n = in.gcount();
+    if (n <= 0) {
+      break;
+    }
+    decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    while (auto line = decoder.next()) {
+      handle_stream_line(server, decoder, std::move(*line), out_mutex);
+    }
+  }
+  while (auto line = decoder.finish()) {
+    handle_stream_line(server, decoder, std::move(*line), out_mutex);
   }
   server.drain();
   std::cout.flush();
@@ -308,7 +343,7 @@ struct Connection {
   }
 
   int fd;
-  std::string pending;  // bytes after the last newline
+  LineDecoder decoder;  // bounded per-client reassembly buffer
   std::mutex write_mutex;
 };
 
@@ -384,23 +419,22 @@ int run_socket(const std::string& path, Server& server) {
                           static_cast<std::ptrdiff_t>(i - 2));
         continue;  // ~Connection (or in-flight captures) close the fd
       }
-      connection->pending.append(buffer, static_cast<std::size_t>(n));
-      std::size_t start = 0;
-      for (std::size_t newline = connection->pending.find('\n', start);
-           newline != std::string::npos;
-           newline = connection->pending.find('\n', start)) {
-        std::string request_line =
-            connection->pending.substr(start, newline - start);
-        start = newline + 1;
-        if (request_line.empty()) {
+      connection->decoder.feed(
+          std::string_view(buffer, static_cast<std::size_t>(n)));
+      while (auto line = connection->decoder.next()) {
+        if (line->oversized) {
+          connection->send_line(oversized_response(connection->decoder));
           continue;
         }
-        server.submit(std::move(request_line),
+        if (line->text.empty()) {
+          continue;
+        }
+        util::fault::point(util::fault::Site::kServe);
+        server.submit(std::move(line->text),
                       [connection](std::string response) {
                         connection->send_line(response);
                       });
       }
-      connection->pending.erase(0, start);
     }
   }
 

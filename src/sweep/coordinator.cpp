@@ -1,0 +1,400 @@
+#include "sweep/coordinator.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "sweep/json.hpp"
+#include "sweep/sweep.hpp"
+#include "util/fault.hpp"
+#include "util/json_reader.hpp"
+#include "util/require.hpp"
+
+namespace dqma::sweep {
+
+namespace fs = std::filesystem;
+namespace fault = util::fault;
+
+namespace {
+
+std::string key_hex(std::uint64_t key) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[key & 0xFu];
+    key >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+/// Holds both locks of one protocol step: the intra-process mutex (flock
+/// does not exclude threads sharing the fd) and the inter-process flock.
+struct Coordinator::LockGuard {
+  LockGuard(std::mutex& mutex, int fd) : lock(mutex), fd(fd) {
+    if (fd >= 0) {
+      while (::flock(fd, LOCK_EX) != 0 && errno == EINTR) {
+      }
+    }
+  }
+  ~LockGuard() {
+    if (fd >= 0) {
+      ::flock(fd, LOCK_UN);
+    }
+  }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+  std::lock_guard<std::mutex> lock;
+  int fd;
+};
+
+Coordinator::Coordinator(const Options& options)
+    : options_(options),
+      backoff_rng_(util::derive_seed(
+          util::derive_seed(options.base_seed, fnv1a64("coordinator")),
+          fnv1a64(options.worker))) {
+  util::require(!options_.dir.empty(), "Coordinator: empty directory");
+  util::require(!options_.worker.empty(), "Coordinator: empty worker id");
+  util::require(options_.worker.find('/') == std::string::npos,
+                "Coordinator: worker id must not contain '/'");
+  util::require(options_.lease_timeout_ms > 0,
+                "Coordinator: lease timeout must be positive");
+
+  std::error_code ec;
+  fs::create_directories(fs::path(options_.dir) / "leases", ec);
+  fs::create_directories(fs::path(options_.dir) / "done", ec);
+  fs::create_directories(fs::path(options_.dir) / "workers", ec);
+  util::require(!ec, "Coordinator: cannot create " + options_.dir);
+
+  const std::string lock_path = options_.dir + "/coord.lock";
+  lock_fd_ = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                    S_IRUSR | S_IWUSR);
+  util::require(lock_fd_ >= 0, "Coordinator: cannot open " + lock_path);
+
+  util::require(
+      !fs::exists(worker_file(options_.worker, ".evicted")),
+      "Coordinator: worker id '" + options_.worker +
+          "' was evicted (its units were reclaimed) — rejoin with a fresh "
+          "--worker id");
+
+  // The checkpoint log doubles as the heartbeat file; the shard header
+  // field stays 0/1 because coordinated workers are not shards.
+  log_ = std::make_unique<CheckpointLog>(
+      worker_file(options_.worker, ".jsonl"), options_.base_seed,
+      options_.smoke, ShardSpec{});
+
+  heartbeat_ = std::thread([this] {
+    const auto period = std::chrono::milliseconds(
+        std::clamp(options_.lease_timeout_ms / 4, 10, 2000));
+    std::unique_lock<std::mutex> lock(heartbeat_mutex_);
+    while (!heartbeat_stop_) {
+      heartbeat_cv_.wait_for(lock, period);
+      if (heartbeat_stop_) {
+        break;
+      }
+      touch_heartbeat();  // mtime touch is atomic; no protocol lock needed
+    }
+  });
+}
+
+Coordinator::~Coordinator() {
+  stop_heartbeat();
+  if (lock_fd_ >= 0) {
+    ::close(lock_fd_);
+  }
+}
+
+void Coordinator::stop_heartbeat() {
+  {
+    const std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+    heartbeat_stop_ = true;
+  }
+  heartbeat_cv_.notify_all();
+  if (heartbeat_.joinable()) {
+    heartbeat_.join();
+  }
+}
+
+std::string Coordinator::lease_path(std::uint64_t key) const {
+  return options_.dir + "/leases/" + key_hex(key) + ".json";
+}
+
+std::string Coordinator::done_path(std::uint64_t key) const {
+  return options_.dir + "/done/" + key_hex(key) + ".json";
+}
+
+std::string Coordinator::worker_file(const std::string& worker,
+                                     const char* suffix) const {
+  return options_.dir + "/workers/" + worker + suffix;
+}
+
+void Coordinator::touch_heartbeat() const {
+  std::error_code ec;
+  fs::last_write_time(worker_file(options_.worker, ".jsonl"),
+                      fs::file_time_type::clock::now(), ec);
+  // A failed touch is indistinguishable from a stall; the worker would be
+  // reclaimed, detect its tombstone, and abort — safe either way.
+}
+
+void Coordinator::fence_locked() const {
+  if (fs::exists(worker_file(options_.worker, ".evicted"))) {
+    throw WorkerEvicted("coordinator: worker '" + options_.worker +
+                        "' was evicted by a peer (checkpoint log went stale "
+                        "past " + std::to_string(options_.lease_timeout_ms) +
+                        " ms); its units are being recomputed — aborting "
+                        "without writing a document");
+  }
+}
+
+Coordinator::Owner Coordinator::read_owner_locked(const std::string& path,
+                                                  std::string* owner) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Owner::kNone;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+  try {
+    const util::json::Node node = util::json::parse(contents);
+    *owner = node.at("worker").as_string();
+  } catch (const std::exception&) {
+    return Owner::kTorn;  // crash mid-write; reclaim like a stale marker
+  }
+  if (*owner == options_.worker) {
+    return Owner::kMe;
+  }
+  return classify_locked(*owner);
+}
+
+Coordinator::Owner Coordinator::classify_locked(
+    const std::string& worker) const {
+  if (fs::exists(worker_file(worker, ".final"))) {
+    return Owner::kFinal;
+  }
+  if (fs::exists(worker_file(worker, ".evicted"))) {
+    return Owner::kStale;
+  }
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(worker_file(worker, ".jsonl"), ec);
+  if (ec) {
+    return Owner::kStale;  // no heartbeat file at all
+  }
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  return age > std::chrono::milliseconds(options_.lease_timeout_ms)
+             ? Owner::kStale
+             : Owner::kLive;
+}
+
+bool Coordinator::evict_locked(const std::string& worker) {
+  if (fs::exists(worker_file(worker, ".final"))) {
+    return false;  // finalized first; its markers are permanently valid
+  }
+  if (!fs::exists(worker_file(worker, ".evicted"))) {
+    std::ofstream out(worker_file(worker, ".evicted"),
+                      std::ios::binary | std::ios::trunc);
+    out << "{\"evicted_by\":\"" << options_.worker << "\"}\n";
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.evictions;  // counts workers tombstoned, not markers reclaimed
+  }
+  return true;
+}
+
+void Coordinator::write_marker_locked(const std::string& path,
+                                      std::uint64_t key) const {
+  Json obj = Json::object();
+  obj.add("key", Json(key));
+  obj.add("worker", Json(options_.worker));
+  const std::string text = obj.dump_compact();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  util::require(static_cast<bool>(out),
+                "coordinator: cannot write marker " + path);
+  if (fault::should_tear(fault::Site::kLease)) {
+    out << text.substr(0, text.size() / 2);
+    out.flush();
+    fault::crash_now();
+  }
+  out << text << '\n';
+  out.flush();
+  util::require(static_cast<bool>(out),
+                "coordinator: cannot write marker " + path);
+}
+
+Coordinator::Claim Coordinator::resolve(std::uint64_t key, bool commit_now) {
+  fault::point(fault::Site::kLease);
+  LockGuard guard(mutex_, lock_fd_);
+  fence_locked();
+  touch_heartbeat();
+
+  const std::string done = done_path(key);
+  const std::string lease = lease_path(key);
+  std::string owner;
+
+  switch (read_owner_locked(done, &owner)) {
+    case Owner::kMe:
+      // Already committed by this worker (an earlier pass, or a recovered
+      // log): nothing to re-commit, just record it in this pass's document.
+      return Claim::kAcquired;
+    case Owner::kLive: {
+      // Committed by a live but NOT yet finalized worker: if it dies
+      // before writing its document, the unit must be recomputed. Waiting
+      // on every live peer would livelock (two finished workers would
+      // each wait for the other to finalize), so trust is totally ordered
+      // by worker id: this worker trusts live peers with a LARGER id and
+      // keeps the pass unresolved for smaller ones. The smallest
+      // unfinalized worker can therefore always converge, finalize turns
+      // into a chain, and the only remaining hole — the LAST unfinalized
+      // worker crashing — is irreducible without two-phase commit and is
+      // healed by running one more worker in the directory (the merge
+      // fails loudly until then).
+      if (owner < options_.worker) {
+        unresolved_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.done_elsewhere;
+      return Claim::kDone;
+    }
+    case Owner::kFinal: {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.done_elsewhere;
+      return Claim::kDone;
+    }
+    case Owner::kStale:
+    case Owner::kTorn: {
+      // A committed unit of a dead (or torn-marker), not-finalized worker:
+      // its document will never exist, so the unit must be recomputed.
+      // Tombstone the owner first (fencing), then take the marker over.
+      // evict_locked cannot lose to a concurrent finalize — classification
+      // and eviction happen under the same flock.
+      if (!owner.empty()) {
+        evict_locked(owner);
+      }
+      std::error_code ec;
+      fs::remove(done, ec);
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.reclaims;
+      break;  // fall through to the lease state
+    }
+    case Owner::kNone:
+      break;
+  }
+
+  switch (read_owner_locked(lease, &owner)) {
+    case Owner::kMe:
+      if (commit_now) {
+        write_marker_locked(done, key);
+        std::error_code ec;
+        fs::remove(lease, ec);
+      }
+      return Claim::kAcquired;
+    case Owner::kLive: {
+      unresolved_.fetch_add(1, std::memory_order_acq_rel);
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.busy;
+      return Claim::kBusy;
+    }
+    case Owner::kStale:
+    case Owner::kTorn:
+    case Owner::kFinal: {  // a finalized worker cannot be mid-computation
+      if (!owner.empty() && classify_locked(owner) != Owner::kFinal) {
+        evict_locked(owner);
+      }
+      std::error_code ec;
+      fs::remove(lease, ec);
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.reclaims;
+      break;
+    }
+    case Owner::kNone:
+      break;
+  }
+
+  if (commit_now) {
+    write_marker_locked(done, key);
+  } else {
+    write_marker_locked(lease, key);
+  }
+  return Claim::kAcquired;
+}
+
+Coordinator::Claim Coordinator::acquire(std::uint64_t key) {
+  const Claim claim = resolve(key, /*commit_now=*/false);
+  if (claim == Claim::kAcquired) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.acquired;
+  }
+  return claim;
+}
+
+void Coordinator::complete(std::uint64_t key) {
+  fault::point(fault::Site::kLease);
+  LockGuard guard(mutex_, lock_fd_);
+  fence_locked();
+  write_marker_locked(done_path(key), key);
+  std::error_code ec;
+  fs::remove(lease_path(key), ec);
+  touch_heartbeat();
+}
+
+Coordinator::Claim Coordinator::commit_ready(std::uint64_t key) {
+  const Claim claim = resolve(key, /*commit_now=*/true);
+  if (claim == Claim::kAcquired) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.cached;
+  }
+  return claim;
+}
+
+void Coordinator::begin_pass() {
+  LockGuard guard(mutex_, lock_fd_);
+  fence_locked();
+  touch_heartbeat();
+  unresolved_.store(0, std::memory_order_release);
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.passes;
+}
+
+std::chrono::milliseconds Coordinator::backoff_delay(int round) {
+  // 25ms * 2^round, capped well below the lease timeout: between passes a
+  // worker is polling for a peer's finalize or staleness, and protocol
+  // steps are cheap enough that a few polls per timeout beat oversleeping.
+  // Halved-then-jittered so contending workers spread out while each
+  // worker's sequence stays a pure function of (base_seed, worker id,
+  // round index).
+  const long long cap =
+      std::clamp<long long>(options_.lease_timeout_ms / 4, 250, 5000);
+  const long long base =
+      std::min<long long>(cap, 25LL << std::min(round, 12));
+  const long long jitter = static_cast<long long>(
+      backoff_rng_.next_below(static_cast<std::uint64_t>(base / 2 + 1)));
+  return std::chrono::milliseconds(base / 2 + jitter);
+}
+
+void Coordinator::backoff_sleep() {
+  std::this_thread::sleep_for(backoff_delay(backoff_round_++));
+}
+
+void Coordinator::finalize() {
+  LockGuard guard(mutex_, lock_fd_);
+  fence_locked();
+  write_marker_locked(worker_file(options_.worker, ".final"), 0);
+  touch_heartbeat();
+}
+
+Coordinator::Stats Coordinator::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace dqma::sweep

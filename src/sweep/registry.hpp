@@ -26,14 +26,20 @@
 
 namespace dqma::sweep {
 
+class Coordinator;
 class ExperimentContext;
 
-/// Shard/resume state shared by every experiment of one driver run;
-/// nullptr members (and a default ShardSpec) mean the classic monolithic
-/// run, whose behavior and bytes are unchanged.
+/// Shard/resume/coordination state shared by every experiment of one
+/// driver run; nullptr members (and a default ShardSpec) mean the classic
+/// monolithic run, whose behavior and bytes are unchanged. `coordinator`
+/// set means an elastic worker (--coordinate): work units are leased at
+/// run time instead of partitioned statically, and `checkpoint` points at
+/// the coordinator's own per-worker log. shard stays inactive — the two
+/// partitioning modes are mutually exclusive.
 struct RunControls {
   ShardSpec shard;
   CheckpointLog* checkpoint = nullptr;
+  Coordinator* coordinator = nullptr;
 };
 
 /// How a series partitions across shards (`--shard i/N`). Every mode
@@ -104,6 +110,12 @@ class ExperimentContext {
   /// recorded value).
   bool sharded() const {
     return controls_ != nullptr && controls_->shard.active();
+  }
+  /// True when this run is an elastic worker leasing units from a
+  /// coordinator directory; like sharded(), bodies may use it only for
+  /// shard-incomplete cosmetics, never to change a recorded value.
+  bool coordinated() const {
+    return controls_ != nullptr && controls_->coordinator != nullptr;
   }
 
   /// smoke() ? smoke_variant : full — mirrors util::smoke_select but keyed
@@ -176,6 +188,15 @@ class ExperimentContext {
   /// per-series record index (shared with record_owned/skip_record so the
   /// counters agree across shards).
   std::uint64_t next_record_key(const std::string& series);
+  /// sweep() under a coordinator: ownership comes from run-time leases
+  /// instead of the static shard partition. Point/group keys and seeding
+  /// are identical to the shard path, so any worker that wins a lease
+  /// computes exactly the bytes the monolithic run would have.
+  std::vector<JobResult> coordinated_sweep(
+      const std::string& series, const std::vector<ParamPoint>& points,
+      const JobFn& fn, const SweepPolicy& policy,
+      const std::vector<std::uint64_t>& keys, std::uint64_t series_seed,
+      std::size_t first_order);
   /// Prefixes the series name and records into the sink at `order`.
   void add_to_sink(const std::string& series, const ParamPoint& params,
                    Metrics metrics, double wall_ms, std::size_t order);
@@ -212,6 +233,9 @@ struct CliOptions {
   double tolerance = 1e-9;                ///< --compare floating tolerance
   std::string simd;  ///< SIMD level override; empty => DQMA_SIMD / native
   std::string scratch;  ///< scratch dir for tiled passes; empty => env var
+  std::string coordinate_dir;  ///< elastic mode when non-empty
+  std::string worker_id;       ///< --worker; empty => generated
+  int lease_timeout_ms = 60000;  ///< --lease-timeout
 };
 
 /// Shared driver main: parses argv, runs the selected experiments, writes

@@ -16,6 +16,7 @@
 
 #include "sweep/json.hpp"
 #include "sweep/trajectory.hpp"
+#include "util/fault.hpp"
 #include "util/json_reader.hpp"
 #include "util/require.hpp"
 
@@ -156,6 +157,18 @@ CheckpointLog::CheckpointLog(std::string path, std::uint64_t base_seed,
     sync_fd_ = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
     util::require(sync_fd_ >= 0,
                   "cannot open checkpoint log " + path_ + " for fsync");
+    // fsync on the file commits its *contents*; the directory entry that
+    // names a freshly created file is separate metadata. Without a one-time
+    // fsync of the containing directory a host crash right after creation
+    // can lose the log itself, even though every line in it was synced.
+    const std::filesystem::path parent =
+        std::filesystem::path(path_).parent_path();
+    const std::string dir = parent.empty() ? "." : parent.string();
+    const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dir_fd >= 0) {
+      directory_synced_ = ::fsync(dir_fd) == 0;
+      ::close(dir_fd);
+    }
   }
 #endif
   if (!have_header) {
@@ -190,14 +203,21 @@ void CheckpointLog::commit_locked() {
 
 const CheckpointLog::Entry* CheckpointLog::find(const std::string& experiment,
                                                 std::size_t order) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find({experiment, order});
   return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::size_t CheckpointLog::loaded_entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
 }
 
 void CheckpointLog::append(const std::string& experiment,
                            const std::string& series, std::size_t order,
                            std::uint64_t key, const ParamPoint& params,
                            const JobResult& result) {
+  util::fault::point(util::fault::Site::kCheckpoint);
   Json line = Json::object();
   line.add("experiment", Json(experiment));
   line.add("series", Json(series));
@@ -209,8 +229,22 @@ void CheckpointLog::append(const std::string& experiment,
   const std::string text = line.dump_compact();
 
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (util::fault::should_tear(util::fault::Site::kCheckpoint)) {
+    // Crash-in-mid-write: persist a strict prefix with no newline, then die.
+    // The resume path must drop AND truncate exactly this fragment.
+    out_ << text.substr(0, text.size() / 2);
+    commit_locked();
+    util::fault::crash_now();
+  }
   out_ << text << '\n';
   commit_locked();
+
+  Entry entry;
+  entry.key = key;
+  entry.params = params;
+  entry.metrics = result.metrics;
+  entry.wall_ms = result.wall_ms;
+  entries_[{experiment, order}] = std::move(entry);
 }
 
 }  // namespace dqma::sweep

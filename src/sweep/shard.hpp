@@ -86,19 +86,25 @@ class CheckpointLog {
   /// The completed entry for (experiment, canonical order), or nullptr.
   /// The caller verifies the entry's key against the job's partition key —
   /// a mismatch means the log belongs to a different workload shape.
+  /// Pointers stay valid across append() (map nodes are stable), which also
+  /// indexes the new line — coordinated runs re-scan the log every pass.
   const Entry* find(const std::string& experiment, std::size_t order) const;
 
-  /// Appends one completed point and flushes. Thread-safe: sweeps report
-  /// completions from pool threads.
+  /// Appends one completed point, flushes, and indexes it for find().
+  /// Thread-safe: sweeps report completions from pool threads.
   void append(const std::string& experiment, const std::string& series,
               std::size_t order, std::uint64_t key, const ParamPoint& params,
               const JobResult& result);
 
-  std::size_t loaded_entries() const { return entries_.size(); }
+  /// Committed entries (loaded at open plus appended since).
+  std::size_t loaded_entries() const;
   const std::string& path() const { return path_; }
   /// True when appends are fsync()ed (the default; DQMA_CHECKPOINT_FSYNC=0
   /// disables). False also on platforms without fsync.
   bool syncing() const { return sync_fd_ >= 0; }
+  /// True when the containing directory was fsync()ed at open, making the
+  /// log file's very existence crash-durable (same knob as syncing()).
+  bool directory_synced() const { return directory_synced_; }
 
  private:
   /// Commits buffered bytes to the OS (flush) and, when syncing, to stable
@@ -107,9 +113,10 @@ class CheckpointLog {
 
   std::string path_;
   std::map<std::pair<std::string, std::size_t>, Entry> entries_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::ofstream out_;
   int sync_fd_ = -1;  ///< second fd on path_ used only for fsync()
+  bool directory_synced_ = false;
 };
 
 }  // namespace dqma::sweep

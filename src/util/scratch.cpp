@@ -6,10 +6,13 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 #include <vector>
 
+#include "util/fault.hpp"
 #include "util/require.hpp"
 
 namespace dqma::util {
@@ -60,15 +63,32 @@ ScratchTile::ScratchTile(long long bytes) : bytes_(bytes) {
     require(fd >= 0, "ScratchTile: cannot create a scratch file in " + dir);
     ::unlink(path.data());
   }
-  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+  // From here on, failures mean the directory is configured but cannot hold
+  // the tile (disk full, quota, mount limits) — recoverable per job, so they
+  // raise ScratchAllocationError instead of a configuration error.
+  if (fault::should_fail_alloc(fault::Site::kScratch)) {
     ::close(fd);
-    require(false, "ScratchTile: cannot size the scratch file in " + dir +
-                       " (disk full?)");
+    throw ScratchAllocationError(
+        "ScratchTile: cannot size a " + std::to_string(bytes) +
+        "-byte scratch file in " + dir + ": injected ENOSPC (DQMA_FAULT)");
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw ScratchAllocationError(
+        "ScratchTile: cannot size a " + std::to_string(bytes) +
+        "-byte scratch file in " + dir + ": " + std::strerror(err) +
+        (err == ENOSPC ? " (disk full)" : ""));
   }
   void* map = ::mmap(nullptr, static_cast<std::size_t>(bytes),
                      PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
   ::close(fd);  // the mapping keeps the file alive
-  require(map != MAP_FAILED, "ScratchTile: mmap failed for " + dir);
+  if (map == MAP_FAILED) {
+    const int err = errno;
+    throw ScratchAllocationError(
+        "ScratchTile: mmap of " + std::to_string(bytes) + " bytes failed for " +
+        dir + ": " + std::strerror(err));
+  }
   map_ = map;
 }
 

@@ -13,9 +13,20 @@
 // When neither is set, enabled() is false and tiled paths refuse to run.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 namespace dqma::util {
+
+/// Thrown when a configured scratch directory cannot actually hold a tile
+/// (ftruncate/mmap failure — typically ENOSPC). Distinct from the
+/// std::invalid_argument raised for a missing configuration so callers can
+/// degrade gracefully: fall back to in-core storage when the operand fits,
+/// or fail the single job instead of the whole run.
+class ScratchAllocationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class ScratchTile {
  public:

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/framing.hpp"
 #include "serve/handlers.hpp"
 #include "serve/request.hpp"
 #include "serve/server.hpp"
@@ -69,6 +70,68 @@ TEST(RequestTest, ResponseFraming) {
             R"({"id":"b","ok":false,"error":"bad"})");
   EXPECT_EQ(dqma::serve::error_response("c", "busy", /*retry=*/true),
             R"({"id":"c","ok":false,"error":"busy","retry":true})");
+}
+
+TEST(LineDecoderTest, SplitsLinesAcrossArbitraryChunkBoundaries) {
+  dqma::serve::LineDecoder decoder;
+  decoder.feed("first");
+  EXPECT_FALSE(decoder.next().has_value());
+  decoder.feed(" line\nsec");
+  auto line = decoder.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->text, "first line");
+  EXPECT_FALSE(line->oversized);
+  EXPECT_FALSE(decoder.next().has_value());
+  decoder.feed("ond\n\n");  // empty lines are legal frames
+  EXPECT_EQ(decoder.next()->text, "second");
+  EXPECT_EQ(decoder.next()->text, "");
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(LineDecoderTest, FinishFlushesUnterminatedTail) {
+  dqma::serve::LineDecoder decoder;
+  decoder.feed("tail without newline");
+  EXPECT_FALSE(decoder.next().has_value());
+  auto tail = decoder.finish();
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->text, "tail without newline");
+  EXPECT_FALSE(decoder.finish().has_value());  // nothing left
+}
+
+TEST(LineDecoderTest, OversizedLineIsOneEventAndMemoryStaysBounded) {
+  dqma::serve::LineDecoder decoder(16);
+  // The oversize event fires the moment the cap is crossed — before the
+  // line's newline ever arrives — so the daemon can answer while the
+  // attacker is still streaming.
+  decoder.feed(std::string(17, 'x'));
+  auto event = decoder.next();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_TRUE(event->oversized);
+  EXPECT_TRUE(event->text.empty());
+
+  // The rest of the flood is discarded without buffering or new events,
+  // and the decoder resynchronizes at the next newline.
+  decoder.feed(std::string(1 << 20, 'x'));
+  EXPECT_FALSE(decoder.next().has_value());
+  decoder.feed("x\nback to normal\n");
+  auto line = decoder.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->text, "back to normal");
+  EXPECT_FALSE(line->oversized);
+  // A tail belonging to a discarded oversized line never resurfaces.
+  decoder.feed(std::string(17, 'y'));
+  EXPECT_TRUE(decoder.next()->oversized);
+  EXPECT_FALSE(decoder.finish().has_value());
+}
+
+TEST(LineDecoderTest, LineExactlyAtTheCapIsDelivered) {
+  dqma::serve::LineDecoder decoder(8);
+  decoder.feed("12345678\n123456789\n");
+  auto ok = decoder.next();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->text, "12345678");
+  EXPECT_FALSE(ok->oversized);
+  EXPECT_TRUE(decoder.next()->oversized);
 }
 
 TEST(ShapeCacheTest, SingleFlightBuildsOnceAndCountsDeterministically) {

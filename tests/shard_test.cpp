@@ -397,6 +397,9 @@ TEST(CheckpointLogTest, FsyncsByDefaultWithEnvOptOut) {
   {
     const auto log = make_log("fsync_default.jsonl");
     EXPECT_TRUE(log->syncing());
+    // The containing directory is fsynced at open too: a crash right after
+    // creation cannot lose the log file's very existence.
+    EXPECT_TRUE(log->directory_synced());
   }
   // ...and DQMA_CHECKPOINT_FSYNC=0 restores flush-only appends for
   // throughput (0 / "off" / "false"; anything else keeps the default).
@@ -404,11 +407,13 @@ TEST(CheckpointLogTest, FsyncsByDefaultWithEnvOptOut) {
   {
     const auto log = make_log("fsync_off.jsonl");
     EXPECT_FALSE(log->syncing());
+    EXPECT_FALSE(log->directory_synced());
   }
   ::setenv("DQMA_CHECKPOINT_FSYNC", "1", 1);
   {
     const auto log = make_log("fsync_on.jsonl");
     EXPECT_TRUE(log->syncing());
+    EXPECT_TRUE(log->directory_synced());
   }
   ::unsetenv("DQMA_CHECKPOINT_FSYNC");
 #endif

@@ -14,6 +14,7 @@
 #include "quantum/random.hpp"
 #include "quantum/unitary.hpp"
 #include "support/test_support.hpp"
+#include "util/fault.hpp"
 #include "util/scratch.hpp"
 #include "util/tolerance.hpp"
 
@@ -198,6 +199,46 @@ TEST_F(TiledDensityTest, ScratchOptInGatesTheRaisedCap) {
   const Density small = Density::maximally_mixed(qubits(3));
   EXPECT_TRUE(small.tiled());
   EXPECT_NEAR(small.expectation(CMat::identity(2), {0}), 1.0, 1e-12);
+}
+
+TEST_F(TiledDensityTest, EnospcFallsBackToInCoreByteIdentically) {
+  // A full scratch disk (injected) must not fail a job whose density still
+  // fits the in-core cap: storage silently degrades to resident, and the
+  // bytes are identical to a run where scratch worked.
+  const RegisterShape shape = qubits(5);
+  const Density reference = mixed_state(shape, 17);
+  ASSERT_FALSE(reference.tiled());
+
+  dqma::util::fault::reset_for_test("scratch:enospc");
+  {
+    const TiledDensityScope scope(0);
+    const Density degraded = mixed_state(shape, 17);
+    EXPECT_FALSE(degraded.tiled());  // wanted a tile, got in-core
+    expect_same_bytes(degraded, reference);
+  }
+  dqma::util::fault::reset_for_test(nullptr);
+
+  // Same scope without the injection: the tile materializes again.
+  const TiledDensityScope scope(0);
+  EXPECT_TRUE(Density::maximally_mixed(shape).tiled());
+}
+
+TEST_F(TiledDensityTest, EnospcPastTheInCoreCapFailsTheJobWithDiagnostic) {
+  // Above kMaxDenseExactDim there is nothing to fall back to: the single
+  // job fails with an error naming the dimension, instead of aborting the
+  // process or silently truncating.
+  dqma::util::fault::reset_for_test("scratch:enospc");
+  try {
+    Density::maximally_mixed(qubits(15));
+    dqma::util::fault::reset_for_test(nullptr);
+    FAIL() << "expected ScratchAllocationError";
+  } catch (const dqma::util::ScratchAllocationError& e) {
+    dqma::util::fault::reset_for_test(nullptr);
+    EXPECT_NE(std::string(e.what()).find("32768"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("fall back"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST_F(TiledDensityTest, BigMixedStatePassAtDim32768) {
