@@ -18,6 +18,7 @@ namespace dqma::bench {
 namespace {
 
 using protocol::EqPathProtocol;
+using protocol::NoiseModel;
 using protocol::noise_threshold;
 using protocol::noisy_attack_accept;
 using protocol::noisy_completeness;
@@ -55,8 +56,9 @@ void run(sweep::ExperimentContext& ctx) {
           const Bitstring x = Bitstring::random(n, input_rng);
           Bitstring y = Bitstring::random(n, input_rng);
           if (x == y) y.flip(0);
-          const double c = noisy_completeness(protocol, x, p);
-          const double s = noisy_attack_accept(protocol, x, y, p);
+          const NoiseModel noise = NoiseModel::uniform(p);
+          const double c = noisy_completeness(protocol, x, noise);
+          const double s = noisy_attack_accept(protocol, x, y, noise);
           return sweep::Metrics()
               .set("completeness", c)
               .set("attack_accept", s)

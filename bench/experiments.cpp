@@ -13,6 +13,7 @@ void register_all_experiments() {
     register_table3_lower();
     register_ablations();
     register_robustness();
+    register_exp_topology();
     register_coordinator_recovery();
     register_micro();
     register_serve_throughput();

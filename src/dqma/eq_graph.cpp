@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dqma/attacks.hpp"
+#include "dqma/noise.hpp"
 #include "qtest/permutation_test.hpp"
 #include "qtest/swap_test.hpp"
 #include "util/require.hpp"
@@ -76,26 +77,46 @@ EqGraphProtocol::TreeProofReps EqGraphProtocol::honest_proof(
 
 double EqGraphProtocol::accept_one_rep(const std::vector<Bitstring>& inputs,
                                        const TreeProof& proof) const {
+  return accept_one_rep_impl(inputs, proof, nullptr);
+}
+
+double EqGraphProtocol::accept_one_rep_impl(const std::vector<Bitstring>& inputs,
+                                            const TreeProof& proof,
+                                            const NoiseModel* noise) const {
   require(static_cast<int>(inputs.size()) == terminal_count(),
           "EqGraphProtocol: input count mismatch");
   require(static_cast<int>(proof.reg0.size()) == tree_.size() &&
               static_cast<int>(proof.reg1.size()) == tree_.size(),
           "EqGraphProtocol: proof size mismatch");
 
-  // Local test at a node holding `kept`, receiving `sents` from children.
-  const auto local_test = [&](const CVec& kept,
+  const bool noisy = noise != nullptr && !noise->is_noiseless();
+  const double depol_swap = 0.5 + 0.5 / static_cast<double>(scheme_.dim());
+  // Local test at node v holding `kept`, receiving `sents` from its
+  // children (in child order; the register from child c traversed link c).
+  const auto local_test = [&](int v, const CVec& kept,
                               const std::vector<CVec>& sents) {
+    const auto& children = tree_.node(v).children;
     if (mode_ == GraphTestMode::kPermutationTest) {
       std::vector<CVec> factors;
       factors.reserve(sents.size() + 1);
       factors.push_back(kept);
       factors.insert(factors.end(), sents.begin(), sents.end());
-      return qtest::permutation_test_accept(factors);
+      if (!noisy) {
+        return qtest::permutation_test_accept(factors);
+      }
+      std::vector<double> rates;
+      rates.reserve(factors.size());
+      rates.push_back(0.0);  // `kept` never crossed a channel
+      for (const int child : children) {
+        rates.push_back(noise->rate(child));
+      }
+      return qtest::depolarized_permutation_test_accept(factors, rates);
     }
     // Random-pair SWAP baseline: test one uniformly chosen child.
     double acc = 0.0;
-    for (const auto& s : sents) {
-      acc += qtest::swap_test_accept(kept, s);
+    for (std::size_t c = 0; c < sents.size(); ++c) {
+      const double clean = qtest::swap_test_accept(kept, sents[c]);
+      acc += noisy ? noise->damp(children[c], clean, depol_swap) : clean;
     }
     return sents.empty() ? 1.0 : acc / static_cast<double>(sents.size());
   };
@@ -128,7 +149,7 @@ double EqGraphProtocol::accept_one_rep(const std::vector<Bitstring>& inputs,
         sents.push_back(*opt.sent);
       }
       if (w > 0.0) {
-        total += w * (kept != nullptr ? local_test(*kept, sents) : 1.0);
+        total += w * (kept != nullptr ? local_test(v, *kept, sents) : 1.0);
       }
       // Next combination.
       int c = 0;
@@ -210,6 +231,11 @@ double EqGraphProtocol::completeness(const Bitstring& x) const {
 
 double EqGraphProtocol::best_attack_accept(
     const std::vector<Bitstring>& inputs) const {
+  return best_attack_accept_impl(inputs, nullptr);
+}
+
+double EqGraphProtocol::best_attack_accept_impl(
+    const std::vector<Bitstring>& inputs, const NoiseModel* noise) const {
   require(static_cast<int>(inputs.size()) == terminal_count(),
           "EqGraphProtocol: input count mismatch");
   const int root_input = input_of_node_[static_cast<std::size_t>(tree_.root())];
@@ -240,9 +266,42 @@ double EqGraphProtocol::best_attack_accept(
             states[static_cast<std::size_t>(p - 1)];
       }
     }
-    best = std::max(best, single_rep_accept(inputs, cheat));
+    best = std::max(best, accept_one_rep_impl(inputs, cheat, noise));
   }
   return std::pow(best, reps_);
+}
+
+double EqGraphProtocol::noisy_accept_probability(
+    const std::vector<Bitstring>& inputs, const TreeProofReps& proof,
+    const NoiseModel& link_noise) const {
+  require(static_cast<int>(proof.size()) == reps_,
+          "EqGraphProtocol: repetition count mismatch");
+  double accept = 1.0;
+  for (const auto& rep : proof) {
+    accept *= accept_one_rep_impl(inputs, rep, &link_noise);
+    if (accept == 0.0) {
+      break;
+    }
+  }
+  return accept;
+}
+
+double EqGraphProtocol::noisy_single_rep_accept(
+    const std::vector<Bitstring>& inputs, const TreeProof& proof,
+    const NoiseModel& link_noise) const {
+  return accept_one_rep_impl(inputs, proof, &link_noise);
+}
+
+double EqGraphProtocol::noisy_completeness(const Bitstring& x,
+                                           const NoiseModel& link_noise) const {
+  const std::vector<Bitstring> inputs(
+      static_cast<std::size_t>(terminal_count()), x);
+  return noisy_accept_probability(inputs, honest_proof(x), link_noise);
+}
+
+double EqGraphProtocol::noisy_best_attack_accept(
+    const std::vector<Bitstring>& inputs, const NoiseModel& link_noise) const {
+  return best_attack_accept_impl(inputs, &link_noise);
 }
 
 }  // namespace dqma::protocol

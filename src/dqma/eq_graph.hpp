@@ -20,6 +20,8 @@
 
 namespace dqma::protocol {
 
+class NoiseModel;  // dqma/noise.hpp
+
 using util::Bitstring;
 
 enum class GraphTestMode {
@@ -72,6 +74,25 @@ class EqGraphProtocol {
   /// attacks, maximized over deviating terminals.
   double best_attack_accept(const std::vector<Bitstring>& inputs) const;
 
+  /// Noisy variants: every register forwarded from tree node v to its
+  /// parent passes a depolarizing channel of strength link_noise.rate(v)
+  /// (links are indexed by the CHILD tree node; the root index is never
+  /// queried). Per-link models must cover every tree node — give virtual
+  /// leaves rate 0, they share a physical vertex with their original node.
+  /// Exact: permutation tests use the depolarized closed form, SWAP tests
+  /// the damped closed form. With a noiseless model these equal the
+  /// noiseless methods bit for bit (same code path).
+  double noisy_accept_probability(const std::vector<Bitstring>& inputs,
+                                  const TreeProofReps& proof,
+                                  const NoiseModel& link_noise) const;
+  double noisy_single_rep_accept(const std::vector<Bitstring>& inputs,
+                                 const TreeProof& proof,
+                                 const NoiseModel& link_noise) const;
+  double noisy_completeness(const Bitstring& x,
+                            const NoiseModel& link_noise) const;
+  double noisy_best_attack_accept(const std::vector<Bitstring>& inputs,
+                                  const NoiseModel& link_noise) const;
+
   /// True iff the tree node carries an input (root terminal or a terminal
   /// leaf, including virtual leaves).
   bool is_input_node(int tree_node) const;
@@ -86,6 +107,15 @@ class EqGraphProtocol {
 
   double accept_one_rep(const std::vector<Bitstring>& inputs,
                         const TreeProof& proof) const;
+
+  /// Shared tree DP; `noise == nullptr` is the noiseless path (and must
+  /// stay arithmetically identical to the historical noiseless code).
+  double accept_one_rep_impl(const std::vector<Bitstring>& inputs,
+                             const TreeProof& proof,
+                             const NoiseModel* noise) const;
+
+  double best_attack_accept_impl(const std::vector<Bitstring>& inputs,
+                                 const NoiseModel* noise) const;
 };
 
 }  // namespace dqma::protocol

@@ -13,29 +13,95 @@ namespace dqma::protocol {
 using linalg::CVec;
 using util::require;
 
+NoiseModel NoiseModel::uniform(double rate) {
+  require(rate >= 0.0 && rate <= 1.0, "NoiseModel::uniform: rate out of range");
+  NoiseModel model;
+  model.uniform_rate_ = rate;
+  return model;
+}
+
+NoiseModel NoiseModel::per_link(std::vector<double> rates) {
+  require(!rates.empty(), "NoiseModel::per_link: need at least one link");
+  for (const double rate : rates) {
+    require(rate >= 0.0 && rate <= 1.0,
+            "NoiseModel::per_link: rate out of range");
+  }
+  NoiseModel model;
+  model.rates_ = std::move(rates);
+  return model;
+}
+
+bool NoiseModel::is_noiseless() const {
+  if (rates_.empty()) {
+    return uniform_rate_ == 0.0;
+  }
+  return std::all_of(rates_.begin(), rates_.end(),
+                     [](double rate) { return rate == 0.0; });
+}
+
+double NoiseModel::rate(int link) const {
+  require(link >= 0, "NoiseModel::rate: negative link index");
+  if (rates_.empty()) {
+    return uniform_rate_;
+  }
+  require(link < static_cast<int>(rates_.size()),
+          "NoiseModel::rate: link index beyond the per-link table");
+  return rates_[static_cast<std::size_t>(link)];
+}
+
+double NoiseModel::max_rate() const {
+  if (rates_.empty()) {
+    return uniform_rate_;
+  }
+  return *std::max_element(rates_.begin(), rates_.end());
+}
+
+NoiseModel NoiseModel::scaled(double factor) const {
+  require(factor >= 0.0, "NoiseModel::scaled: negative factor");
+  const auto clamp01 = [](double rate) {
+    return std::min(1.0, std::max(0.0, rate));
+  };
+  if (rates_.empty()) {
+    return uniform(clamp01(uniform_rate_ * factor));
+  }
+  std::vector<double> scaled_rates(rates_.size());
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    scaled_rates[i] = clamp01(rates_[i] * factor);
+  }
+  return per_link(std::move(scaled_rates));
+}
+
 namespace {
 
 double noisy_chain(const EqPathProtocol& protocol, const Bitstring& x,
                    const Bitstring& y, const PathProofReps& proof,
-                   double noise) {
-  require(noise >= 0.0 && noise <= 1.0, "noisy_chain: noise out of range");
+                   const NoiseModel& noise) {
   require(protocol.mode() == EqPathMode::kSymmetrized,
           "noisy_chain: noise model implemented for the symmetrized protocol");
+  if (!noise.is_uniform()) {
+    require(noise.link_count() >= protocol.r(),
+            "noisy_chain: per-link model must cover every path link");
+  }
   const auto& scheme = protocol.scheme();
   const CVec hx = scheme.state(x);
   const CVec hy = scheme.state(y);
   const double d = static_cast<double>(scheme.dim());
   const double depol_swap = 0.5 + 0.5 / d;
-  const auto pair_test = [&](const CVec& a, const CVec& b) {
-    return (1.0 - noise) * qtest::swap_test_accept(a, b) + noise * depol_swap;
+  // Node v_j's pair test receives through link j-1; chain_accept_linked
+  // hands that link index straight to the tests.
+  const auto pair_test = [&](int link, const CVec& received,
+                             const CVec& kept) {
+    return noise.damp(link, qtest::swap_test_accept(received, kept),
+                      depol_swap);
   };
-  const auto final_test = [&](const CVec& received) {
+  const auto final_test = [&](int link, const CVec& received) {
+    const double p = noise.rate(link);
     const double amp = std::abs(hy.dot(received));
-    return (1.0 - noise) * amp * amp + noise / d;
+    return (1.0 - p) * amp * amp + p / d;
   };
   double accept = 1.0;
   for (const auto& rep : proof) {
-    accept *= chain_accept(hx, rep, pair_test, final_test);
+    accept *= chain_accept_linked(hx, rep, pair_test, final_test);
     if (accept == 0.0) {
       break;
     }
@@ -47,20 +113,21 @@ double noisy_chain(const EqPathProtocol& protocol, const Bitstring& x,
 
 double noisy_accept_probability(const EqPathProtocol& protocol,
                                 const Bitstring& x, const Bitstring& y,
-                                const PathProofReps& proof, double noise) {
+                                const PathProofReps& proof,
+                                const NoiseModel& noise) {
   require(static_cast<int>(proof.size()) == protocol.reps(),
           "noisy_accept_probability: repetition count mismatch");
   return noisy_chain(protocol, x, y, proof, noise);
 }
 
 double noisy_completeness(const EqPathProtocol& protocol, const Bitstring& x,
-                          double noise) {
+                          const NoiseModel& noise) {
   return noisy_accept_probability(protocol, x, x, protocol.honest_proof(x),
                                   noise);
 }
 
 double noisy_attack_accept(const EqPathProtocol& protocol, const Bitstring& x,
-                           const Bitstring& y, double noise) {
+                           const Bitstring& y, const NoiseModel& noise) {
   const CVec hx = protocol.scheme().state(x);
   const CVec hy = protocol.scheme().state(y);
   const int inner = std::max(0, protocol.r() - 1);
@@ -76,11 +143,13 @@ double noisy_attack_accept(const EqPathProtocol& protocol, const Bitstring& x,
 }
 
 double noise_threshold(const EqPathProtocol& protocol, const Bitstring& x,
-                       const Bitstring& y, double tol) {
+                       const Bitstring& y, double tol,
+                       const NoiseModel& profile) {
   require(tol > 0.0, "noise_threshold: tolerance must be positive");
-  const auto separated = [&](double p) {
-    return noisy_completeness(protocol, x, p) >= 2.0 / 3.0 &&
-           noisy_attack_accept(protocol, x, y, p) <= 1.0 / 3.0;
+  const auto separated = [&](double scale) {
+    const NoiseModel scaled = profile.scaled(scale);
+    return noisy_completeness(protocol, x, scaled) >= 2.0 / 3.0 &&
+           noisy_attack_accept(protocol, x, y, scaled) <= 1.0 / 3.0;
   };
   if (!separated(0.0)) {
     return 0.0;

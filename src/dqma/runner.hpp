@@ -33,6 +33,17 @@ double chain_accept(
     const std::function<double(const CVec&, const CVec&)>& pair_test,
     const std::function<double(const CVec&)>& final_test);
 
+/// chain_accept with link-aware tests, for per-link heterogeneous noise
+/// models (dqma/noise.hpp): each test receives the index of the channel
+/// the tested register traversed. Link j connects v_j to v_{j+1}, so node
+/// v_j's pair test receives through link j-1 and the final measurement at
+/// v_r through link r-1 (= `inner`). With link-oblivious adapters this is
+/// arithmetically identical to chain_accept — both run the same DP.
+double chain_accept_linked(
+    const CVec& source, const PathProof& proof,
+    const std::function<double(int, const CVec&, const CVec&)>& pair_test,
+    const std::function<double(int, const CVec&)>& final_test);
+
 /// Acceptance of k independent repetitions where every node rejects if any
 /// of its k local tests rejects: the product of per-repetition chain
 /// acceptances (registers across repetitions are disjoint and coins are

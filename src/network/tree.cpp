@@ -215,6 +215,7 @@ std::vector<int> SpanningTree::post_order() const {
 std::vector<bool> verify_tree_labels(const Graph& graph,
                                      const std::vector<TreeLabel>& labels) {
   const int n = graph.node_count();
+  require(n >= 1, "verify_tree_labels: graph must have at least one node");
   require(static_cast<int>(labels.size()) == n,
           "verify_tree_labels: one label per node required");
   std::vector<bool> accept(static_cast<std::size_t>(n), true);
@@ -249,7 +250,14 @@ std::vector<bool> verify_tree_labels(const Graph& graph,
 }
 
 std::vector<TreeLabel> honest_tree_labels(const Graph& graph, int root) {
+  require(root >= 0 && root < graph.node_count(),
+          "honest_tree_labels: root is not a node of the graph");
   const auto dist = graph.bfs_distances(root);
+  for (int v = 0; v < graph.node_count(); ++v) {
+    require(dist[static_cast<std::size_t>(v)] >= 0,
+            "honest_tree_labels: graph is disconnected — no BFS tree spans "
+            "every node from the requested root");
+  }
   std::vector<TreeLabel> labels(static_cast<std::size_t>(graph.node_count()));
   for (int v = 0; v < graph.node_count(); ++v) {
     TreeLabel& l = labels[static_cast<std::size_t>(v)];

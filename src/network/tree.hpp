@@ -74,6 +74,9 @@ std::vector<bool> verify_tree_labels(const Graph& graph,
                                      const std::vector<TreeLabel>& labels);
 
 /// Honest labelling of the BFS tree rooted at `root` (for completeness runs).
+/// Requires `root` to be a node of `graph` and `graph` to be connected —
+/// generator-produced graphs that violate either fail loudly here instead
+/// of producing distance -1 labels downstream.
 std::vector<TreeLabel> honest_tree_labels(const Graph& graph, int root);
 
 }  // namespace dqma::network

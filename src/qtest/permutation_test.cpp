@@ -1,5 +1,6 @@
 #include "qtest/permutation_test.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/permanent.hpp"
@@ -60,6 +61,91 @@ double permutation_test_accept(const Density& rho) {
             "permutation_test_accept: registers must share one dimension");
   }
   return permutation_test_povm(d, k).accept_probability(rho);
+}
+
+double depolarized_permutation_test_accept(const std::vector<CVec>& factors,
+                                           const std::vector<double>& rates) {
+  const int k = static_cast<int>(factors.size());
+  require(k >= 1 && k <= 7,
+          "depolarized_permutation_test_accept: k must be in [1,7]");
+  require(rates.size() == factors.size(),
+          "depolarized_permutation_test_accept: one rate per factor");
+  const int d = factors[0].dim();
+  for (const auto& factor : factors) {
+    require(factor.dim() == d,
+            "depolarized_permutation_test_accept: factors must share one "
+            "dimension");
+  }
+  for (const double rate : rates) {
+    require(rate >= 0.0 && rate <= 1.0,
+            "depolarized_permutation_test_accept: rate out of range");
+  }
+  CMat gram(k, k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      gram(i, j) = factors[static_cast<std::size_t>(i)].dot(
+          factors[static_cast<std::size_t>(j)]);
+    }
+  }
+  const double dim = static_cast<double>(d);
+  // E[tr of one cycle] over the independent pure/mixed mixture of each
+  // factor in the cycle: subset sum over which factors went mixed.
+  const auto cycle_value = [&](const std::vector<int>& cycle) {
+    const int q = static_cast<int>(cycle.size());
+    Complex value{0.0, 0.0};
+    std::vector<int> survivors;
+    survivors.reserve(cycle.size());
+    for (int mask = 0; mask < (1 << q); ++mask) {
+      double weight = 1.0;
+      survivors.clear();
+      for (int j = 0; j < q; ++j) {
+        const int idx = cycle[static_cast<std::size_t>(j)];
+        const double p = rates[static_cast<std::size_t>(idx)];
+        if ((mask >> j) & 1) {
+          weight *= p / dim;
+        } else {
+          weight *= 1.0 - p;
+          survivors.push_back(idx);
+        }
+      }
+      Complex trace{dim, 0.0};  // all mixed: tr I = d
+      if (!survivors.empty()) {
+        trace = Complex{1.0, 0.0};
+        const int m = static_cast<int>(survivors.size());
+        for (int j = 0; j < m; ++j) {
+          trace *= gram(survivors[static_cast<std::size_t>(j)],
+                        survivors[static_cast<std::size_t>((j + 1) % m)]);
+        }
+      }
+      value += Complex{weight, 0.0} * trace;
+    }
+    return value;
+  };
+  const auto perms = quantum::all_permutations(k);
+  Complex total{0.0, 0.0};
+  std::vector<bool> seen(static_cast<std::size_t>(k));
+  std::vector<int> cycle;
+  for (const auto& perm : perms) {
+    std::fill(seen.begin(), seen.end(), false);
+    Complex term{1.0, 0.0};
+    for (int start = 0; start < k; ++start) {
+      if (seen[static_cast<std::size_t>(start)]) {
+        continue;
+      }
+      cycle.clear();
+      int cur = start;
+      while (!seen[static_cast<std::size_t>(cur)]) {
+        seen[static_cast<std::size_t>(cur)] = true;
+        cycle.push_back(cur);
+        cur = perm[static_cast<std::size_t>(cur)];
+      }
+      term *= cycle_value(cycle);
+    }
+    total += term;
+  }
+  const double accept = total.real() / static_cast<double>(perms.size());
+  // The exact value is a probability; round-off can nudge it out of [0,1].
+  return std::min(1.0, std::max(0.0, accept));
 }
 
 double lemma16_distance_bound(double eps) {

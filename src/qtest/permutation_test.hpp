@@ -38,6 +38,19 @@ double permutation_test_accept(const std::vector<CVec>& factors);
 /// dimension): tr(Pi_sym rho).
 double permutation_test_accept(const Density& rho);
 
+/// Exact acceptance when factor i is independently depolarized with rate
+/// rates[i] before the test: tr(Pi_sym (x)_i D_{p_i}(|psi_i><psi_i|)).
+/// Evaluated without building the d^k-dimensional state: for each
+/// permutation, tr factorizes over its cycles, and expanding each
+/// depolarized factor into its pure and maximally-mixed parts turns every
+/// cycle trace into a subset sum over which factors went mixed (a mixed
+/// factor contributes p_i/d and drops out of the cyclic Gram product; the
+/// all-mixed subset contributes tr I = d). Requires k <= 7 and every rate
+/// in [0, 1]. With all rates zero this equals permutation_test_accept up
+/// to floating-point round-off (different evaluation order).
+double depolarized_permutation_test_accept(const std::vector<CVec>& factors,
+                                           const std::vector<double>& rates);
+
 /// Lemma 16 bound: maximal D(rho_i, rho_j) consistent with the permutation
 /// test accepting with probability 1 - eps (same form as Lemma 14).
 double lemma16_distance_bound(double eps);

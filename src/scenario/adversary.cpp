@@ -1,0 +1,199 @@
+#include "scenario/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dma/attacks.hpp"
+#include "dma/dma_protocols.hpp"
+#include "dqma/attacks.hpp"
+#include "util/require.hpp"
+
+namespace dqma::scenario {
+
+using linalg::CVec;
+using protocol::EqGraphProtocol;
+using protocol::NoiseModel;
+using util::require;
+
+namespace {
+
+std::vector<Adversary>& registry() {
+  static std::vector<Adversary> adversary_list;
+  return adversary_list;
+}
+
+/// Terminal index whose graph node became the tree root.
+int root_terminal_index(const ScenarioSample& sample,
+                        const network::SpanningTree& tree) {
+  const int root_node = tree.node(tree.root()).original;
+  for (std::size_t k = 0; k < sample.topology.terminals.size(); ++k) {
+    if (sample.topology.terminals[k] == root_node) {
+      return static_cast<int>(k);
+    }
+  }
+  require(false, "scenario: tree root is not a terminal");
+  return -1;
+}
+
+/// The terminal the attack aims at: the deviant one, unless the deviant IS
+/// the root terminal — then any other terminal disagrees with the root's
+/// input and serves as the far end of the interpolation.
+int attack_target(const ScenarioSample& sample, int root_idx) {
+  require(!sample.yes_instance,
+          "scenario: attack evaluated on a yes instance");
+  if (sample.deviant_terminal != root_idx) {
+    return sample.deviant_terminal;
+  }
+  return root_idx == 0 ? 1 : 0;
+}
+
+/// Honest run of the quantum protocol under the sample's link noise.
+double quantum_completeness(const ScenarioSample& sample) {
+  const EqGraphProtocol protocol = build_protocol(sample);
+  const NoiseModel noise = tree_link_noise(sample.topology, protocol.tree());
+  return protocol.noisy_completeness(sample.inputs[0], noise);
+}
+
+double geodesic_attack(const ScenarioSample& sample, util::Rng&) {
+  require(!sample.yes_instance,
+          "scenario: attack evaluated on a yes instance");
+  const EqGraphProtocol protocol = build_protocol(sample);
+  const NoiseModel noise = tree_link_noise(sample.topology, protocol.tree());
+  return protocol.noisy_best_attack_accept(sample.inputs, noise);
+}
+
+/// Step attacks along the root-to-target path, maximized over the cut:
+/// nodes up to the cut hold the root's state, the rest the target's.
+double step_cut_attack(const ScenarioSample& sample, util::Rng&) {
+  const EqGraphProtocol protocol = build_protocol(sample);
+  const auto& tree = protocol.tree();
+  const NoiseModel noise = tree_link_noise(sample.topology, tree);
+  const int root_idx = root_terminal_index(sample, tree);
+  const int target = attack_target(sample, root_idx);
+
+  const CVec h_root =
+      protocol.scheme().state(sample.inputs[static_cast<std::size_t>(root_idx)]);
+  const CVec h_dev =
+      protocol.scheme().state(sample.inputs[static_cast<std::size_t>(target)]);
+  const int leaf = tree.leaf_of_terminal(
+      sample.topology.terminals[static_cast<std::size_t>(target)]);
+  const auto path = tree.path_between(tree.root(), leaf);
+
+  EqGraphProtocol::TreeProof cheat;
+  cheat.reg0.assign(static_cast<std::size_t>(tree.size()), h_root);
+  cheat.reg1 = cheat.reg0;
+  double best = 0.0;
+  const int len = static_cast<int>(path.size());
+  for (int cut = 0; cut < len; ++cut) {
+    for (int p = 1; p + 1 < len; ++p) {
+      const int v = path[static_cast<std::size_t>(p)];
+      if (protocol.is_input_node(v)) {
+        continue;
+      }
+      const CVec& state = p <= cut ? h_root : h_dev;
+      cheat.reg0[static_cast<std::size_t>(v)] = state;
+      cheat.reg1[static_cast<std::size_t>(v)] = state;
+    }
+    best = std::max(best,
+                    protocol.noisy_single_rep_accept(sample.inputs, cheat,
+                                                     noise));
+  }
+  return std::pow(best, protocol.reps());
+}
+
+/// Every non-input node holds the target's state: only the tests adjacent
+/// to the root (and to agreeing terminals) suffer.
+double all_target_attack(const ScenarioSample& sample, util::Rng&) {
+  const EqGraphProtocol protocol = build_protocol(sample);
+  const auto& tree = protocol.tree();
+  const NoiseModel noise = tree_link_noise(sample.topology, tree);
+  const int root_idx = root_terminal_index(sample, tree);
+  const int target = attack_target(sample, root_idx);
+  const CVec h_dev =
+      protocol.scheme().state(sample.inputs[static_cast<std::size_t>(target)]);
+
+  EqGraphProtocol::TreeProof cheat;
+  cheat.reg0.assign(static_cast<std::size_t>(tree.size()), h_dev);
+  cheat.reg1 = cheat.reg0;
+  const double single =
+      protocol.noisy_single_rep_accept(sample.inputs, cheat, noise);
+  return std::pow(single, protocol.reps());
+}
+
+/// Classical collision attack on the budgeted tag protocol: with
+/// tag_bits < n the seeded hash has colliding inputs, and splicing their
+/// tags makes every node accept (soundness error 1). tag_bits >= n models
+/// the sound trivial protocol — no collision exists.
+double tag_collision_attack(const ScenarioSample& sample, util::Rng& rng) {
+  require(!sample.yes_instance,
+          "scenario: attack evaluated on a yes instance");
+  const int n = sample.spec.n;
+  if (sample.spec.tag_bits >= n) {
+    return 0.0;  // TrivialDmaEq-grade tags are injective
+  }
+  // Path length between the root terminal and the deviant in the graph;
+  // the tag protocol only needs some r >= 2 (the tag function is what the
+  // collision search exercises).
+  const auto tree = network::SpanningTree::build(sample.topology.graph,
+                                                 sample.topology.terminals);
+  const int root_idx = root_terminal_index(sample, tree);
+  const int target = attack_target(sample, root_idx);
+  const auto dist = sample.topology.graph.bfs_distances(
+      sample.topology.terminals[static_cast<std::size_t>(root_idx)]);
+  const int hops = dist[static_cast<std::size_t>(
+      sample.topology.terminals[static_cast<std::size_t>(target)])];
+  const dma::HashDmaEq budgeted(n, std::max(2, hops), sample.spec.tag_bits);
+  return dma::collision_attack_soundness_error(budgeted, 1 << 12, rng);
+}
+
+}  // namespace
+
+void register_adversary(Adversary adversary) {
+  require(!adversary.name.empty(), "register_adversary: empty name");
+  require(static_cast<bool>(adversary.completeness) &&
+              static_cast<bool>(adversary.attack),
+          "register_adversary: both strategy functions are required");
+  for (const auto& existing : registry()) {
+    require(existing.name != adversary.name,
+            "register_adversary: duplicate name " + adversary.name);
+  }
+  registry().push_back(std::move(adversary));
+}
+
+const std::vector<Adversary>& adversaries() { return registry(); }
+
+const Adversary* find_adversary(const std::string& name) {
+  for (const auto& adversary : registry()) {
+    if (adversary.name == name) {
+      return &adversary;
+    }
+  }
+  return nullptr;
+}
+
+void register_builtin_adversaries() {
+  static const bool registered = [] {
+    const auto honest = [](const ScenarioSample& sample, util::Rng&) {
+      return quantum_completeness(sample);
+    };
+    register_adversary(
+        {"geodesic",
+         "dqma geodesic interpolation along the root-to-deviant path",
+         honest, geodesic_attack});
+    register_adversary(
+        {"step_cut", "dqma step attacks maximized over the cut position",
+         honest, step_cut_attack});
+    register_adversary(
+        {"all_target", "dqma attack with every node holding the deviant state",
+         honest, all_target_attack});
+    register_adversary(
+        {"tag_collision",
+         "dma classical collision attack on the budgeted tag protocol",
+         [](const ScenarioSample&, util::Rng&) { return 1.0; },
+         tag_collision_attack});
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace dqma::scenario

@@ -1,0 +1,49 @@
+// The unified adversary interface: every constructive attack in the
+// library — quantum product-proof attacks (dqma/attacks.hpp) and classical
+// tag-collision attacks (dma/attacks.hpp) — behind one name-keyed strategy
+// registry, mirroring sweep::register_experiment. exp_topology enumerates
+// adversaries by name; adding an attack is one register_adversary call.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::scenario {
+
+/// One adversary strategy. `completeness` is the acceptance the honest
+/// prover achieves on the sample's network under its link noise (the
+/// adversary's own baseline for yes instances — classical protocols report
+/// their exact completeness, quantum ones the noisy honest run);
+/// `attack` is the acceptance this adversary's cheating prover achieves on
+/// a no instance. Both receive a per-sample Rng for strategies with
+/// stochastic search; deterministic strategies ignore it.
+struct Adversary {
+  std::string name;
+  std::string description;
+  std::function<double(const ScenarioSample&, util::Rng&)> completeness;
+  std::function<double(const ScenarioSample&, util::Rng&)> attack;
+};
+
+/// Registers an adversary; rejects empty and duplicate names loudly
+/// (mirrors sweep::register_experiment).
+void register_adversary(Adversary adversary);
+
+/// All registered adversaries in registration order.
+const std::vector<Adversary>& adversaries();
+
+/// Lookup by name; nullptr when absent.
+const Adversary* find_adversary(const std::string& name);
+
+/// Registers the built-in adversaries exactly once (idempotent):
+///   geodesic      — dqma geodesic interpolation along root->deviant path
+///   step_cut      — dqma step attacks maximized over the cut position
+///   all_target    — dqma all-nodes-hold-the-deviant-state attack
+///   tag_collision — dma classical collision attack on the budgeted
+///                   tag protocol (HashDmaEq with spec.tag_bits)
+void register_builtin_adversaries();
+
+}  // namespace dqma::scenario

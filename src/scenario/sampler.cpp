@@ -1,0 +1,62 @@
+#include "scenario/sampler.hpp"
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::scenario {
+
+using util::require;
+using util::Rng;
+
+ScenarioSample draw_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
+  require(spec.n >= 1, "draw_scenario: n must be positive");
+  require(spec.reps >= 1, "draw_scenario: reps must be positive");
+  require(spec.tag_bits >= 1, "draw_scenario: tag_bits must be positive");
+  require(spec.yes_probability >= 0.0 && spec.yes_probability <= 1.0,
+          "draw_scenario: yes_probability out of range");
+
+  Rng rng(seed);
+  ScenarioSample sample;
+  sample.spec = spec;
+  // Sub-seed the topology so its internal draw count never shifts the
+  // instance draws below.
+  sample.topology = generate_topology(spec.topology, rng.next_u64());
+
+  const int t = static_cast<int>(sample.topology.terminals.size());
+  const Bitstring x = Bitstring::random(spec.n, rng);
+  sample.yes_instance = rng.next_bool(spec.yes_probability);
+  sample.inputs.assign(static_cast<std::size_t>(t), x);
+  if (!sample.yes_instance) {
+    sample.deviant_terminal =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(t)));
+    Bitstring y = Bitstring::random(spec.n, rng);
+    if (y == x) {
+      y.flip(0);
+    }
+    sample.inputs[static_cast<std::size_t>(sample.deviant_terminal)] = y;
+  }
+  return sample;
+}
+
+protocol::EqGraphProtocol build_protocol(const ScenarioSample& sample) {
+  return protocol::EqGraphProtocol(
+      sample.topology.graph, sample.topology.terminals, sample.spec.n,
+      sample.spec.delta, sample.spec.reps);
+}
+
+protocol::NoiseModel tree_link_noise(const Topology& topology,
+                                     const network::SpanningTree& tree) {
+  std::vector<double> rates(static_cast<std::size_t>(tree.size()), 0.0);
+  for (int v = 0; v < tree.size(); ++v) {
+    const auto& node = tree.node(v);
+    if (node.parent < 0 || node.is_virtual) {
+      continue;  // root sends nothing; virtual edges traverse no channel
+    }
+    const auto& parent = tree.node(node.parent);
+    rates[static_cast<std::size_t>(v)] =
+        topology.link_rate(node.original, parent.original);
+  }
+  return protocol::NoiseModel::per_link(std::move(rates));
+}
+
+}  // namespace dqma::scenario

@@ -1,0 +1,60 @@
+// Scenario sampling: one seeded draw = (topology, noise, instance) tuple.
+//
+// A ScenarioSample is everything an adversary or classifier needs to run a
+// protocol on a random network: the generated topology (with per-link
+// noise), per-terminal inputs, and whether the instance is a yes (all
+// inputs equal) or no (one terminal deviates) instance. Like topology
+// generation, draw_scenario is a pure function of its 64-bit seed, so the
+// exp_topology sweep derives per-sample seeds through the standard
+// util::derive_seed namespacing and stays shardable byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dqma/eq_graph.hpp"
+#include "dqma/noise.hpp"
+#include "scenario/topology.hpp"
+#include "util/bitstring.hpp"
+
+namespace dqma::scenario {
+
+using util::Bitstring;
+
+/// Parameters of one scenario draw (topology spec plus protocol-instance
+/// parameters).
+struct ScenarioSpec {
+  TopologySpec topology;
+  int n = 8;            ///< input length
+  double delta = 0.3;   ///< fingerprint inner-product bound
+  int reps = 2;         ///< protocol repetitions
+  int tag_bits = 5;     ///< classical budgeted protocol's tag width
+  double yes_probability = 0.5;  ///< chance the instance is all-equal
+};
+
+/// One sampled scenario.
+struct ScenarioSample {
+  ScenarioSpec spec;
+  Topology topology;
+  std::vector<Bitstring> inputs;  ///< one per terminal, in terminal order
+  bool yes_instance = false;
+  int deviant_terminal = -1;  ///< index into topology.terminals; -1 for yes
+};
+
+/// Draws a scenario: topology from a sub-seed, then the instance. Pure
+/// function of (spec, seed).
+ScenarioSample draw_scenario(const ScenarioSpec& spec, std::uint64_t seed);
+
+/// The quantum protocol under measurement on this sample (Algorithm 5 on
+/// the sample's network).
+protocol::EqGraphProtocol build_protocol(const ScenarioSample& sample);
+
+/// Maps the topology's per-edge noise rates onto the protocol tree's link
+/// convention (links indexed by child tree node): a real tree edge gets the
+/// rate of the underlying graph edge, virtual-leaf edges and the root get
+/// rate 0 (a virtual leaf shares its physical vertex with the node it
+/// re-hung under, so no channel is traversed).
+protocol::NoiseModel tree_link_noise(const Topology& topology,
+                                     const network::SpanningTree& tree);
+
+}  // namespace dqma::scenario

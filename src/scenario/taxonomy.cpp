@@ -1,0 +1,76 @@
+#include "scenario/taxonomy.hpp"
+
+#include <algorithm>
+
+#include "network/tree.hpp"
+#include "util/require.hpp"
+
+namespace dqma::scenario {
+
+using util::require;
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kCompletenessHolds:
+      return "completeness_holds";
+    case Outcome::kThresholdViolated:
+      return "threshold_violated";
+    case Outcome::kSoundnessHolds:
+      return "soundness_holds";
+    case Outcome::kAttackSucceeds:
+      return "attack_succeeds";
+    case Outcome::kResourceBoundExceeded:
+      return "resource_bound_exceeded";
+  }
+  require(false, "outcome_name: unknown outcome");
+  return "";
+}
+
+void TaxonomyCounts::add(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kCompletenessHolds:
+      ++completeness_holds;
+      return;
+    case Outcome::kThresholdViolated:
+      ++threshold_violated;
+      return;
+    case Outcome::kSoundnessHolds:
+      ++soundness_holds;
+      return;
+    case Outcome::kAttackSucceeds:
+      ++attack_succeeds;
+      return;
+    case Outcome::kResourceBoundExceeded:
+      ++resource_bound_exceeded;
+      return;
+  }
+  require(false, "TaxonomyCounts::add: unknown outcome");
+}
+
+Outcome classify(const ScenarioSample& sample, const Adversary& adversary,
+                 const ClassifyLimits& limits, util::Rng& rng) {
+  require(limits.max_local_test_factors >= 2,
+          "classify: max_local_test_factors must be >= 2");
+  // Resource check first, independent of the adversary: the widest local
+  // test on the verification tree is (children + 1) factors.
+  const auto tree = network::SpanningTree::build(sample.topology.graph,
+                                                 sample.topology.terminals);
+  int widest = 0;
+  for (int v = 0; v < tree.size(); ++v) {
+    widest = std::max(
+        widest, static_cast<int>(tree.node(v).children.size()) + 1);
+  }
+  if (widest > limits.max_local_test_factors) {
+    return Outcome::kResourceBoundExceeded;
+  }
+  if (sample.yes_instance) {
+    const double c = adversary.completeness(sample, rng);
+    return c >= limits.completeness_threshold ? Outcome::kCompletenessHolds
+                                              : Outcome::kThresholdViolated;
+  }
+  const double a = adversary.attack(sample, rng);
+  return a > limits.soundness_threshold ? Outcome::kAttackSucceeds
+                                        : Outcome::kSoundnessHolds;
+}
+
+}  // namespace dqma::scenario

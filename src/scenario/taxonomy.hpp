@@ -1,0 +1,59 @@
+// The fixed outcome taxonomy of the scenario engine: every (sample,
+// adversary) pair classifies into exactly one of five outcomes, and
+// exp_topology records the exact integer counts per sweep point so the
+// regression gate pins the full classification, not just summary means.
+#pragma once
+
+#include "scenario/adversary.hpp"
+#include "scenario/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::scenario {
+
+enum class Outcome {
+  kCompletenessHolds,     ///< yes instance, honest acceptance >= threshold
+  kThresholdViolated,     ///< yes instance, honest acceptance below it
+  kSoundnessHolds,        ///< no instance, attack held <= threshold
+  kAttackSucceeds,        ///< no instance, attack acceptance above it
+  kResourceBoundExceeded, ///< instance too large for exact evaluation
+};
+
+inline constexpr int kOutcomeCount = 5;
+
+/// Stable snake_case name (metric key in exp_topology).
+const char* outcome_name(Outcome outcome);
+
+/// Evaluation limits. `max_local_test_factors` bounds the widest local
+/// permutation test (children + the node's own register) the exact engine
+/// evaluates; samples beyond it classify as kResourceBoundExceeded for
+/// every adversary uniformly, so taxonomy counts stay comparable across
+/// adversaries.
+struct ClassifyLimits {
+  int max_local_test_factors = 6;
+  double completeness_threshold = 2.0 / 3.0;
+  double soundness_threshold = 1.0 / 3.0;
+};
+
+/// Exact integer outcome counts (the per-point metrics of exp_topology).
+struct TaxonomyCounts {
+  long long completeness_holds = 0;
+  long long threshold_violated = 0;
+  long long soundness_holds = 0;
+  long long attack_succeeds = 0;
+  long long resource_bound_exceeded = 0;
+
+  void add(Outcome outcome);
+  long long total() const {
+    return completeness_holds + threshold_violated + soundness_holds +
+           attack_succeeds + resource_bound_exceeded;
+  }
+};
+
+/// Classifies one (sample, adversary) pair. The resource check runs first
+/// and is adversary-independent; then yes instances test the adversary's
+/// completeness value against the completeness threshold and no instances
+/// its attack value against the soundness threshold.
+Outcome classify(const ScenarioSample& sample, const Adversary& adversary,
+                 const ClassifyLimits& limits, util::Rng& rng);
+
+}  // namespace dqma::scenario

@@ -1,0 +1,193 @@
+#include "scenario/topology.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dqma::scenario {
+
+using network::Graph;
+using util::require;
+using util::Rng;
+
+const std::vector<TopologyFamily>& all_families() {
+  static const std::vector<TopologyFamily> families = {
+      TopologyFamily::kPath, TopologyFamily::kStar,
+      TopologyFamily::kCaterpillar, TopologyFamily::kRandomTree,
+      TopologyFamily::kBoundedDegreeGraph};
+  return families;
+}
+
+const char* family_name(TopologyFamily family) {
+  switch (family) {
+    case TopologyFamily::kPath:
+      return "path";
+    case TopologyFamily::kStar:
+      return "star";
+    case TopologyFamily::kCaterpillar:
+      return "caterpillar";
+    case TopologyFamily::kRandomTree:
+      return "random_tree";
+    case TopologyFamily::kBoundedDegreeGraph:
+      return "bounded_degree";
+  }
+  require(false, "family_name: unknown family");
+  return "";
+}
+
+TopologyFamily family_from_name(const std::string& name) {
+  for (const TopologyFamily family : all_families()) {
+    if (name == family_name(family)) {
+      return family;
+    }
+  }
+  require(false, "family_from_name: unknown topology family '" + name + "'");
+  return TopologyFamily::kPath;
+}
+
+namespace {
+
+/// Random attachment tree where every node keeps degree <= cap.
+Graph capped_random_tree(int nodes, int cap, Rng& rng) {
+  Graph g(nodes);
+  std::vector<int> open;  // nodes with spare degree
+  open.push_back(0);
+  for (int v = 1; v < nodes; ++v) {
+    const std::uint64_t pick = rng.next_below(open.size());
+    const int parent = open[static_cast<std::size_t>(pick)];
+    g.add_edge(parent, v);
+    if (g.degree(parent) >= cap) {
+      open[static_cast<std::size_t>(pick)] = open.back();
+      open.pop_back();
+    }
+    if (g.degree(v) < cap) {
+      open.push_back(v);
+    }
+    require(!open.empty() || v == nodes - 1,
+            "generate_topology: degree cap leaves no attachment point");
+  }
+  return g;
+}
+
+Graph caterpillar(int nodes, int cap, Rng& rng) {
+  // Spine of about half the nodes (at least 2), legs attached to random
+  // spine vertices with spare degree.
+  const int spine = std::min(nodes, std::max(2, nodes / 2));
+  Graph g(nodes);
+  for (int v = 1; v < spine; ++v) {
+    g.add_edge(v - 1, v);
+  }
+  std::vector<int> open;
+  for (int v = 0; v < spine; ++v) {
+    if (g.degree(v) < cap) {
+      open.push_back(v);
+    }
+  }
+  for (int v = spine; v < nodes; ++v) {
+    require(!open.empty(),
+            "generate_topology: caterpillar spine is degree-saturated; "
+            "raise max_degree or lower nodes");
+    const std::uint64_t pick = rng.next_below(open.size());
+    const int host = open[static_cast<std::size_t>(pick)];
+    g.add_edge(host, v);
+    if (g.degree(host) >= cap) {
+      open[static_cast<std::size_t>(pick)] = open.back();
+      open.pop_back();
+    }
+  }
+  return g;
+}
+
+Graph bounded_degree_graph(int nodes, int cap, Rng& rng) {
+  Graph g = capped_random_tree(nodes, cap, rng);
+  // Densify with extra edges while respecting the cap. The attempt count
+  // is fixed (not success-dependent) so the stream position after
+  // generation is a function of `nodes` alone.
+  const int attempts = nodes;
+  for (int a = 0; a < attempts; ++a) {
+    const int u = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(nodes)));
+    const int v = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(nodes)));
+    if (u == v || g.has_edge(u, v) || g.degree(u) >= cap ||
+        g.degree(v) >= cap) {
+      continue;
+    }
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+}  // namespace
+
+double Topology::link_rate(int u, int v) const {
+  const std::pair<int, int> key{std::min(u, v), std::max(u, v)};
+  const auto it = std::lower_bound(edges.begin(), edges.end(), key);
+  require(it != edges.end() && *it == key,
+          "Topology::link_rate: no such edge");
+  return link_rates[static_cast<std::size_t>(it - edges.begin())];
+}
+
+Topology generate_topology(const TopologySpec& spec, std::uint64_t seed) {
+  require(spec.nodes >= 2, "generate_topology: need at least 2 nodes");
+  require(spec.terminals >= 2 && spec.terminals <= spec.nodes,
+          "generate_topology: terminals must be in [2, nodes]");
+  require(spec.max_degree >= 2, "generate_topology: max_degree must be >= 2");
+  require(spec.max_noise >= 0.0 && spec.max_noise <= 1.0,
+          "generate_topology: max_noise out of range");
+
+  Rng rng(seed);
+  Topology out{Graph(spec.nodes), {}, {}, {}};
+
+  // Draw order is pinned: (1) graph structure, (2) terminals, (3) link
+  // rates. Families that need no structural randomness still get the same
+  // downstream draws because terminals/rates come after.
+  switch (spec.family) {
+    case TopologyFamily::kPath:
+      out.graph = Graph::path(spec.nodes - 1);
+      break;
+    case TopologyFamily::kStar:
+      out.graph = Graph::star(spec.nodes - 1);
+      break;
+    case TopologyFamily::kCaterpillar:
+      out.graph = caterpillar(spec.nodes, spec.max_degree, rng);
+      break;
+    case TopologyFamily::kRandomTree:
+      out.graph = capped_random_tree(spec.nodes, spec.max_degree, rng);
+      break;
+    case TopologyFamily::kBoundedDegreeGraph:
+      out.graph = bounded_degree_graph(spec.nodes, spec.max_degree, rng);
+      break;
+  }
+
+  // Terminals: partial Fisher-Yates over 0..nodes-1.
+  std::vector<int> pool(static_cast<std::size_t>(spec.nodes));
+  for (int v = 0; v < spec.nodes; ++v) {
+    pool[static_cast<std::size_t>(v)] = v;
+  }
+  for (int k = 0; k < spec.terminals; ++k) {
+    const std::uint64_t pick =
+        k + rng.next_below(static_cast<std::uint64_t>(spec.nodes - k));
+    std::swap(pool[static_cast<std::size_t>(k)],
+              pool[static_cast<std::size_t>(pick)]);
+    out.terminals.push_back(pool[static_cast<std::size_t>(k)]);
+  }
+
+  // Canonical edge list (u < v, lexicographic) and one rate per edge.
+  for (int v = 0; v < spec.nodes; ++v) {
+    for (const int w : out.graph.neighbors(v)) {
+      if (v < w) {
+        out.edges.emplace_back(v, w);
+      }
+    }
+  }
+  std::sort(out.edges.begin(), out.edges.end());
+  out.link_rates.reserve(out.edges.size());
+  for (std::size_t e = 0; e < out.edges.size(); ++e) {
+    out.link_rates.push_back(rng.next_double() * spec.max_noise);
+  }
+  return out;
+}
+
+}  // namespace dqma::scenario

@@ -21,6 +21,7 @@ namespace {
 using dqma::linalg::CVec;
 using dqma::protocol::circuit_eq_path_accept;
 using dqma::protocol::EqPathProtocol;
+using dqma::protocol::NoiseModel;
 using dqma::protocol::noise_threshold;
 using dqma::protocol::noisy_attack_accept;
 using dqma::protocol::noisy_completeness;
@@ -121,9 +122,9 @@ TEST(NoiseTest, ZeroNoiseMatchesNoiselessProtocol) {
   Rng rng(4);
   const EqPathProtocol protocol(12, 4, 0.3, 10);
   const auto [x, y] = random_unequal_pair(12, rng);
-  EXPECT_NEAR(noisy_completeness(protocol, x, 0.0), protocol.completeness(x),
-              1e-12);
-  EXPECT_NEAR(noisy_attack_accept(protocol, x, y, 0.0),
+  EXPECT_NEAR(noisy_completeness(protocol, x, NoiseModel()),
+              protocol.completeness(x), 1e-12);
+  EXPECT_NEAR(noisy_attack_accept(protocol, x, y, NoiseModel::uniform(0.0)),
               protocol.best_attack_accept(x, y), 1e-9);
 }
 
@@ -133,12 +134,12 @@ TEST(NoiseTest, CompletenessDecaysMonotonically) {
   const Bitstring x = Bitstring::random(12, rng);
   double prev = 1.0;
   for (const double p : {0.0, 0.001, 0.01, 0.1, 0.5}) {
-    const double c = noisy_completeness(protocol, x, p);
+    const double c = noisy_completeness(protocol, x, NoiseModel::uniform(p));
     EXPECT_LE(c, prev + 1e-12);
     prev = c;
   }
   // Full depolarization: every test is essentially a coin flip.
-  EXPECT_LT(noisy_completeness(protocol, x, 1.0), 1e-3);
+  EXPECT_LT(noisy_completeness(protocol, x, NoiseModel::uniform(1.0)), 1e-3);
 }
 
 TEST(NoiseTest, CompletenessClosedFormAtHonestProof) {
@@ -155,7 +156,8 @@ TEST(NoiseTest, CompletenessClosedFormAtHonestProof) {
   const double per_final = (1.0 - p) + p / d;
   const double expected =
       std::pow(std::pow(per_swap, r - 1) * per_final, reps);
-  EXPECT_NEAR(noisy_completeness(protocol, x, p), expected, 1e-9);
+  EXPECT_NEAR(noisy_completeness(protocol, x, NoiseModel::uniform(p)),
+              expected, 1e-9);
 }
 
 TEST(NoiseTest, NoiseDampsTheAttackToo) {
@@ -165,8 +167,8 @@ TEST(NoiseTest, NoiseDampsTheAttackToo) {
   Rng rng(7);
   const EqPathProtocol protocol(12, 4, 0.3, 20);
   const auto [x, y] = random_unequal_pair(12, rng);
-  EXPECT_LT(noisy_attack_accept(protocol, x, y, 0.3),
-            noisy_attack_accept(protocol, x, y, 0.0));
+  EXPECT_LT(noisy_attack_accept(protocol, x, y, NoiseModel::uniform(0.3)),
+            noisy_attack_accept(protocol, x, y, NoiseModel::uniform(0.0)));
 }
 
 TEST(NoiseTest, ThresholdIsPositiveAndBelowBreakdown) {
@@ -180,8 +182,10 @@ TEST(NoiseTest, ThresholdIsPositiveAndBelowBreakdown) {
   EXPECT_GT(threshold, 0.0);
   EXPECT_LT(threshold, 0.5);
   // At the threshold the protocol still separates; just above it doesn't.
-  EXPECT_GE(noisy_completeness(protocol, x, threshold), 2.0 / 3.0 - 1e-6);
-  EXPECT_LE(noisy_attack_accept(protocol, x, y, threshold), 1.0 / 3.0 + 1e-6);
+  EXPECT_GE(noisy_completeness(protocol, x, NoiseModel::uniform(threshold)),
+            2.0 / 3.0 - 1e-6);
+  EXPECT_LE(noisy_attack_accept(protocol, x, y, NoiseModel::uniform(threshold)),
+            1.0 / 3.0 + 1e-6);
 }
 
 TEST(NoiseTest, MoreRepetitionsLowerTheNoiseTolerance) {
@@ -193,6 +197,74 @@ TEST(NoiseTest, MoreRepetitionsLowerTheNoiseTolerance) {
   const EqPathProtocol few(12, 4, 0.3, 100);
   const EqPathProtocol many(12, 4, 0.3, 1000);
   EXPECT_GT(noise_threshold(few, x, y), noise_threshold(many, x, y));
+}
+
+TEST(NoiseTest, PerLinkModelWithEqualRatesMatchesUniform) {
+  // A per-link table holding one constant rate is the uniform model: the
+  // two evaluations run the identical damped chain DP, so the acceptance
+  // values agree bit for bit.
+  Rng rng(10);
+  const int r = 4;
+  const EqPathProtocol protocol(12, r, 0.3, 16);
+  const auto [x, y] = random_unequal_pair(12, rng);
+  const double p = 0.03;
+  const NoiseModel per_link =
+      NoiseModel::per_link(std::vector<double>(static_cast<std::size_t>(r), p));
+  const NoiseModel uniform = NoiseModel::uniform(p);
+  EXPECT_EQ(noisy_completeness(protocol, x, per_link),
+            noisy_completeness(protocol, x, uniform));
+  EXPECT_EQ(noisy_attack_accept(protocol, x, y, per_link),
+            noisy_attack_accept(protocol, x, y, uniform));
+}
+
+TEST(NoiseTest, SingleNoisyLinkDampsLessThanAllNoisyLinks) {
+  // Heterogeneity matters: noise concentrated on one link hurts the honest
+  // prover strictly less than the same rate on every link, and strictly
+  // more than no noise at all.
+  Rng rng(11);
+  const int r = 4;
+  const EqPathProtocol protocol(12, r, 0.3, 16);
+  const Bitstring x = Bitstring::random(12, rng);
+  std::vector<double> rates(static_cast<std::size_t>(r), 0.0);
+  rates[1] = 0.2;
+  const double one_link =
+      noisy_completeness(protocol, x, NoiseModel::per_link(rates));
+  const double all_links =
+      noisy_completeness(protocol, x, NoiseModel::uniform(0.2));
+  const double clean = noisy_completeness(protocol, x, NoiseModel());
+  EXPECT_LT(one_link, clean);
+  EXPECT_GT(one_link, all_links);
+}
+
+TEST(NoiseTest, PerLinkModelValidatesCoverageAndRange) {
+  Rng rng(12);
+  const EqPathProtocol protocol(12, 4, 0.3, 4);
+  const Bitstring x = Bitstring::random(12, rng);
+  // Too few links for r = 4 must fail loudly, not read out of range.
+  EXPECT_THROW(noisy_completeness(protocol, x,
+                                  NoiseModel::per_link({0.1, 0.1})),
+               std::exception);
+  EXPECT_THROW(NoiseModel::per_link({0.5, 1.5}), std::exception);
+  EXPECT_THROW(NoiseModel::uniform(-0.1), std::exception);
+}
+
+TEST(NoiseTest, ScaledProfileThresholdMatchesUniformSearch) {
+  // noise_threshold's default profile is the unit uniform model, so the
+  // returned scale IS the tolerable uniform rate; an explicit heterogeneous
+  // profile searches along its own ray instead.
+  Rng rng(13);
+  const EqPathProtocol protocol(12, 4, 0.3, 64);
+  const auto [x, y] = random_unequal_pair(12, rng);
+  const double uniform_threshold = noise_threshold(protocol, x, y, 1e-4);
+  EXPECT_EQ(uniform_threshold,
+            noise_threshold(protocol, x, y, 1e-4, NoiseModel::uniform(1.0)));
+  // A profile that only stresses half the links tolerates a larger scale.
+  std::vector<double> rates(4, 0.0);
+  rates[0] = 1.0;
+  rates[1] = 1.0;
+  const double half_threshold =
+      noise_threshold(protocol, x, y, 1e-4, NoiseModel::per_link(rates));
+  EXPECT_GT(half_threshold, uniform_threshold);
 }
 
 }  // namespace

@@ -189,6 +189,25 @@ TEST(DeriveSeedTest, PinsBenchSeriesSeedsOfTheParallelKernelLayer) {
             0x8b68f72be803c4ffULL);
 }
 
+TEST(DeriveSeedTest, PinsBenchSeriesSeedsOfTheScenarioEngine) {
+  // Series introduced with the scenario engine (exp_topology), pinned for
+  // the same reason as the series above: the taxonomy counts are exact
+  // integers, so a reshuffled seed stream changes the recorded baseline
+  // rather than merely perturbing a float.
+  using dqma::sweep::fnv1a64;
+  using dqma::util::derive_seed;
+  const auto series_seed = [](const char* experiment, const char* series) {
+    return derive_seed(derive_seed(0, fnv1a64(experiment)), fnv1a64(series));
+  };
+  EXPECT_EQ(series_seed("exp_topology", "taxonomy"), 0x960926ad5a0d97c4ULL);
+  EXPECT_EQ(series_seed("exp_topology", "gap_vs_reps"),
+            0xb4ec2bfce3435957ULL);
+  EXPECT_EQ(derive_seed(series_seed("exp_topology", "taxonomy"), 0),
+            0xc59170b698b93c8fULL);
+  EXPECT_EQ(derive_seed(series_seed("exp_topology", "gap_vs_reps"), 0),
+            0xc8c8ccb6346585bcULL);
+}
+
 // ---------------------------------------------------------------------------
 // Kernel thread-count invariance: every kernel threaded onto
 // sweep::parallel_for / parallel_reduce must produce byte-identical results

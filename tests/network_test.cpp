@@ -219,6 +219,18 @@ TEST(TreeLabelTest, DisagreeingRootIdsAreCaught) {
                           [](bool ok) { return !ok; }));
 }
 
+TEST(TreeLabelTest, HonestLabelsRejectRootOutsideGraph) {
+  const Graph g = Graph::path(4);  // 5 nodes: 0..4
+  EXPECT_THROW(honest_tree_labels(g, -1), std::exception);
+  EXPECT_THROW(honest_tree_labels(g, 5), std::exception);
+}
+
+TEST(TreeLabelTest, HonestLabelsRejectDisconnectedGraph) {
+  Graph g(4);
+  g.add_edge(0, 1);  // nodes 2 and 3 are unreachable from the root
+  EXPECT_THROW(honest_tree_labels(g, 0), std::exception);
+}
+
 TEST(TreeLabelTest, CycleClaimIsCaught) {
   // Labels that describe a "tree" with a cycle (two nodes claiming each
   // other as parent) must be rejected: distances cannot both decrease.

@@ -1,0 +1,475 @@
+// Tests for the scenario engine (ROADMAP item 3): seeded topology
+// generation, scenario sampling, the adversary registry, the outcome
+// taxonomy, and the depolarized local tests backing the noisy protocol
+// evaluation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "dqma/eq_graph.hpp"
+#include "dqma/noise.hpp"
+#include "linalg/vector.hpp"
+#include "qtest/permutation_test.hpp"
+#include "scenario/adversary.hpp"
+#include "scenario/sampler.hpp"
+#include "scenario/taxonomy.hpp"
+#include "scenario/topology.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dqma::linalg::Complex;
+using dqma::linalg::CVec;
+using dqma::protocol::EqGraphProtocol;
+using dqma::protocol::NoiseModel;
+using dqma::qtest::depolarized_permutation_test_accept;
+using dqma::qtest::permutation_test_accept;
+using dqma::scenario::Adversary;
+using dqma::scenario::all_families;
+using dqma::scenario::ClassifyLimits;
+using dqma::scenario::classify;
+using dqma::scenario::draw_scenario;
+using dqma::scenario::family_from_name;
+using dqma::scenario::family_name;
+using dqma::scenario::generate_topology;
+using dqma::scenario::Outcome;
+using dqma::scenario::outcome_name;
+using dqma::scenario::ScenarioSample;
+using dqma::scenario::ScenarioSpec;
+using dqma::scenario::TaxonomyCounts;
+using dqma::scenario::Topology;
+using dqma::scenario::TopologyFamily;
+using dqma::scenario::TopologySpec;
+using dqma::util::Bitstring;
+using dqma::util::Rng;
+
+// ---------------------------------------------------------------------------
+// Topology generation
+
+TEST(TopologyTest, FamilyNamesRoundTrip) {
+  EXPECT_EQ(all_families().size(), 5u);
+  for (const TopologyFamily family : all_families()) {
+    EXPECT_EQ(family_from_name(family_name(family)), family);
+  }
+  EXPECT_THROW(family_from_name("torus"), std::exception);
+}
+
+TEST(TopologyTest, SameSeedReproducesTopologyExactly) {
+  for (const TopologyFamily family : all_families()) {
+    TopologySpec spec;
+    spec.family = family;
+    spec.nodes = 11;
+    spec.terminals = 4;
+    spec.max_degree = 3;
+    spec.max_noise = 0.4;
+    const Topology a = generate_topology(spec, 0x5eed5eed);
+    const Topology b = generate_topology(spec, 0x5eed5eed);
+    EXPECT_EQ(a.edges, b.edges);
+    EXPECT_EQ(a.terminals, b.terminals);
+    // Bitwise, not approximate: the sweep gate depends on byte identity.
+    ASSERT_EQ(a.link_rates.size(), b.link_rates.size());
+    for (std::size_t e = 0; e < a.link_rates.size(); ++e) {
+      EXPECT_EQ(a.link_rates[e], b.link_rates[e]);
+    }
+  }
+}
+
+TEST(TopologyTest, DifferentSeedsChangeRandomFamilies) {
+  TopologySpec spec;
+  spec.family = TopologyFamily::kRandomTree;
+  spec.nodes = 12;
+  spec.terminals = 3;
+  int differing = 0;
+  const Topology base = generate_topology(spec, 1);
+  for (std::uint64_t seed = 2; seed < 10; ++seed) {
+    if (generate_topology(spec, seed).edges != base.edges) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(TopologyTest, InvariantsHoldAcrossManySeeds) {
+  // The acceptance bar for the generator: every draw is connected, respects
+  // the degree cap (star excepted), lists edges canonically, and covers
+  // each edge with an in-range rate. 1000 seeds spread over all families.
+  for (const TopologyFamily family : all_families()) {
+    TopologySpec spec;
+    spec.family = family;
+    spec.nodes = 10;
+    spec.terminals = 4;
+    spec.max_degree = 4;
+    spec.max_noise = 0.3;
+    for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+      const Topology t = generate_topology(spec, seed);
+      ASSERT_EQ(t.graph.node_count(), spec.nodes);
+      ASSERT_TRUE(t.graph.is_connected());
+      if (family != TopologyFamily::kStar) {
+        for (int v = 0; v < spec.nodes; ++v) {
+          ASSERT_LE(t.graph.degree(v), spec.max_degree);
+        }
+      }
+      // Terminals: distinct, in range.
+      const std::set<int> distinct(t.terminals.begin(), t.terminals.end());
+      ASSERT_EQ(static_cast<int>(distinct.size()), spec.terminals);
+      ASSERT_GE(*distinct.begin(), 0);
+      ASSERT_LT(*distinct.rbegin(), spec.nodes);
+      // Canonical edge list parallel to the rates.
+      ASSERT_EQ(t.link_rates.size(), t.edges.size());
+      ASSERT_EQ(static_cast<int>(t.edges.size()), t.graph.edge_count());
+      for (std::size_t e = 0; e < t.edges.size(); ++e) {
+        ASSERT_LT(t.edges[e].first, t.edges[e].second);
+        if (e > 0) {
+          ASSERT_LT(t.edges[e - 1], t.edges[e]);
+        }
+        ASSERT_GE(t.link_rates[e], 0.0);
+        ASSERT_LE(t.link_rates[e], spec.max_noise);
+        ASSERT_EQ(t.link_rate(t.edges[e].first, t.edges[e].second),
+                  t.link_rates[e]);
+        ASSERT_EQ(t.link_rate(t.edges[e].second, t.edges[e].first),
+                  t.link_rates[e]);
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, TreesHaveTreeEdgeCounts) {
+  for (const TopologyFamily family :
+       {TopologyFamily::kPath, TopologyFamily::kStar,
+        TopologyFamily::kCaterpillar, TopologyFamily::kRandomTree}) {
+    TopologySpec spec;
+    spec.family = family;
+    spec.nodes = 9;
+    spec.max_degree = 8;  // stars need the slack
+    const Topology t = generate_topology(spec, 7);
+    EXPECT_EQ(static_cast<int>(t.edges.size()), spec.nodes - 1);
+  }
+}
+
+TEST(TopologyTest, RejectsBadSpecs) {
+  TopologySpec spec;
+  spec.nodes = 1;
+  EXPECT_THROW(generate_topology(spec, 0), std::exception);
+  spec.nodes = 8;
+  spec.terminals = 1;
+  EXPECT_THROW(generate_topology(spec, 0), std::exception);
+  spec.terminals = 9;
+  EXPECT_THROW(generate_topology(spec, 0), std::exception);
+  spec.terminals = 2;
+  spec.max_degree = 1;
+  EXPECT_THROW(generate_topology(spec, 0), std::exception);
+  spec.max_degree = 4;
+  spec.max_noise = 1.5;
+  EXPECT_THROW(generate_topology(spec, 0), std::exception);
+  spec.max_noise = 0.0;
+  EXPECT_NO_THROW(generate_topology(spec, 0));
+  EXPECT_THROW(generate_topology(spec, 0).link_rate(0, 99), std::exception);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario sampling
+
+ScenarioSpec small_spec() {
+  ScenarioSpec spec;
+  spec.topology.family = TopologyFamily::kRandomTree;
+  spec.topology.nodes = 7;
+  spec.topology.terminals = 3;
+  spec.topology.max_degree = 3;
+  spec.topology.max_noise = 0.2;
+  spec.n = 6;
+  spec.delta = 0.3;
+  spec.reps = 1;
+  return spec;
+}
+
+TEST(SamplerTest, SameSeedReproducesScenarioExactly) {
+  const ScenarioSpec spec = small_spec();
+  const ScenarioSample a = draw_scenario(spec, 42);
+  const ScenarioSample b = draw_scenario(spec, 42);
+  EXPECT_EQ(a.topology.edges, b.topology.edges);
+  EXPECT_EQ(a.topology.terminals, b.topology.terminals);
+  EXPECT_EQ(a.yes_instance, b.yes_instance);
+  EXPECT_EQ(a.deviant_terminal, b.deviant_terminal);
+  ASSERT_EQ(a.inputs.size(), b.inputs.size());
+  for (std::size_t k = 0; k < a.inputs.size(); ++k) {
+    EXPECT_EQ(a.inputs[k], b.inputs[k]);
+  }
+}
+
+TEST(SamplerTest, YesProbabilityPinsInstanceKind) {
+  ScenarioSpec spec = small_spec();
+  spec.yes_probability = 1.0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const ScenarioSample s = draw_scenario(spec, seed);
+    ASSERT_TRUE(s.yes_instance);
+    ASSERT_EQ(s.deviant_terminal, -1);
+    for (const Bitstring& input : s.inputs) {
+      ASSERT_EQ(input, s.inputs[0]);
+    }
+  }
+  spec.yes_probability = 0.0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const ScenarioSample s = draw_scenario(spec, seed);
+    ASSERT_FALSE(s.yes_instance);
+    ASSERT_GE(s.deviant_terminal, 0);
+    ASSERT_LT(s.deviant_terminal,
+              static_cast<int>(s.topology.terminals.size()));
+    int disagreements = 0;
+    for (const Bitstring& input : s.inputs) {
+      if (input != s.inputs.front()) {
+        ++disagreements;
+      }
+    }
+    // Exactly one terminal deviates (the sampler flips on collision), and
+    // deviant_terminal names it — unless terminal 0 is itself the deviant,
+    // in which case every other input disagrees with the front.
+    const std::size_t deviant =
+        static_cast<std::size_t>(s.deviant_terminal);
+    if (deviant == 0) {
+      ASSERT_EQ(disagreements, static_cast<int>(s.inputs.size()) - 1);
+    } else {
+      ASSERT_EQ(disagreements, 1);
+      ASSERT_NE(s.inputs[deviant], s.inputs[0]);
+    }
+  }
+}
+
+TEST(SamplerTest, TreeLinkNoiseCoversTreeWithZeroRootAndVirtualRates) {
+  const ScenarioSpec spec = small_spec();
+  const ScenarioSample sample = draw_scenario(spec, 3);
+  const EqGraphProtocol protocol = dqma::scenario::build_protocol(sample);
+  const auto& tree = protocol.tree();
+  const NoiseModel noise =
+      dqma::scenario::tree_link_noise(sample.topology, tree);
+  ASSERT_EQ(noise.link_count(), tree.size());
+  for (int v = 0; v < tree.size(); ++v) {
+    const auto& node = tree.node(v);
+    if (node.parent < 0) {
+      EXPECT_EQ(noise.rate(v), 0.0);  // root: no upstream channel
+    } else if (node.original == tree.node(node.parent).original) {
+      EXPECT_EQ(noise.rate(v), 0.0);  // virtual leaf: same physical vertex
+    } else {
+      EXPECT_EQ(noise.rate(v), sample.topology.link_rate(
+                                   node.original,
+                                   tree.node(node.parent).original));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adversary registry
+
+TEST(AdversaryTest, BuiltinsRegisterOnceAndResolveByName) {
+  dqma::scenario::register_builtin_adversaries();
+  const std::size_t count = dqma::scenario::adversaries().size();
+  EXPECT_GE(count, 4u);
+  dqma::scenario::register_builtin_adversaries();  // idempotent
+  EXPECT_EQ(dqma::scenario::adversaries().size(), count);
+  for (const char* name :
+       {"geodesic", "step_cut", "all_target", "tag_collision"}) {
+    const Adversary* adversary = dqma::scenario::find_adversary(name);
+    ASSERT_NE(adversary, nullptr) << name;
+    EXPECT_EQ(adversary->name, name);
+    EXPECT_TRUE(static_cast<bool>(adversary->completeness));
+    EXPECT_TRUE(static_cast<bool>(adversary->attack));
+  }
+  EXPECT_EQ(dqma::scenario::find_adversary("no_such_strategy"), nullptr);
+}
+
+TEST(AdversaryTest, RegistryRejectsBadRegistrations) {
+  dqma::scenario::register_builtin_adversaries();
+  const auto noop = [](const ScenarioSample&, Rng&) { return 0.0; };
+  EXPECT_THROW(dqma::scenario::register_adversary({"", "", noop, noop}),
+               std::exception);
+  EXPECT_THROW(
+      dqma::scenario::register_adversary({"incomplete", "", nullptr, noop}),
+      std::exception);
+  EXPECT_THROW(
+      dqma::scenario::register_adversary({"geodesic", "dup", noop, noop}),
+      std::exception);
+}
+
+// ---------------------------------------------------------------------------
+// Outcome taxonomy
+
+TEST(TaxonomyTest, OutcomeNamesAreStable) {
+  EXPECT_STREQ(outcome_name(Outcome::kCompletenessHolds),
+               "completeness_holds");
+  EXPECT_STREQ(outcome_name(Outcome::kThresholdViolated),
+               "threshold_violated");
+  EXPECT_STREQ(outcome_name(Outcome::kSoundnessHolds), "soundness_holds");
+  EXPECT_STREQ(outcome_name(Outcome::kAttackSucceeds), "attack_succeeds");
+  EXPECT_STREQ(outcome_name(Outcome::kResourceBoundExceeded),
+               "resource_bound_exceeded");
+}
+
+TEST(TaxonomyTest, CountsAccumulatePerOutcome) {
+  TaxonomyCounts counts;
+  counts.add(Outcome::kCompletenessHolds);
+  counts.add(Outcome::kCompletenessHolds);
+  counts.add(Outcome::kAttackSucceeds);
+  counts.add(Outcome::kResourceBoundExceeded);
+  EXPECT_EQ(counts.completeness_holds, 2);
+  EXPECT_EQ(counts.threshold_violated, 0);
+  EXPECT_EQ(counts.soundness_holds, 0);
+  EXPECT_EQ(counts.attack_succeeds, 1);
+  EXPECT_EQ(counts.resource_bound_exceeded, 1);
+  EXPECT_EQ(counts.total(), 4);
+}
+
+/// Adversary stub returning fixed values (classification depends only on
+/// the thresholds, not the protocol run).
+Adversary stub_adversary(double completeness, double attack) {
+  return {"stub", "fixed values",
+          [completeness](const ScenarioSample&, Rng&) { return completeness; },
+          [attack](const ScenarioSample&, Rng&) { return attack; }};
+}
+
+TEST(TaxonomyTest, ClassifiesAgainstThresholds) {
+  ScenarioSpec spec = small_spec();
+  const ClassifyLimits limits;
+  Rng rng(0);
+
+  spec.yes_probability = 1.0;
+  const ScenarioSample yes = draw_scenario(spec, 5);
+  EXPECT_EQ(classify(yes, stub_adversary(0.9, 0.0), limits, rng),
+            Outcome::kCompletenessHolds);
+  EXPECT_EQ(classify(yes, stub_adversary(0.5, 0.0), limits, rng),
+            Outcome::kThresholdViolated);
+  // Threshold is inclusive on the completeness side.
+  EXPECT_EQ(classify(yes, stub_adversary(2.0 / 3.0, 0.0), limits, rng),
+            Outcome::kCompletenessHolds);
+
+  spec.yes_probability = 0.0;
+  const ScenarioSample no = draw_scenario(spec, 5);
+  EXPECT_EQ(classify(no, stub_adversary(1.0, 0.2), limits, rng),
+            Outcome::kSoundnessHolds);
+  EXPECT_EQ(classify(no, stub_adversary(1.0, 0.9), limits, rng),
+            Outcome::kAttackSucceeds);
+  // Exclusive on the soundness side: exactly 1/3 still holds.
+  EXPECT_EQ(classify(no, stub_adversary(1.0, 1.0 / 3.0), limits, rng),
+            Outcome::kSoundnessHolds);
+}
+
+TEST(TaxonomyTest, WideLocalTestsHitTheResourceBound) {
+  // A star with every leaf a terminal: the center's permutation test takes
+  // (nodes - 1) + 1 factors, which exceeds the default limit of 6 on 9
+  // nodes — and the check fires before the adversary runs.
+  ScenarioSpec spec;
+  spec.topology.family = TopologyFamily::kStar;
+  spec.topology.nodes = 9;
+  spec.topology.terminals = 8;
+  spec.topology.max_degree = 8;
+  spec.yes_probability = 1.0;
+  const ScenarioSample wide = draw_scenario(spec, 11);
+  Rng rng(0);
+  const Adversary exploding = {
+      "exploding", "must never run",
+      [](const ScenarioSample&, Rng&) -> double {
+        throw std::logic_error("resource check must come first");
+      },
+      [](const ScenarioSample&, Rng&) -> double {
+        throw std::logic_error("resource check must come first");
+      }};
+  EXPECT_EQ(classify(wide, exploding, ClassifyLimits{}, rng),
+            Outcome::kResourceBoundExceeded);
+  // A generous limit lets the same sample classify normally.
+  ClassifyLimits generous;
+  generous.max_local_test_factors = 64;
+  EXPECT_EQ(classify(wide, stub_adversary(1.0, 0.0), generous, rng),
+            Outcome::kCompletenessHolds);
+}
+
+// ---------------------------------------------------------------------------
+// Depolarized permutation test (the noisy local test primitive)
+
+CVec qubit(double theta) {
+  CVec v(2);
+  v[0] = Complex(std::cos(theta), 0.0);
+  v[1] = Complex(std::sin(theta), 0.0);
+  return v;
+}
+
+TEST(DepolarizedPermutationTest, ZeroRatesMatchNoiselessTest) {
+  const std::vector<CVec> factors = {qubit(0.1), qubit(0.7), qubit(1.1)};
+  const std::vector<double> rates(3, 0.0);
+  EXPECT_NEAR(depolarized_permutation_test_accept(factors, rates),
+              permutation_test_accept(factors), 1e-12);
+}
+
+TEST(DepolarizedPermutationTest, TwoFactorsMatchDampedSwapClosedForm) {
+  // k = 2 permutation test == SWAP test: accept = (1 + tr(rho sigma)) / 2.
+  // Depolarizing |b> at rate p gives tr = (1-p) |<a|b>|^2 + p/d.
+  const CVec a = qubit(0.3);
+  const CVec b = qubit(1.0);
+  const double overlap = std::norm(a.dot(b));
+  for (const double p : {0.0, 0.25, 0.6, 1.0}) {
+    const double closed = 0.5 * (1.0 + (1.0 - p) * overlap + p / 2.0);
+    EXPECT_NEAR(depolarized_permutation_test_accept({a, b}, {0.0, p}),
+                closed, 1e-12);
+  }
+}
+
+TEST(DepolarizedPermutationTest, FullyMixedFactorsGiveUniformOverlap) {
+  // All factors fully depolarized: every pairwise overlap becomes 1/d and
+  // the acceptance no longer depends on the input states.
+  const std::vector<double> rates = {1.0, 1.0};
+  const double uniform_ab =
+      depolarized_permutation_test_accept({qubit(0.2), qubit(1.3)}, rates);
+  const double uniform_cd =
+      depolarized_permutation_test_accept({qubit(0.9), qubit(0.4)}, rates);
+  EXPECT_NEAR(uniform_ab, uniform_cd, 1e-12);
+  EXPECT_NEAR(uniform_ab, 0.5 * (1.0 + 0.5), 1e-12);  // (1 + 1/d)/2, d = 2
+}
+
+TEST(DepolarizedPermutationTest, EqualStatesDegradeMonotonically) {
+  const std::vector<CVec> factors = {qubit(0.5), qubit(0.5), qubit(0.5)};
+  double previous = 1.0;
+  for (const double p : {0.0, 0.2, 0.5, 0.9}) {
+    const double accept = depolarized_permutation_test_accept(
+        factors, {p, p, p});
+    EXPECT_LE(accept, previous + 1e-12);
+    EXPECT_GE(accept, 0.0);
+    EXPECT_LE(accept, 1.0);
+    previous = accept;
+  }
+  EXPECT_NEAR(depolarized_permutation_test_accept(factors, {0.0, 0.0, 0.0}),
+              1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Noisy EqGraphProtocol methods
+
+TEST(NoisyEqGraphTest, NoiselessModelMatchesNoiselessMethodsBitwise) {
+  const ScenarioSpec spec = small_spec();
+  const ScenarioSample sample = draw_scenario(spec, 21);
+  const EqGraphProtocol protocol = dqma::scenario::build_protocol(sample);
+  const NoiseModel none;
+  const Bitstring x = sample.inputs[0];
+  EXPECT_EQ(protocol.noisy_completeness(x, none), protocol.completeness(x));
+  EXPECT_EQ(protocol.noisy_best_attack_accept(sample.inputs, none),
+            protocol.best_attack_accept(sample.inputs));
+  const auto proof = protocol.honest_proof(x);
+  EXPECT_EQ(protocol.noisy_accept_probability(sample.inputs, proof, none),
+            protocol.accept_probability(sample.inputs, proof));
+}
+
+TEST(NoisyEqGraphTest, LinkNoiseLowersCompleteness) {
+  ScenarioSpec spec = small_spec();
+  spec.topology.max_noise = 0.0;
+  const ScenarioSample sample = draw_scenario(spec, 33);
+  const EqGraphProtocol protocol = dqma::scenario::build_protocol(sample);
+  const Bitstring x = sample.inputs[0];
+  const double clean = protocol.noisy_completeness(x, NoiseModel());
+  EXPECT_NEAR(clean, 1.0, 1e-12);
+  const double noisy =
+      protocol.noisy_completeness(x, NoiseModel::uniform(0.3));
+  EXPECT_LT(noisy, clean);
+  EXPECT_GT(noisy, 0.0);
+}
+
+}  // namespace
